@@ -1,0 +1,186 @@
+package orcf
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus the ablation suite. Each benchmark runs
+// the corresponding experiment regenerator at a reduced scale so the whole
+// `go test -bench=. -benchmem` pass completes on a laptop; the reported
+// ns/op measures one full regeneration of that experiment.
+//
+// To regenerate the tables at the readable quick scale (or paper scale), use
+// the CLI instead: `go run ./cmd/repro -exp fig4` or `-exp all [-full]`.
+
+import (
+	"testing"
+
+	"orcf/internal/exp"
+)
+
+// benchOptions is the reduced scale shared by all experiment benchmarks.
+func benchOptions() exp.Options {
+	return exp.Options{
+		Nodes: 32, Steps: 400, Warmup: 150, Seed: 1,
+		ForecastEvery: 25, LSTMEpochs: 3, FitWindow: 200,
+	}
+}
+
+// benchGaussianOptions needs the full 500+500 train/test phases of §VI-E.
+func benchGaussianOptions() exp.Options {
+	o := benchOptions()
+	o.Steps = 1100
+	return o
+}
+
+func runExpBenchmark(b *testing.B, fn func(exp.Options) (*exp.Table, error), o exp.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty result table")
+		}
+	}
+}
+
+// BenchmarkFig1CorrelationCDF regenerates the motivational correlation-CDF
+// comparison (sensor vs cluster data).
+func BenchmarkFig1CorrelationCDF(b *testing.B) {
+	runExpBenchmark(b, exp.Fig1, benchOptions())
+}
+
+// BenchmarkFig3AdaptiveTransmission regenerates the requested-vs-actual
+// transmission frequency sweep.
+func BenchmarkFig3AdaptiveTransmission(b *testing.B) {
+	runExpBenchmark(b, exp.Fig3, benchOptions())
+}
+
+// BenchmarkFig4TransmissionRMSE regenerates the adaptive-vs-uniform h=0
+// RMSE comparison.
+func BenchmarkFig4TransmissionRMSE(b *testing.B) {
+	runExpBenchmark(b, exp.Fig4, benchOptions())
+}
+
+// BenchmarkFig5TemporalDim regenerates the temporal-clustering-dimension
+// sweep.
+func BenchmarkFig5TemporalDim(b *testing.B) {
+	runExpBenchmark(b, exp.Fig5, benchOptions())
+}
+
+// BenchmarkTable1ScalarVsVector regenerates the scalar-vs-full-vector
+// clustering comparison.
+func BenchmarkTable1ScalarVsVector(b *testing.B) {
+	runExpBenchmark(b, exp.Table1, benchOptions())
+}
+
+// BenchmarkFig6ClusteringVsB regenerates the intermediate-RMSE-vs-budget
+// comparison of clustering methods.
+func BenchmarkFig6ClusteringVsB(b *testing.B) {
+	runExpBenchmark(b, exp.Fig6, benchOptions())
+}
+
+// BenchmarkFig7ClusteringVsK regenerates the intermediate-RMSE-vs-K
+// comparison of clustering methods.
+func BenchmarkFig7ClusteringVsK(b *testing.B) {
+	runExpBenchmark(b, exp.Fig7, benchOptions())
+}
+
+// BenchmarkFig8CentroidForecast regenerates the instantaneous centroid
+// tracking comparison (ARIMA / LSTM / sample-and-hold).
+func BenchmarkFig8CentroidForecast(b *testing.B) {
+	runExpBenchmark(b, exp.Fig8, benchOptions())
+}
+
+// BenchmarkFig9ForecastModels regenerates the model comparison across
+// forecast horizons on the full pipeline.
+func BenchmarkFig9ForecastModels(b *testing.B) {
+	runExpBenchmark(b, exp.Fig9, benchOptions())
+}
+
+// BenchmarkTable2TrainingTime regenerates the ARIMA-vs-LSTM training-time
+// accounting.
+func BenchmarkTable2TrainingTime(b *testing.B) {
+	runExpBenchmark(b, exp.Table2, benchOptions())
+}
+
+// BenchmarkFig10ClusteringForecast regenerates the clustering-method
+// comparison under sample-and-hold forecasting.
+func BenchmarkFig10ClusteringForecast(b *testing.B) {
+	runExpBenchmark(b, exp.Fig10, benchOptions())
+}
+
+// BenchmarkTable3MMPrime regenerates the M × M′ sensitivity grid.
+func BenchmarkTable3MMPrime(b *testing.B) {
+	runExpBenchmark(b, exp.Table3, benchOptions())
+}
+
+// BenchmarkFig11Similarity regenerates the proposed-similarity-vs-Jaccard
+// comparison.
+func BenchmarkFig11Similarity(b *testing.B) {
+	runExpBenchmark(b, exp.Fig11, benchOptions())
+}
+
+// BenchmarkFig12GaussianComparison regenerates the comparison against the
+// Gaussian monitor-selection baselines.
+func BenchmarkFig12GaussianComparison(b *testing.B) {
+	runExpBenchmark(b, exp.Fig12, benchGaussianOptions())
+}
+
+// BenchmarkTable4GaussianTime regenerates the per-approach computation-time
+// table.
+func BenchmarkTable4GaussianTime(b *testing.B) {
+	runExpBenchmark(b, exp.Table4, benchGaussianOptions())
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (re-indexing, α-clamp, M′, adaptive policy).
+func BenchmarkAblations(b *testing.B) {
+	runExpBenchmark(b, exp.Ablations, benchOptions())
+}
+
+// BenchmarkPipelineStep measures the steady-state cost of one online step of
+// the full system (transmission decisions + clustering + model updates) at
+// N=256 nodes with two resources — the per-tick cost a deployment would pay.
+func BenchmarkPipelineStep(b *testing.B) {
+	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: 256, Steps: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := New(256, 2, WithBudget(0.3), WithTrainingSchedule(1_000_000, 1_000_000), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(ds.Data[i%ds.Steps()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastQuery measures producing a 50-step forecast for all
+// nodes from a warm system.
+func BenchmarkForecastQuery(b *testing.B) {
+	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: 128, Steps: 80, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := New(128, 2, WithAlwaysTransmit(), WithTrainingSchedule(60, 1000), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 0; t < ds.Steps(); t++ {
+		if _, err := sys.Step(ds.Data[t]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Forecast(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command collectd is the standalone central collector: it listens for node
+// agents over TCP, maintains the latest measurement per node, and
+// periodically prints the dynamic clustering summary (K centroids per
+// resource) built from whatever has been received so far.
+//
+// Usage:
+//
+//	collectd -listen 127.0.0.1:7777 -k 3 -resources 2 -interval 2s
+//
+// Pair it with cmd/nodeagent instances feeding a trace through the adaptive
+// transmission policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"orcf/internal/cluster"
+	"orcf/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7777", "address to listen on")
+		k         = flag.Int("k", 3, "number of clusters")
+		resources = flag.Int("resources", 2, "measurement dimensionality")
+		interval  = flag.Duration("interval", 2*time.Second, "clustering/reporting period")
+		seed      = flag.Uint64("seed", 1, "clustering seed")
+	)
+	flag.Parse()
+
+	store := transport.NewStore()
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		return 1
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		return 1
+	}
+	defer srv.Close()
+	fmt.Printf("collectd listening on %s (K=%d)\n", addr, *k)
+
+	// The dynamic tracker requires a fixed node population; when agents join
+	// or leave, the trackers are rebuilt (cluster identities restart).
+	var trackers []*cluster.Tracker
+	trackedNodes := -1
+	rebuild := func() error {
+		trackers = make([]*cluster.Tracker, *resources)
+		for r := range trackers {
+			tr, err := cluster.NewTracker(cluster.Config{K: *k},
+				rand.New(rand.NewPCG(*seed, uint64(r))))
+			if err != nil {
+				return err
+			}
+			trackers[r] = tr
+		}
+		return nil
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-stop:
+			fmt.Println("collectd: shutting down")
+			return 0
+		case <-ticker.C:
+			snap := store.Snapshot()
+			if len(snap) < *k {
+				fmt.Printf("collectd: %d/%d nodes reporting; waiting\n", len(snap), *k)
+				continue
+			}
+			nodes := make([]int, 0, len(snap))
+			for id := range snap {
+				nodes = append(nodes, id)
+			}
+			sort.Ints(nodes)
+			if len(nodes) != trackedNodes {
+				if err := rebuild(); err != nil {
+					fmt.Fprintln(os.Stderr, "collectd:", err)
+					return 1
+				}
+				trackedNodes = len(nodes)
+				fmt.Printf("collectd: tracking %d nodes (clusters reset)\n", trackedNodes)
+			}
+			for r := 0; r < *resources; r++ {
+				points := make([][]float64, len(nodes))
+				usable := true
+				for i, id := range nodes {
+					vals := snap[id].Values
+					if r >= len(vals) {
+						usable = false
+						break
+					}
+					points[i] = []float64{vals[r]}
+				}
+				if !usable {
+					continue
+				}
+				step, err := trackers[r].Update(points)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "collectd: clustering resource %d: %v\n", r, err)
+					continue
+				}
+				fmt.Printf("resource %d | %d nodes | centroids:", r, len(nodes))
+				for _, c := range step.Centroids {
+					fmt.Printf(" %.3f", c[0])
+				}
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command nodeagent simulates one (or several) local machines: it replays a
+// synthetic utilization trace through the adaptive transmission policy and
+// streams the surviving measurements to a collectd instance over TCP.
+//
+// Usage:
+//
+//	nodeagent -collector 127.0.0.1:7777 -node 0 -count 8 -budget 0.3 -tick 100ms
+//
+// runs agents for nodes 0..7, each with an independent trace column and its
+// own Lyapunov policy instance.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"orcf/internal/agent"
+	"orcf/internal/trace"
+	"orcf/internal/transmit"
+	"orcf/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		collector = flag.String("collector", "127.0.0.1:7777", "collectd address")
+		firstNode = flag.Int("node", 0, "first node id")
+		count     = flag.Int("count", 1, "number of agents to run")
+		budget    = flag.Float64("budget", 0.3, "transmission frequency budget B")
+		tick      = flag.Duration("tick", 100*time.Millisecond, "measurement period")
+		steps     = flag.Int("steps", 0, "stop after this many steps (0 = run forever)")
+		seed      = flag.Uint64("seed", 1, "trace seed (shared across agents)")
+	)
+	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintln(os.Stderr, "nodeagent: -count must be ≥ 1")
+		return 2
+	}
+
+	// One shared trace: agent i replays column firstNode+i, looping if it
+	// outruns the generated length.
+	genSteps := *steps
+	if genSteps == 0 {
+		genSteps = 5000
+	}
+	ds, err := trace.GoogleLike().Generate(*firstNode+*count, genSteps, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nodeagent:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		cancel()
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, *count)
+	for i := 0; i < *count; i++ {
+		node := *firstNode + i
+		client, err := transport.Dial(*collector, node)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nodeagent: node %d: %v\n", node, err)
+			cancel()
+			break
+		}
+		policy, err := transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: *budget})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nodeagent: node %d: %v\n", node, err)
+			_ = client.Close()
+			cancel()
+			break
+		}
+		rows := make([][]float64, ds.Steps())
+		for s := 0; s < ds.Steps(); s++ {
+			rows[s] = ds.At(s, node)
+		}
+		a, err := agent.New(agent.Config{
+			Node:     node,
+			Policy:   policy,
+			Source:   agent.LoopSource(rows),
+			Sender:   client,
+			Interval: *tick,
+			MaxSteps: *steps,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nodeagent: node %d: %v\n", node, err)
+			_ = client.Close()
+			cancel()
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer client.Close()
+			err := a.Run(ctx)
+			if err != nil {
+				errs <- err
+				cancel()
+				return
+			}
+			fmt.Printf("node %d: done after %d steps, frequency %.3f (budget %.2f)\n",
+				node, a.Steps(), a.Frequency(), *budget)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fmt.Fprintln(os.Stderr, "nodeagent:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,72 @@
+package orcf
+
+// Public surface of the distributed collection plane: the TCP collector,
+// node-agent clients, and the per-node agent runtime. These are thin
+// re-exports of internal/transport and internal/agent so that deployments
+// outside this repository can run the same plane the cmd/collectd and
+// cmd/nodeagent binaries use.
+
+import (
+	"orcf/internal/agent"
+	"orcf/internal/transmit"
+	"orcf/internal/transport"
+)
+
+type (
+	// Measurement is one transmitted observation (node, step, values).
+	Measurement = transport.Measurement
+	// MeasurementStore holds the newest measurement per node — the central
+	// node's z_t when running over the network.
+	MeasurementStore = transport.Store
+	// CollectorServer accepts agent connections and fills a store.
+	CollectorServer = transport.Server
+	// AgentClient is a node's TCP connection to the collector.
+	AgentClient = transport.Client
+	// ReconnectingAgentClient redials automatically across collector
+	// restarts (lossy, monitoring-grade semantics).
+	ReconnectingAgentClient = transport.ReconnectingClient
+	// Agent is the node-side loop: sample → policy → send.
+	Agent = agent.Agent
+	// AgentConfig assembles an Agent.
+	AgentConfig = agent.Config
+	// AgentSource produces a node's measurements per step.
+	AgentSource = agent.Source
+	// TransmitPolicy decides per-step transmission (§V-A).
+	TransmitPolicy = transmit.Policy
+)
+
+// NewMeasurementStore returns an empty thread-safe store.
+func NewMeasurementStore() *MeasurementStore { return transport.NewStore() }
+
+// NewCollectorServer builds a collector around the store; onUpdate (may be
+// nil) fires after each stored measurement.
+func NewCollectorServer(store *MeasurementStore, onUpdate func(Measurement)) (*CollectorServer, error) {
+	return transport.NewServer(store, onUpdate)
+}
+
+// DialCollector connects a node agent to a collector address.
+func DialCollector(addr string, node int) (*AgentClient, error) {
+	return transport.Dial(addr, node)
+}
+
+// NewReconnectingCollectorClient prepares a lazily-dialed, auto-redialing
+// client for the node.
+func NewReconnectingCollectorClient(addr string, node int) *ReconnectingAgentClient {
+	return transport.NewReconnectingClient(addr, node)
+}
+
+// NewAgent validates and builds the node-side loop.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return agent.New(cfg) }
+
+// NewAdaptiveTransmitPolicy builds the paper's Lyapunov policy for use in a
+// standalone Agent (outside a full System).
+func NewAdaptiveTransmitPolicy(budget float64) (TransmitPolicy, error) {
+	return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: budget})
+}
+
+// ReplayMeasurements adapts a dense steps × resources matrix into an
+// AgentSource that ends after the last row.
+func ReplayMeasurements(rows [][]float64) AgentSource { return agent.ReplaySource(rows) }
+
+// LoopMeasurements adapts a dense matrix into an endlessly-looping source.
+func LoopMeasurements(rows [][]float64) AgentSource { return agent.LoopSource(rows) }

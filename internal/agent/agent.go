@@ -1,0 +1,138 @@
+// Package agent provides the node-side runtime of the collection plane: a
+// loop that samples a measurement source, filters through a transmission
+// policy (§V-A), and ships surviving measurements to the central collector.
+// cmd/nodeagent and the livecollect example are thin wrappers around it.
+//
+// The transport is abstracted behind the Sender interface so the same loop
+// runs over real TCP (transport.Client), in-process fakes in tests, or any
+// future transport.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"orcf/internal/transmit"
+)
+
+// ErrBadConfig reports invalid agent construction parameters.
+var ErrBadConfig = errors.New("agent: invalid configuration")
+
+// Source produces the node's measurement for a given 1-based step. The
+// second return value is false when the source is exhausted, which ends the
+// agent's run cleanly.
+type Source func(step int) ([]float64, bool)
+
+// Sender ships one measurement to the collector. transport.Client satisfies
+// this interface.
+type Sender interface {
+	Send(step int, values []float64) error
+}
+
+// Config assembles an Agent.
+type Config struct {
+	// Node is the agent's node identity.
+	Node int
+	// Policy decides per-step transmission; required.
+	Policy transmit.Policy
+	// Source produces measurements; required.
+	Source Source
+	// Sender ships measurements; required.
+	Sender Sender
+	// Interval is the sampling period. Zero means no pacing (run as fast
+	// as the source allows) — useful for replay and tests.
+	Interval time.Duration
+	// MaxSteps stops after this many steps (0 = until the source ends or
+	// the context is cancelled).
+	MaxSteps int
+}
+
+// Agent runs the per-node loop.
+type Agent struct {
+	cfg    Config
+	meter  transmit.Meter
+	stored []float64
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("agent: nil policy: %w", ErrBadConfig)
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("agent: nil source: %w", ErrBadConfig)
+	}
+	if cfg.Sender == nil {
+		return nil, fmt.Errorf("agent: nil sender: %w", ErrBadConfig)
+	}
+	if cfg.Node < 0 {
+		return nil, fmt.Errorf("agent: node %d: %w", cfg.Node, ErrBadConfig)
+	}
+	return &Agent{cfg: cfg}, nil
+}
+
+// Frequency returns the realized transmission frequency so far.
+func (a *Agent) Frequency() float64 { return a.meter.Frequency() }
+
+// Steps returns the number of processed steps.
+func (a *Agent) Steps() int { return a.meter.Steps() }
+
+// Run executes the loop until the context is cancelled, the source is
+// exhausted, MaxSteps is reached, or a send fails. It returns nil on clean
+// termination (including context cancellation).
+func (a *Agent) Run(ctx context.Context) error {
+	var ticker *time.Ticker
+	if a.cfg.Interval > 0 {
+		ticker = time.NewTicker(a.cfg.Interval)
+		defer ticker.Stop()
+	}
+	for step := 1; a.cfg.MaxSteps == 0 || step <= a.cfg.MaxSteps; step++ {
+		if ticker != nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-ticker.C:
+			}
+		} else if ctx.Err() != nil {
+			return nil
+		}
+		x, ok := a.cfg.Source(step)
+		if !ok {
+			return nil
+		}
+		transmitNow := a.cfg.Policy.Decide(step, x, a.stored)
+		a.meter.Observe(transmitNow)
+		if !transmitNow {
+			continue
+		}
+		if err := a.cfg.Sender.Send(step, x); err != nil {
+			return fmt.Errorf("agent: node %d step %d: %w", a.cfg.Node, step, err)
+		}
+		a.stored = append(a.stored[:0], x...)
+	}
+	return nil
+}
+
+// ReplaySource adapts a dense measurement matrix (steps × resources) into a
+// Source that ends after the last row.
+func ReplaySource(rows [][]float64) Source {
+	return func(step int) ([]float64, bool) {
+		if step < 1 || step > len(rows) {
+			return nil, false
+		}
+		return rows[step-1], true
+	}
+}
+
+// LoopSource adapts a dense measurement matrix into a Source that wraps
+// around forever.
+func LoopSource(rows [][]float64) Source {
+	return func(step int) ([]float64, bool) {
+		if len(rows) == 0 {
+			return nil, false
+		}
+		return rows[(step-1)%len(rows)], true
+	}
+}

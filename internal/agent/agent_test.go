@@ -1,0 +1,284 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"orcf/internal/trace"
+	"orcf/internal/transmit"
+	"orcf/internal/transport"
+)
+
+// recordingSender captures sent measurements in memory.
+type recordingSender struct {
+	mu   sync.Mutex
+	sent []transport.Measurement
+	fail error
+}
+
+func (r *recordingSender) Send(step int, values []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail != nil {
+		return r.fail
+	}
+	r.sent = append(r.sent, transport.Measurement{Step: step, Values: append([]float64(nil), values...)})
+	return nil
+}
+
+func (r *recordingSender) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sent)
+}
+
+func rows(n int, f func(i int) float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{f(i)}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	policy, _ := transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: 0.3})
+	src := ReplaySource(rows(3, func(int) float64 { return 0.5 }))
+	snd := &recordingSender{}
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil policy", Config{Source: src, Sender: snd}},
+		{"nil source", Config{Policy: policy, Sender: snd}},
+		{"nil sender", Config{Policy: policy, Source: src}},
+		{"negative node", Config{Node: -1, Policy: policy, Source: src, Sender: snd}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := New(tt.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("want ErrBadConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestRunReplayEndsAtSourceExhaustion(t *testing.T) {
+	t.Parallel()
+	snd := &recordingSender{}
+	a, err := New(Config{
+		Policy: transmit.Always{},
+		Source: ReplaySource(rows(10, func(i int) float64 { return float64(i) / 10 })),
+		Sender: snd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps() != 10 || snd.count() != 10 {
+		t.Fatalf("steps=%d sent=%d, want 10/10", a.Steps(), snd.count())
+	}
+	if a.Frequency() != 1 {
+		t.Fatalf("frequency %v, want 1", a.Frequency())
+	}
+}
+
+func TestRunRespectsBudget(t *testing.T) {
+	t.Parallel()
+	policy, err := transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd := &recordingSender{}
+	a, err := New(Config{
+		Policy: policy,
+		Source: LoopSource(rows(50, func(i int) float64 { return 0.3 + 0.3*math.Sin(float64(i)/7) })),
+		Sender: snd,
+		// No Interval: run at full speed.
+		MaxSteps: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if f := a.Frequency(); math.Abs(f-0.25) > 0.02 {
+		t.Fatalf("frequency %v, want ≈ 0.25", f)
+	}
+}
+
+func TestRunStopsOnSendFailure(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("boom")
+	snd := &recordingSender{fail: boom}
+	a, err := New(Config{
+		Policy:   transmit.Always{},
+		Source:   LoopSource(rows(5, func(int) float64 { return 0.5 })),
+		Sender:   snd,
+		MaxSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("want send error, got %v", err)
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	t.Parallel()
+	snd := &recordingSender{}
+	a, err := New(Config{
+		Policy:   transmit.Always{},
+		Source:   LoopSource(rows(5, func(int) float64 { return 0.5 })),
+		Sender:   snd,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := a.Run(ctx); err != nil {
+		t.Fatalf("cancel should end cleanly, got %v", err)
+	}
+	if a.Steps() == 0 {
+		t.Fatal("agent never ran before cancellation")
+	}
+}
+
+func TestSources(t *testing.T) {
+	t.Parallel()
+	r := ReplaySource(rows(2, func(i int) float64 { return float64(i) }))
+	if _, ok := r(0); ok {
+		t.Fatal("step 0 should be out of range")
+	}
+	if v, ok := r(2); !ok || v[0] != 1 {
+		t.Fatalf("replay step 2 = %v/%v", v, ok)
+	}
+	if _, ok := r(3); ok {
+		t.Fatal("replay should end after last row")
+	}
+	l := LoopSource(rows(2, func(i int) float64 { return float64(i) }))
+	if v, ok := l(3); !ok || v[0] != 0 {
+		t.Fatalf("loop step 3 = %v/%v, want wraparound", v, ok)
+	}
+	if _, ok := LoopSource(nil)(1); ok {
+		t.Fatal("empty loop source should end immediately")
+	}
+}
+
+// TestEndToEndOverTCP is the distributed integration test: several agents
+// with adaptive policies stream a synthetic trace to a real TCP collector;
+// the store must converge to fresh values and the fleet frequency must sit
+// at the budget.
+func TestEndToEndOverTCP(t *testing.T) {
+	t.Parallel()
+	const (
+		nodes  = 6
+		steps  = 800
+		budget = 0.3
+	)
+	ds, err := trace.GoogleLike().Generate(nodes, steps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := transport.NewStore()
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	agents := make([]*Agent, nodes)
+	errs := make(chan error, nodes)
+	for n := 0; n < nodes; n++ {
+		client, err := transport.Dial(addr, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		policy, err := transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := make([][]float64, steps)
+		for s := 0; s < steps; s++ {
+			src[s] = ds.At(s, n)
+		}
+		a, err := New(Config{
+			Node:   n,
+			Policy: policy,
+			Source: ReplaySource(src),
+			Sender: client,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[n] = a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- a.Run(context.Background())
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Collector-side convergence: every node reported and the server has
+	// drained the in-flight TCP stream down to near-final steps. The agents
+	// have returned, but the server decodes asynchronously, so poll.
+	converged := func() bool {
+		if store.Len() < nodes {
+			return false
+		}
+		for n := 0; n < nodes; n++ {
+			m, ok := store.Latest(n)
+			if !ok || m.Step < steps-80 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !converged() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if store.Len() != nodes {
+		t.Fatalf("store has %d nodes, want %d", store.Len(), nodes)
+	}
+	var freq float64
+	for n := 0; n < nodes; n++ {
+		m, ok := store.Latest(n)
+		if !ok {
+			t.Fatalf("node %d missing", n)
+		}
+		if m.Step < steps-80 {
+			t.Fatalf("node %d last stored step %d is stale", n, m.Step)
+		}
+		freq += agents[n].Frequency()
+	}
+	freq /= nodes
+	if math.Abs(freq-budget) > 0.05 {
+		t.Fatalf("fleet frequency %v, want ≈ %v", freq, budget)
+	}
+}

@@ -1,0 +1,476 @@
+// Package cluster implements §V-B of the paper: dynamic construction of K
+// clusters over time from the measurements stored at the central node.
+//
+// Each time step the tracker runs K-means on the latest stored measurements,
+// then re-indexes the resulting clusters against recent history by solving a
+// maximum-weight bipartite matching on a cluster-similarity measure, so that
+// cluster j at time t is the continuation of cluster j at time t−1. The
+// matched centroids form K coherent time series that the forecasting layer
+// (§V-C) trains on.
+//
+// The package also provides the two clustering baselines evaluated in the
+// paper: offline static clustering (K-means on whole per-node series) and the
+// minimum-distance baseline (K random nodes as centroids each step).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"orcf/internal/hungarian"
+	"orcf/internal/kmeans"
+)
+
+// ErrBadConfig reports an invalid tracker configuration.
+var ErrBadConfig = errors.New("cluster: invalid configuration")
+
+// ErrBadInput reports invalid points passed to an update.
+var ErrBadInput = errors.New("cluster: invalid input")
+
+// Similarity selects the cluster-matching similarity measure.
+type Similarity int
+
+const (
+	// SimilarityProposed is the paper's measure, eq. (10): the unnormalized
+	// size of the intersection between a fresh cluster and the set of nodes
+	// that stayed in stable cluster j throughout the last M steps.
+	SimilarityProposed Similarity = iota + 1
+	// SimilarityJaccard is the normalized Jaccard index used by Greene et
+	// al. [20], compared against in Fig. 11.
+	SimilarityJaccard
+)
+
+// String implements fmt.Stringer.
+func (s Similarity) String() string {
+	switch s {
+	case SimilarityProposed:
+		return "proposed"
+	case SimilarityJaccard:
+		return "jaccard"
+	default:
+		return fmt.Sprintf("Similarity(%d)", int(s))
+	}
+}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// K is the number of clusters (and forecasting models). Required.
+	K int
+	// M is the similarity look-back in time steps, eq. (10). Zero means the
+	// paper default of 1.
+	M int
+	// Similarity selects the matching measure. Zero means SimilarityProposed.
+	Similarity Similarity
+	// HistoryDepth is how many past assignment vectors the tracker retains
+	// (≥ M). The membership-forecast window M′ of §V-C reads from this
+	// history, so it must cover max(M, M′+1). Zero means max(M, 8).
+	HistoryDepth int
+	// KMeansIterations bounds Lloyd iterations per step. Zero means 50.
+	KMeansIterations int
+	// DisableMatching skips the Hungarian re-indexing step, leaving the raw
+	// (arbitrary) K-means cluster order of each step. Only for ablation:
+	// without matching the centroid "series" mix different clusters over
+	// time and forecasting on them degrades, which is the justification for
+	// §V-B's re-indexing.
+	DisableMatching bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.M == 0 {
+		c.M = 1
+	}
+	if c.Similarity == 0 {
+		c.Similarity = SimilarityProposed
+	}
+	if c.HistoryDepth < c.M {
+		if c.HistoryDepth == 0 {
+			c.HistoryDepth = max(c.M, 8)
+		} else {
+			c.HistoryDepth = c.M
+		}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("cluster: K = %d: %w", c.K, ErrBadConfig)
+	}
+	if c.M < 1 {
+		return fmt.Errorf("cluster: M = %d: %w", c.M, ErrBadConfig)
+	}
+	if c.Similarity != SimilarityProposed && c.Similarity != SimilarityJaccard {
+		return fmt.Errorf("cluster: unknown similarity %d: %w", int(c.Similarity), ErrBadConfig)
+	}
+	return nil
+}
+
+// Step is the clustering outcome for one time step.
+type Step struct {
+	// T is the 1-based time step index.
+	T int
+	// Assignments maps node index → stable cluster index in [0,K).
+	Assignments []int
+	// Centroids holds the K stable-cluster centroids (eq. 1): the mean of
+	// the member measurements.
+	Centroids [][]float64
+}
+
+// Tracker maintains the evolving clustering.
+type Tracker struct {
+	cfg  Config
+	rng  *rand.Rand
+	t    int
+	dim  int
+	n    int
+	hist [][]int // ring of past assignments, hist[0] most recent
+	// centroidSeries[j][dim] is the full centroid history for stable
+	// cluster j and one dimension; indexed [j][d][t].
+	centroidSeries [][][]float64
+}
+
+// NewTracker builds a Tracker. The rng drives K-means seeding; passing the
+// same seed and inputs reproduces identical cluster evolutions.
+func NewTracker(cfg Config, rng *rand.Rand) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("cluster: nil rng: %w", ErrBadConfig)
+	}
+	return &Tracker{cfg: cfg, rng: rng}, nil
+}
+
+// K returns the configured number of clusters.
+func (tr *Tracker) K() int { return tr.cfg.K }
+
+// Steps returns the number of updates processed so far.
+func (tr *Tracker) Steps() int { return tr.t }
+
+// Update ingests the N current stored measurements (N×d, d ≥ 1) and returns
+// the re-indexed clustering for this step. The node count and dimension must
+// stay constant across updates, and N must be ≥ K.
+func (tr *Tracker) Update(points [][]float64) (*Step, error) {
+	if err := tr.checkPoints(points); err != nil {
+		return nil, err
+	}
+	res, err := kmeans.Run(points, kmeans.Config{
+		K:             tr.cfg.K,
+		MaxIterations: tr.cfg.KMeansIterations,
+	}, tr.rng)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: kmeans failed: %w", err)
+	}
+
+	stable := res.Assignments
+	if tr.t > 0 && !tr.cfg.DisableMatching {
+		mapping, err := tr.matchToHistory(res.Assignments)
+		if err != nil {
+			return nil, err
+		}
+		stable = make([]int, len(res.Assignments))
+		for i, k := range res.Assignments {
+			stable[i] = mapping[k]
+		}
+	}
+	cents := CentroidsFor(stable, tr.cfg.K, points)
+
+	tr.t++
+	tr.pushHistory(stable)
+	tr.appendCentroids(cents)
+
+	assignCopy := make([]int, len(stable))
+	copy(assignCopy, stable)
+	return &Step{T: tr.t, Assignments: assignCopy, Centroids: cents}, nil
+}
+
+func (tr *Tracker) checkPoints(points [][]float64) error {
+	if len(points) == 0 {
+		return fmt.Errorf("cluster: no points: %w", ErrBadInput)
+	}
+	if len(points) < tr.cfg.K {
+		return fmt.Errorf("cluster: %d points < K=%d: %w", len(points), tr.cfg.K, ErrBadInput)
+	}
+	d := len(points[0])
+	if tr.t == 0 {
+		tr.dim = d
+		tr.n = len(points)
+	}
+	if len(points) != tr.n {
+		return fmt.Errorf("cluster: node count changed %d → %d: %w", tr.n, len(points), ErrBadInput)
+	}
+	for i, p := range points {
+		if len(p) != tr.dim {
+			return fmt.Errorf("cluster: point %d has dim %d, want %d: %w", i, len(p), tr.dim, ErrBadInput)
+		}
+	}
+	return nil
+}
+
+// matchToHistory computes the similarity matrix between fresh K-means
+// clusters and stable clusters, then solves eq. (11) via maximum-weight
+// matching. It returns mapping[k] = stable index j.
+func (tr *Tracker) matchToHistory(raw []int) ([]int, error) {
+	k := tr.cfg.K
+	lookback := min(tr.cfg.M, tr.t)
+
+	// core[i] = stable cluster that node i belonged to in *all* of the last
+	// `lookback` steps, or −1. This realizes ⋂_{m=1..M} C_{j,t−m}.
+	core := make([]int, tr.n)
+	for i := range core {
+		j := tr.hist[0][i]
+		for m := 1; m < lookback; m++ {
+			if tr.hist[m][i] != j {
+				j = -1
+				break
+			}
+		}
+		core[i] = j
+	}
+
+	inter := make([][]float64, k) // |C'_k ∩ X_j|
+	for kk := range inter {
+		inter[kk] = make([]float64, k)
+	}
+	rawSize := make([]float64, k)
+	coreSize := make([]float64, k)
+	for i, kk := range raw {
+		rawSize[kk]++
+		if j := core[i]; j >= 0 {
+			coreSize[j]++
+			inter[kk][j]++
+		}
+	}
+
+	w := inter
+	if tr.cfg.Similarity == SimilarityJaccard {
+		w = make([][]float64, k)
+		for kk := range w {
+			w[kk] = make([]float64, k)
+			for j := range w[kk] {
+				union := rawSize[kk] + coreSize[j] - inter[kk][j]
+				if union > 0 {
+					w[kk][j] = inter[kk][j] / union
+				}
+			}
+		}
+	}
+
+	mapping, _, err := hungarian.MaxWeightMatch(w)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: matching failed: %w", err)
+	}
+	return mapping, nil
+}
+
+func (tr *Tracker) pushHistory(assign []int) {
+	cp := make([]int, len(assign))
+	copy(cp, assign)
+	tr.hist = append([][]int{cp}, tr.hist...)
+	if len(tr.hist) > tr.cfg.HistoryDepth {
+		tr.hist = tr.hist[:tr.cfg.HistoryDepth]
+	}
+}
+
+func (tr *Tracker) appendCentroids(cents [][]float64) {
+	if tr.centroidSeries == nil {
+		tr.centroidSeries = make([][][]float64, tr.cfg.K)
+		for j := range tr.centroidSeries {
+			tr.centroidSeries[j] = make([][]float64, tr.dim)
+		}
+	}
+	for j := 0; j < tr.cfg.K; j++ {
+		for d := 0; d < tr.dim; d++ {
+			tr.centroidSeries[j][d] = append(tr.centroidSeries[j][d], cents[j][d])
+		}
+	}
+}
+
+// CentroidSeries returns the historical centroid values of stable cluster j
+// along dimension d, one value per processed step. The returned slice is a
+// copy.
+func (tr *Tracker) CentroidSeries(j, d int) []float64 {
+	if j < 0 || j >= tr.cfg.K || d < 0 || d >= tr.dim || tr.centroidSeries == nil {
+		return nil
+	}
+	out := make([]float64, len(tr.centroidSeries[j][d]))
+	copy(out, tr.centroidSeries[j][d])
+	return out
+}
+
+// AssignmentsAgo returns the stable assignment vector from `ago` steps back
+// (0 = most recent). It returns nil when the history does not reach that far.
+func (tr *Tracker) AssignmentsAgo(ago int) []int {
+	if ago < 0 || ago >= len(tr.hist) {
+		return nil
+	}
+	out := make([]int, len(tr.hist[ago]))
+	copy(out, tr.hist[ago])
+	return out
+}
+
+// HistoryLen returns the number of retained assignment vectors.
+func (tr *Tracker) HistoryLen() int { return len(tr.hist) }
+
+// CentroidsFor computes eq. (1): the mean of the member points of each of the
+// k clusters under the given assignment. A cluster with no members gets a
+// zero vector (callers using Tracker never observe this because K-means
+// repairs empty clusters).
+func CentroidsFor(assign []int, k int, points [][]float64) [][]float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	d := len(points[0])
+	cents := make([][]float64, k)
+	counts := make([]int, k)
+	for j := range cents {
+		cents[j] = make([]float64, d)
+	}
+	for i, p := range points {
+		j := assign[i]
+		counts[j]++
+		for t, v := range p {
+			cents[j][t] += v
+		}
+	}
+	for j := range cents {
+		if counts[j] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[j])
+		for t := range cents[j] {
+			cents[j][t] *= inv
+		}
+	}
+	return cents
+}
+
+// Static is the offline baseline: nodes are grouped once using their entire
+// time series (known in advance), and the grouping never changes.
+type Static struct {
+	k      int
+	assign []int
+}
+
+// NewStatic clusters the per-node whole series (series[i] is node i's full
+// scalar time series, all equal length) into k fixed groups.
+func NewStatic(series [][]float64, k int, rng *rand.Rand) (*Static, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: K = %d: %w", k, ErrBadConfig)
+	}
+	if len(series) < k {
+		return nil, fmt.Errorf("cluster: %d series < K=%d: %w", len(series), k, ErrBadInput)
+	}
+	res, err := kmeans.Run(series, kmeans.Config{K: k}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: static kmeans failed: %w", err)
+	}
+	assign := make([]int, len(res.Assignments))
+	copy(assign, res.Assignments)
+	return &Static{k: k, assign: assign}, nil
+}
+
+// Assignments returns the fixed node→cluster mapping.
+func (s *Static) Assignments() []int {
+	out := make([]int, len(s.assign))
+	copy(out, s.assign)
+	return out
+}
+
+// Step evaluates the static clustering against the current points: the
+// assignment is fixed, the centroids are the current member means.
+func (s *Static) Step(points [][]float64) *Step {
+	return &Step{Assignments: s.Assignments(), Centroids: CentroidsFor(s.assign, s.k, points)}
+}
+
+// MinimumDistance is the baseline representing random-monitor approaches
+// [6]–[10]: each step K distinct random nodes become "centroids" and every
+// other node maps to the nearest of them (by current measurement distance).
+type MinimumDistance struct {
+	k   int
+	rng *rand.Rand
+}
+
+// NewMinimumDistance builds the baseline with k random monitors per step.
+func NewMinimumDistance(k int, rng *rand.Rand) (*MinimumDistance, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: K = %d: %w", k, ErrBadConfig)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("cluster: nil rng: %w", ErrBadConfig)
+	}
+	return &MinimumDistance{k: k, rng: rng}, nil
+}
+
+// Step draws K fresh random monitor nodes and assigns every node to the
+// closest monitor. The "centroid" of a cluster is the monitor's measurement
+// itself, matching §VI-C2.
+func (md *MinimumDistance) Step(points [][]float64) (*Step, error) {
+	if len(points) < md.k {
+		return nil, fmt.Errorf("cluster: %d points < K=%d: %w", len(points), md.k, ErrBadInput)
+	}
+	monitors := md.rng.Perm(len(points))[:md.k]
+	cents := make([][]float64, md.k)
+	for j, m := range monitors {
+		c := make([]float64, len(points[m]))
+		copy(c, points[m])
+		cents[j] = c
+	}
+	assign := make([]int, len(points))
+	for i, p := range points {
+		assign[i] = kmeans.Nearest(p, cents)
+	}
+	return &Step{Assignments: assign, Centroids: cents}, nil
+}
+
+// WindowBuffer accumulates the last w point-sets and exposes the concatenated
+// feature vectors used for temporal-dimension clustering (Fig. 5). With w=1
+// the features equal the raw points, which the paper finds optimal.
+type WindowBuffer struct {
+	w   int
+	buf [][][]float64 // buf[age][node][dim], age 0 most recent
+}
+
+// NewWindowBuffer creates a buffer of window length w ≥ 1.
+func NewWindowBuffer(w int) (*WindowBuffer, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("cluster: window %d < 1: %w", w, ErrBadConfig)
+	}
+	return &WindowBuffer{w: w}, nil
+}
+
+// Push appends the current point-set (N×d), evicting the oldest when full.
+func (b *WindowBuffer) Push(points [][]float64) {
+	cp := make([][]float64, len(points))
+	for i, p := range points {
+		cp[i] = append([]float64(nil), p...)
+	}
+	b.buf = append([][][]float64{cp}, b.buf...)
+	if len(b.buf) > b.w {
+		b.buf = b.buf[:b.w]
+	}
+}
+
+// Ready reports whether a full window has been accumulated.
+func (b *WindowBuffer) Ready() bool { return len(b.buf) == b.w }
+
+// Features returns the N×(w·d) concatenated feature matrix, most recent
+// measurements first. It returns nil until Ready.
+func (b *WindowBuffer) Features() [][]float64 {
+	if !b.Ready() {
+		return nil
+	}
+	n := len(b.buf[0])
+	d := len(b.buf[0][0])
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		f := make([]float64, 0, b.w*d)
+		for age := 0; age < b.w; age++ {
+			f = append(f, b.buf[age][i]...)
+		}
+		out[i] = f
+	}
+	return out
+}

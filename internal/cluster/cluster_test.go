@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xabcdef)) }
+
+// twoGroupPoints builds N scalar points in two well-separated groups whose
+// levels move over time; swap flips which nodes belong to which group.
+func twoGroupPoints(n int, loLevel, hiLevel float64, swap bool) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		inLow := i < n/2
+		if swap {
+			inLow = !inLow
+		}
+		if inLow {
+			pts[i] = []float64{loLevel + 0.001*float64(i%5)}
+		} else {
+			pts[i] = []float64{hiLevel + 0.001*float64(i%5)}
+		}
+	}
+	return pts
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewTracker(Config{K: 0}, testRNG(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("K=0: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewTracker(Config{K: 2}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil rng: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewTracker(Config{K: 2, Similarity: Similarity(99)}, testRNG(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad similarity: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestTrackerStableIndicesAcrossSteps(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTracker(Config{K: 2, M: 1}, testRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1 establishes indices; later steps move the group levels but keep
+	// memberships: stable indices must follow the groups, not the levels.
+	s1, err := tr.Update(twoGroupPoints(20, 0.1, 0.9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowJ := s1.Assignments[0]
+	for step := 0; step < 10; step++ {
+		lo := 0.1 + 0.05*float64(step)
+		hi := 0.9 - 0.02*float64(step)
+		s, err := tr.Update(twoGroupPoints(20, lo, hi, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Assignments[0] != lowJ {
+			t.Fatalf("step %d: low-group index drifted %d → %d", step, lowJ, s.Assignments[0])
+		}
+		// Centroid of the low cluster must track the low level.
+		if math.Abs(s.Centroids[lowJ][0]-lo) > 0.01 {
+			t.Fatalf("step %d: low centroid %v, want ≈ %v", step, s.Centroids[lowJ][0], lo)
+		}
+	}
+}
+
+func TestTrackerReindexAgainstLabelPermutation(t *testing.T) {
+	t.Parallel()
+	// Run many steps with identical group structure. Raw K-means labels are
+	// random per step; the tracker must always map the same node set to the
+	// same stable index.
+	tr, err := NewTracker(Config{K: 3, M: 1}, testRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkPoints := func() [][]float64 {
+		pts := make([][]float64, 30)
+		for i := range pts {
+			switch {
+			case i < 10:
+				pts[i] = []float64{0.1}
+			case i < 20:
+				pts[i] = []float64{0.5}
+			default:
+				pts[i] = []float64{0.9}
+			}
+		}
+		return pts
+	}
+	first, err := tr.Update(mkPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 25; step++ {
+		s, err := tr.Update(mkPoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Assignments {
+			if s.Assignments[i] != first.Assignments[i] {
+				t.Fatalf("step %d: node %d moved %d → %d despite identical data",
+					step, i, first.Assignments[i], s.Assignments[i])
+			}
+		}
+	}
+}
+
+func TestTrackerCentroidSeriesContinuity(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTracker(Config{K: 2, M: 1}, testRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 50
+	for step := 0; step < steps; step++ {
+		lo := 0.2 + 0.1*math.Sin(float64(step)/5)
+		hi := 0.8 + 0.1*math.Cos(float64(step)/5)
+		if _, err := tr.Update(twoGroupPoints(16, lo, hi, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Steps() != steps {
+		t.Fatalf("Steps = %d, want %d", tr.Steps(), steps)
+	}
+	for j := 0; j < 2; j++ {
+		series := tr.CentroidSeries(j, 0)
+		if len(series) != steps {
+			t.Fatalf("cluster %d series length %d, want %d", j, len(series), steps)
+		}
+		// A coherent centroid series of a smooth signal has small step-to-
+		// step jumps; an index mix-up would show |Δ| ≈ 0.6 jumps.
+		for i := 1; i < len(series); i++ {
+			if math.Abs(series[i]-series[i-1]) > 0.3 {
+				t.Fatalf("cluster %d series jumps at %d: %v → %v (index mix-up)",
+					j, i, series[i-1], series[i])
+			}
+		}
+	}
+	if tr.CentroidSeries(5, 0) != nil || tr.CentroidSeries(0, 3) != nil {
+		t.Fatal("out-of-range CentroidSeries should be nil")
+	}
+}
+
+func TestTrackerMembershipChurn(t *testing.T) {
+	t.Parallel()
+	// When half the nodes swap groups, the stable clusters should keep
+	// their identity via the nodes that did NOT move (majority anchored).
+	tr, err := NewTracker(Config{K: 2, M: 1}, testRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20
+	mk := func(migrated int) [][]float64 {
+		pts := make([][]float64, n)
+		for i := range pts {
+			inLow := i < n/2
+			if i < migrated { // first `migrated` low nodes moved high
+				inLow = false
+			}
+			if inLow {
+				pts[i] = []float64{0.1}
+			} else {
+				pts[i] = []float64{0.9}
+			}
+		}
+		return pts
+	}
+	s0, err := tr.Update(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowJ := s0.Assignments[n/2-1]
+	highJ := s0.Assignments[n-1]
+	s1, err := tr.Update(mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmoved low nodes keep index lowJ; migrated nodes join highJ.
+	if s1.Assignments[n/2-1] != lowJ {
+		t.Fatalf("anchor low node changed cluster: %d → %d", lowJ, s1.Assignments[n/2-1])
+	}
+	if s1.Assignments[0] != highJ {
+		t.Fatalf("migrated node should be in high cluster %d, got %d", highJ, s1.Assignments[0])
+	}
+}
+
+func TestTrackerInputValidation(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTracker(Config{K: 3}, testRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Update(nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty: want ErrBadInput, got %v", err)
+	}
+	if _, err := tr.Update([][]float64{{1}, {2}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("n<K: want ErrBadInput, got %v", err)
+	}
+	if _, err := tr.Update([][]float64{{1}, {2}, {3}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	// Node count change rejected.
+	if _, err := tr.Update([][]float64{{1}, {2}, {3}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("node count change: want ErrBadInput, got %v", err)
+	}
+	// Dimension change rejected.
+	if _, err := tr.Update([][]float64{{1, 2}, {2, 3}, {3, 4}, {4, 5}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("dim change: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestTrackerHistoryDepth(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTracker(Config{K: 2, M: 1, HistoryDepth: 3}, testRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Update(twoGroupPoints(10, 0.1, 0.9, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.HistoryLen(); got != 3 {
+		t.Fatalf("HistoryLen = %d, want 3", got)
+	}
+	if tr.AssignmentsAgo(0) == nil || tr.AssignmentsAgo(2) == nil {
+		t.Fatal("recent history should be available")
+	}
+	if tr.AssignmentsAgo(3) != nil || tr.AssignmentsAgo(-1) != nil {
+		t.Fatal("out-of-range history should be nil")
+	}
+}
+
+func TestJaccardSimilarityTracksToo(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTracker(Config{K: 2, M: 1, Similarity: SimilarityJaccard}, testRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := tr.Update(twoGroupPoints(20, 0.1, 0.9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s, err := tr.Update(twoGroupPoints(20, 0.15, 0.85, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := range s.Assignments {
+			if s.Assignments[n] != s0.Assignments[n] {
+				t.Fatalf("jaccard matching lost identity at node %d", n)
+			}
+		}
+	}
+}
+
+func TestCentroidsFor(t *testing.T) {
+	t.Parallel()
+	points := [][]float64{{0, 0}, {2, 2}, {10, 10}}
+	assign := []int{0, 0, 1}
+	cents := CentroidsFor(assign, 3, points)
+	if cents[0][0] != 1 || cents[0][1] != 1 {
+		t.Fatalf("cluster 0 centroid %v, want [1 1]", cents[0])
+	}
+	if cents[1][0] != 10 {
+		t.Fatalf("cluster 1 centroid %v, want [10 10]", cents[1])
+	}
+	// Empty cluster 2 is a zero vector.
+	if cents[2][0] != 0 || cents[2][1] != 0 {
+		t.Fatalf("empty cluster centroid %v, want zeros", cents[2])
+	}
+	if CentroidsFor(nil, 2, nil) != nil {
+		t.Fatal("no points should yield nil")
+	}
+}
+
+func TestStaticBaseline(t *testing.T) {
+	t.Parallel()
+	// Whole-series clustering: nodes 0-4 flat low, nodes 5-9 flat high.
+	series := make([][]float64, 10)
+	for i := range series {
+		level := 0.1
+		if i >= 5 {
+			level = 0.9
+		}
+		row := make([]float64, 50)
+		for t2 := range row {
+			row[t2] = level
+		}
+		series[i] = row
+	}
+	st, err := NewStatic(series, 2, testRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st.Assignments()
+	for i := 1; i < 5; i++ {
+		if a[i] != a[0] {
+			t.Fatalf("low nodes split: %v", a)
+		}
+	}
+	if a[5] == a[0] {
+		t.Fatalf("groups merged: %v", a)
+	}
+	// Step centroids are current means.
+	pts := twoGroupPoints(10, 0.2, 0.8, false)
+	s := st.Step(pts)
+	lowC := s.Centroids[a[0]][0]
+	if math.Abs(lowC-0.201) > 0.005 {
+		t.Fatalf("static low centroid %v, want ≈ 0.2", lowC)
+	}
+	if _, err := NewStatic(series, 0, testRNG(9)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("K=0: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewStatic(series[:1], 2, testRNG(9)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("too few series: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestMinimumDistanceBaseline(t *testing.T) {
+	t.Parallel()
+	md, err := NewMinimumDistance(2, testRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := twoGroupPoints(10, 0.1, 0.9, false)
+	s, err := md.Step(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Centroids) != 2 {
+		t.Fatalf("got %d centroids, want 2", len(s.Centroids))
+	}
+	// Every node must be assigned to its nearest monitor.
+	for i, p := range pts {
+		j := s.Assignments[i]
+		for jj, c := range s.Centroids {
+			di := (p[0] - s.Centroids[j][0]) * (p[0] - s.Centroids[j][0])
+			dj := (p[0] - c[0]) * (p[0] - c[0])
+			if dj < di-1e-12 {
+				t.Fatalf("node %d assigned to %d but %d is closer", i, j, jj)
+			}
+		}
+	}
+	if _, err := md.Step(pts[:1]); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("too few points: want ErrBadInput, got %v", err)
+	}
+	if _, err := NewMinimumDistance(0, testRNG(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("K=0: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewMinimumDistance(2, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil rng: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestWindowBuffer(t *testing.T) {
+	t.Parallel()
+	if _, err := NewWindowBuffer(0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("w=0: want ErrBadConfig, got %v", err)
+	}
+	b, err := NewWindowBuffer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ready() {
+		t.Fatal("empty buffer should not be ready")
+	}
+	b.Push([][]float64{{1, 10}, {2, 20}})
+	b.Push([][]float64{{3, 30}, {4, 40}})
+	if b.Ready() || b.Features() != nil {
+		t.Fatal("buffer not full yet")
+	}
+	b.Push([][]float64{{5, 50}, {6, 60}})
+	if !b.Ready() {
+		t.Fatal("buffer should be ready after w pushes")
+	}
+	f := b.Features()
+	// Node 0 features: most recent first → [5 50 3 30 1 10].
+	want := []float64{5, 50, 3, 30, 1, 10}
+	for i, v := range want {
+		if f[0][i] != v {
+			t.Fatalf("features[0] = %v, want %v", f[0], want)
+		}
+	}
+	// Eviction: a fourth push drops the oldest.
+	b.Push([][]float64{{7, 70}, {8, 80}})
+	f = b.Features()
+	if f[0][0] != 7 || f[0][4] != 3 {
+		t.Fatalf("after eviction features[0] = %v", f[0])
+	}
+}
+
+func TestWindowBufferCopiesInput(t *testing.T) {
+	t.Parallel()
+	b, err := NewWindowBuffer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := [][]float64{{1}}
+	b.Push(src)
+	src[0][0] = 99
+	if got := b.Features()[0][0]; got != 1 {
+		t.Fatalf("buffer aliased caller slice: %v", got)
+	}
+}
+
+func TestSimilarityString(t *testing.T) {
+	t.Parallel()
+	if SimilarityProposed.String() != "proposed" || SimilarityJaccard.String() != "jaccard" {
+		t.Fatal("similarity names wrong")
+	}
+	if Similarity(42).String() == "" {
+		t.Fatal("unknown similarity should still render")
+	}
+}
+
+// TestProposedVsJaccardMultiStepLookback exercises M > 1: membership that
+// flickers for one step must not steal cluster identity when M=3 requires
+// sustained co-membership.
+func TestProposedLookbackM(t *testing.T) {
+	t.Parallel()
+	tr, err := NewTracker(Config{K: 2, M: 3, HistoryDepth: 5}, testRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := tr.Update(twoGroupPoints(12, 0.1, 0.9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s, err := tr.Update(twoGroupPoints(12, 0.1, 0.9, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := range s.Assignments {
+			if s.Assignments[n] != s0.Assignments[n] {
+				t.Fatalf("M=3 tracking lost identity at node %d, step %d", n, i)
+			}
+		}
+	}
+}

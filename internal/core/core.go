@@ -1,0 +1,514 @@
+// Package core wires the paper's three layers into the online pipeline of
+// Fig. 2: per-node adaptive transmission (§V-A) feeds the central store z_t,
+// dynamic clustering (§V-B) compresses z_t into K evolving centroids per
+// resource type, and per-cluster forecasting models (§V-C) predict future
+// centroids. Per-node forecasts combine the forecasted centroid of the
+// node's predicted cluster (the mode of its recent memberships) with the
+// α-scaled per-node offset of eq. (12).
+//
+// The System processes one measurement tensor per time step and exposes the
+// stored state, clustering, and forecasts that the evaluation harness scores
+// against ground truth.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"orcf/internal/cluster"
+	"orcf/internal/forecast"
+	"orcf/internal/transmit"
+)
+
+// ErrBadConfig reports an invalid system configuration.
+var ErrBadConfig = errors.New("core: invalid configuration")
+
+// ErrBadInput reports invalid step input.
+var ErrBadInput = errors.New("core: invalid input")
+
+// ErrNotReady is returned by Forecast during the initial collection phase.
+var ErrNotReady = errors.New("core: forecasting models not trained yet")
+
+// PolicyFactory builds the transmission policy of one node.
+type PolicyFactory func(node int) (transmit.Policy, error)
+
+// Config assembles a System. Zero values select the paper's defaults from
+// §VI-A2 where one exists.
+type Config struct {
+	// Nodes is the number of local nodes N. Required.
+	Nodes int
+	// Resources is the measurement dimensionality d (e.g. 2 for CPU+mem).
+	// Zero means 1.
+	Resources int
+	// K is the number of clusters and forecasting models. Zero means 3.
+	K int
+	// M is the cluster-similarity look-back of eq. (10). Zero means 1.
+	M int
+	// MPrime is the look-back M′ for membership forecasting and offsets
+	// (§V-C). Zero means 5; pass a negative value for "current step only".
+	MPrime int
+	// Similarity selects the cluster matching measure. Zero means the
+	// paper's proposed measure.
+	Similarity cluster.Similarity
+	// InitialCollection is the warm-up phase length. Zero means 1000.
+	InitialCollection int
+	// RetrainEvery is the model retraining period. Zero means 288.
+	RetrainEvery int
+	// FitWindow caps per-fit history (0 = all).
+	FitWindow int
+	// Policy builds each node's transmission policy. Nil means the adaptive
+	// policy with B=0.3 and paper defaults.
+	Policy PolicyFactory
+	// Model builds each (cluster, resource) forecasting model. Nil means
+	// sample-and-hold.
+	Model forecast.Builder
+	// JointClustering clusters full d-dimensional vectors instead of
+	// per-resource scalars (the Table I ablation). Default false — the
+	// paper finds scalar clustering superior.
+	JointClustering bool
+	// Seed drives K-means seeding.
+	Seed uint64
+	// DisableClamp turns off the [0,1] clamp applied to forecasts of
+	// normalized utilizations.
+	DisableClamp bool
+	// DisableAlphaClamp uses raw offsets z−c in eq. (12) instead of the
+	// α-scaled ones (ablation of §V-C's cell-containment rule).
+	DisableAlphaClamp bool
+	// DisableMatching turns off the Hungarian cluster re-indexing of §V-B
+	// (ablation; forecasting then trains on incoherent centroid series).
+	DisableMatching bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Resources == 0 {
+		c.Resources = 1
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.M == 0 {
+		c.M = 1
+	}
+	if c.MPrime == 0 {
+		c.MPrime = 5
+	} else if c.MPrime < 0 {
+		c.MPrime = 0
+	}
+	if c.InitialCollection == 0 {
+		c.InitialCollection = 1000
+	}
+	if c.RetrainEvery == 0 {
+		c.RetrainEvery = 288
+	}
+	if c.Policy == nil {
+		c.Policy = func(int) (transmit.Policy, error) {
+			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: 0.3})
+		}
+	}
+	if c.Model == nil {
+		c.Model = func() forecast.Model { return forecast.NewSampleAndHold() }
+	}
+	return c
+}
+
+// ResourceStep is the per-tracker clustering outcome of one step.
+type ResourceStep struct {
+	// Assignments maps node → stable cluster index.
+	Assignments []int
+	// Centroids holds the K centroids (dim 1 for scalar clustering, d for
+	// joint clustering).
+	Centroids [][]float64
+}
+
+// StepResult reports what happened in one time step.
+type StepResult struct {
+	// T is the 1-based step index.
+	T int
+	// Transmitted flags which nodes uploaded this step.
+	Transmitted []bool
+	// PerResource holds one clustering outcome per tracker: Resources
+	// entries for scalar clustering, a single entry for joint clustering.
+	PerResource []ResourceStep
+}
+
+// snapshot is one entry of the look-back ring used by eq. (12).
+type snapshot struct {
+	z           [][]float64   // N×d stored measurements
+	assignments [][]int       // [tracker][node]
+	centroids   [][][]float64 // [tracker][cluster][dim]
+}
+
+// System is the end-to-end pipeline.
+type System struct {
+	cfg       Config
+	policies  []transmit.Policy
+	meters    []transmit.Meter
+	z         [][]float64
+	trackers  []*cluster.Tracker
+	ensembles []*forecast.Ensemble
+	history   []snapshot // history[0] is the current step, up to M'+1 entries
+	t         int
+}
+
+// NewSystem validates the configuration and builds the pipeline.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("core: %d nodes: %w", cfg.Nodes, ErrBadConfig)
+	}
+	if cfg.K > cfg.Nodes {
+		return nil, fmt.Errorf("core: K=%d > %d nodes: %w", cfg.K, cfg.Nodes, ErrBadConfig)
+	}
+	s := &System{cfg: cfg}
+	s.policies = make([]transmit.Policy, cfg.Nodes)
+	s.meters = make([]transmit.Meter, cfg.Nodes)
+	for i := range s.policies {
+		p, err := cfg.Policy(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy for node %d: %w", i, err)
+		}
+		if p == nil {
+			return nil, fmt.Errorf("core: nil policy for node %d: %w", i, ErrBadConfig)
+		}
+		s.policies[i] = p
+	}
+	s.z = make([][]float64, cfg.Nodes)
+
+	nTrackers := cfg.Resources
+	dims := 1
+	if cfg.JointClustering {
+		nTrackers = 1
+		dims = cfg.Resources
+	}
+	histDepth := max(cfg.M, cfg.MPrime+1)
+	for tr := 0; tr < nTrackers; tr++ {
+		tracker, err := cluster.NewTracker(cluster.Config{
+			K:               cfg.K,
+			M:               cfg.M,
+			Similarity:      cfg.Similarity,
+			HistoryDepth:    histDepth,
+			DisableMatching: cfg.DisableMatching,
+		}, rand.New(rand.NewPCG(cfg.Seed, uint64(tr)+0x1234)))
+		if err != nil {
+			return nil, fmt.Errorf("core: tracker %d: %w", tr, err)
+		}
+		s.trackers = append(s.trackers, tracker)
+		ens, err := forecast.NewEnsemble(forecast.EnsembleConfig{
+			Clusters:          cfg.K,
+			Dims:              dims,
+			InitialCollection: cfg.InitialCollection,
+			RetrainEvery:      cfg.RetrainEvery,
+			FitWindow:         cfg.FitWindow,
+			Builder:           cfg.Model,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: ensemble %d: %w", tr, err)
+		}
+		s.ensembles = append(s.ensembles, ens)
+	}
+	return s, nil
+}
+
+// Steps returns the number of processed steps.
+func (s *System) Steps() int { return s.t }
+
+// Ready reports whether forecasting models have completed initial training.
+func (s *System) Ready() bool {
+	for _, e := range s.ensembles {
+		if !e.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// Frequency returns the realized transmission frequency of a node.
+func (s *System) Frequency(node int) float64 {
+	if node < 0 || node >= len(s.meters) {
+		return 0
+	}
+	return s.meters[node].Frequency()
+}
+
+// MeanFrequency returns the average realized transmission frequency.
+func (s *System) MeanFrequency() float64 {
+	if len(s.meters) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range s.meters {
+		sum += s.meters[i].Frequency()
+	}
+	return sum / float64(len(s.meters))
+}
+
+// Stored returns a copy of the measurements currently held at the central
+// node (z_t). Entries are nil for nodes that never transmitted.
+func (s *System) Stored() [][]float64 {
+	out := make([][]float64, len(s.z))
+	for i, zi := range s.z {
+		if zi != nil {
+			out[i] = append([]float64(nil), zi...)
+		}
+	}
+	return out
+}
+
+// TrainingTime aggregates cumulative model-fitting wall time and rounds
+// across all trackers (Table II).
+func (s *System) TrainingTime() (time.Duration, int) {
+	var total time.Duration
+	var runs int
+	for _, e := range s.ensembles {
+		d, r := e.TrainingTime()
+		total += d
+		runs += r
+	}
+	return total, runs
+}
+
+// Model exposes the forecasting model of (tracker, cluster, dim) for
+// experiment introspection.
+func (s *System) Model(tracker, clusterIdx, dim int) forecast.Model {
+	if tracker < 0 || tracker >= len(s.ensembles) {
+		return nil
+	}
+	return s.ensembles[tracker].Model(clusterIdx, dim)
+}
+
+// CentroidSeries returns the centroid history for (tracker, cluster, dim).
+func (s *System) CentroidSeries(tracker, clusterIdx, dim int) []float64 {
+	if tracker < 0 || tracker >= len(s.trackers) {
+		return nil
+	}
+	return s.trackers[tracker].CentroidSeries(clusterIdx, dim)
+}
+
+// Step ingests the true measurements of all nodes for one time step:
+// x[i] is node i's d-dimensional measurement. It runs transmission decisions,
+// clustering, and model maintenance, and returns the step outcome.
+func (s *System) Step(x [][]float64) (*StepResult, error) {
+	if len(x) != s.cfg.Nodes {
+		return nil, fmt.Errorf("core: %d nodes in step, want %d: %w", len(x), s.cfg.Nodes, ErrBadInput)
+	}
+	for i, xi := range x {
+		if len(xi) != s.cfg.Resources {
+			return nil, fmt.Errorf("core: node %d has dim %d, want %d: %w",
+				i, len(xi), s.cfg.Resources, ErrBadInput)
+		}
+		for d, v := range xi {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: node %d resource %d is %v: %w",
+					i, d, v, ErrBadInput)
+			}
+		}
+	}
+	s.t++
+	res := &StepResult{T: s.t, Transmitted: make([]bool, s.cfg.Nodes)}
+
+	// Layer 1: transmission decisions update the central store.
+	for i, xi := range x {
+		if s.policies[i].Decide(s.t, xi, s.z[i]) {
+			s.z[i] = append([]float64(nil), xi...)
+			res.Transmitted[i] = true
+		}
+		s.meters[i].Observe(res.Transmitted[i])
+	}
+	for i, zi := range s.z {
+		if zi == nil {
+			return nil, fmt.Errorf("core: node %d has no stored measurement after step 1 "+
+				"(its policy never transmitted): %w", i, ErrBadInput)
+		}
+	}
+
+	// Layer 2+3: per-tracker clustering and model maintenance.
+	snap := snapshot{z: s.Stored()}
+	for tr, tracker := range s.trackers {
+		points := s.trackerPoints(tr)
+		step, err := tracker.Update(points)
+		if err != nil {
+			return nil, fmt.Errorf("core: tracker %d: %w", tr, err)
+		}
+		if err := s.ensembles[tr].Observe(step.Centroids); err != nil {
+			return nil, fmt.Errorf("core: ensemble %d: %w", tr, err)
+		}
+		res.PerResource = append(res.PerResource, ResourceStep{
+			Assignments: step.Assignments,
+			Centroids:   step.Centroids,
+		})
+		snap.assignments = append(snap.assignments, step.Assignments)
+		snap.centroids = append(snap.centroids, step.Centroids)
+	}
+
+	// Maintain the look-back ring for eq. (12).
+	s.history = append([]snapshot{snap}, s.history...)
+	if len(s.history) > s.cfg.MPrime+1 {
+		s.history = s.history[:s.cfg.MPrime+1]
+	}
+	return res, nil
+}
+
+// trackerPoints projects the stored measurements into the point space of
+// tracker tr: scalars of resource tr, or full vectors for joint clustering.
+func (s *System) trackerPoints(tr int) [][]float64 {
+	points := make([][]float64, len(s.z))
+	if s.cfg.JointClustering {
+		for i, zi := range s.z {
+			points[i] = append([]float64(nil), zi...)
+		}
+		return points
+	}
+	for i, zi := range s.z {
+		points[i] = []float64{zi[tr]}
+	}
+	return points
+}
+
+// Forecast produces per-node forecasts for horizons 1..h:
+// result[hIdx][node][resource]. It applies §V-C: forecasted centroid of the
+// node's mode cluster plus the α-scaled offset of eq. (12).
+func (s *System) Forecast(h int) ([][][]float64, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("core: horizon %d < 1: %w", h, ErrBadInput)
+	}
+	if !s.Ready() {
+		return nil, ErrNotReady
+	}
+	out := make([][][]float64, h)
+	for hi := range out {
+		out[hi] = make([][]float64, s.cfg.Nodes)
+		for i := range out[hi] {
+			out[hi][i] = make([]float64, s.cfg.Resources)
+		}
+	}
+	for tr := range s.trackers {
+		centF, err := s.ensembles[tr].Forecast(h)
+		if err != nil {
+			return nil, fmt.Errorf("core: tracker %d forecast: %w", tr, err)
+		}
+		dims := 1
+		if s.cfg.JointClustering {
+			dims = s.cfg.Resources
+		}
+		for i := 0; i < s.cfg.Nodes; i++ {
+			jStar := s.modeCluster(tr, i)
+			offset := s.offset(tr, i, jStar)
+			for d := 0; d < dims; d++ {
+				resIdx := tr
+				if s.cfg.JointClustering {
+					resIdx = d
+				}
+				for hi := 0; hi < h; hi++ {
+					v := centF[jStar][d][hi] + offset[d]
+					if !s.cfg.DisableClamp {
+						if v < 0 {
+							v = 0
+						}
+						if v > 1 {
+							v = 1
+						}
+					}
+					out[hi][i][resIdx] = v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// modeCluster returns the cluster node i belonged to most often within the
+// look-back window [t−M′, t] for tracker tr (§V-C). Ties break toward the
+// current membership when it participates in the tie, and otherwise toward
+// the smaller cluster index, keeping the choice deterministic.
+func (s *System) modeCluster(tr, node int) int {
+	counts := make([]int, s.cfg.K)
+	for _, snap := range s.history {
+		counts[snap.assignments[tr][node]]++
+	}
+	best := s.history[0].assignments[tr][node] // current membership
+	bestCount := counts[best]
+	for j, c := range counts {
+		if c > bestCount {
+			best, bestCount = j, c
+		}
+	}
+	return best
+}
+
+// offset computes eq. (12): the averaged α-scaled deviation of node i from
+// the centroid of cluster jStar over the look-back window. α is 1 when the
+// node belonged to jStar at that step; otherwise it shrinks the deviation
+// just enough that centroid+α·deviation still falls in jStar's cell.
+func (s *System) offset(tr, node, jStar int) []float64 {
+	dims := 1
+	if s.cfg.JointClustering {
+		dims = s.cfg.Resources
+	}
+	out := make([]float64, dims)
+	if len(s.history) == 0 {
+		return out
+	}
+	for _, snap := range s.history {
+		c := snap.centroids[tr][jStar]
+		var zi []float64
+		if s.cfg.JointClustering {
+			zi = snap.z[node]
+		} else {
+			zi = []float64{snap.z[node][tr]}
+		}
+		alpha := 1.0
+		if !s.cfg.DisableAlphaClamp && snap.assignments[tr][node] != jStar {
+			alpha = MaxAlphaInCell(zi, jStar, snap.centroids[tr])
+		}
+		for d := 0; d < dims; d++ {
+			out[d] += alpha * (zi[d] - c[d])
+		}
+	}
+	inv := 1 / float64(len(s.history))
+	for d := range out {
+		out[d] *= inv
+	}
+	return out
+}
+
+// MaxAlphaInCell returns the largest α ∈ [0,1] such that c_j + α(z−c_j)
+// remains closest to centroid j among all centroids (i.e. stays inside
+// cluster j's Voronoi cell). For each other centroid j′ with u = c_j′ − c_j
+// and δ = z − c_j, the boundary constraint is α·(2δ·u) ≤ ‖u‖².
+func MaxAlphaInCell(z []float64, j int, centroids [][]float64) float64 {
+	cj := centroids[j]
+	delta := make([]float64, len(z))
+	var deltaNorm float64
+	for d := range z {
+		delta[d] = z[d] - cj[d]
+		deltaNorm += delta[d] * delta[d]
+	}
+	if deltaNorm == 0 {
+		return 1
+	}
+	alpha := 1.0
+	for jp, cjp := range centroids {
+		if jp == j {
+			continue
+		}
+		var dot, uNorm float64
+		for d := range z {
+			u := cjp[d] - cj[d]
+			dot += delta[d] * u
+			uNorm += u * u
+		}
+		if dot <= 0 {
+			continue // moving away from this boundary
+		}
+		if bound := uNorm / (2 * dot); bound < alpha {
+			alpha = bound
+		}
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	return alpha
+}

@@ -1,0 +1,29 @@
+package exp
+
+import "testing"
+
+func TestAblationsShape(t *testing.T) {
+	t.Parallel()
+	tab, err := Ablations(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 variants", len(tab.Rows))
+	}
+	// The full pipeline should not lose to the no-re-indexing variant at
+	// moderate horizons: scrambled centroid series hurt forecasting.
+	full5 := cell(t, tab, 0, 2)
+	noReidx5 := cell(t, tab, 1, 2)
+	if full5 > noReidx5*1.1 {
+		t.Fatalf("full pipeline (%v) much worse than no-re-indexing (%v)", full5, noReidx5)
+	}
+	for r := range tab.Rows {
+		for c := 1; c <= 3; c++ {
+			v := cell(t, tab, r, c)
+			if !(v > 0 && v < 1) {
+				t.Fatalf("row %v col %d RMSE %v out of range", tab.Rows[r], c, v)
+			}
+		}
+	}
+}

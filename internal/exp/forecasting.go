@@ -1,0 +1,545 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"orcf/internal/cluster"
+	"orcf/internal/core"
+	"orcf/internal/forecast"
+	"orcf/internal/metrics"
+	"orcf/internal/sim"
+	"orcf/internal/trace"
+)
+
+// paperHorizons are the forecast steps scored in Figs. 9–11.
+var paperHorizons = []int{1, 5, 10, 25, 50}
+
+// modelBuilders returns the named forecasting model factories used across
+// the forecasting experiments.
+func (o Options) modelBuilders() map[string]forecast.Builder {
+	return map[string]forecast.Builder{
+		"ARIMA": func() forecast.Model { return forecast.NewAutoARIMA(o.Grid) },
+		"LSTM": func() forecast.Model {
+			return forecast.NewLSTM(forecast.LSTMConfig{
+				Epochs: o.LSTMEpochs, FitWindow: o.FitWindow, Seed: o.Seed,
+			})
+		},
+		"Sample-and-hold": func() forecast.Model { return forecast.NewSampleAndHold() },
+	}
+}
+
+// runPipeline evaluates the full proposed pipeline on a dataset with the
+// given model and K, scoring the paper horizons.
+func (o Options) runPipeline(ds *trace.Dataset, k int, builder forecast.Builder, simCfg sim.Config) (*sim.Result, error) {
+	sys, err := core.NewSystem(core.Config{
+		Nodes:             ds.Nodes(),
+		Resources:         ds.NumResources(),
+		K:                 k,
+		InitialCollection: o.Warmup,
+		RetrainEvery:      retrainEvery,
+		FitWindow:         o.FitWindow,
+		Model:             builder,
+		Seed:              o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: pipeline: %w", err)
+	}
+	return sim.Run(sys, ds, simCfg)
+}
+
+// Fig8 reproduces the instantaneous centroid-forecast trajectories: how well
+// each model's h=5 forecast tracks the true centroid series of the K=3 CPU
+// clusters on the Alibaba-like dataset. The table reports the tracking RMSE
+// per centroid and model over the post-warmup window, which summarizes the
+// visual claim of the figure ("forecasts follow the true centroids").
+func Fig8(o Options) (*Table, error) {
+	o = o.withDefaults()
+	ds, err := o.dataset(trace.AlibabaLike())
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig8: %w", err)
+	}
+	series, err := centroidSeries(ds, 0, 3, o.Seed) // CPU, K=3
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title:  "Fig. 8 — Centroid tracking RMSE of h=5 forecasts (Alibaba CPU, K=3)",
+		Header: []string{"model", "centroid 1", "centroid 2", "centroid 3"},
+	}
+	names := []string{"ARIMA", "LSTM", "Sample-and-hold"}
+	builders := o.modelBuilders()
+	for _, name := range names {
+		row := []string{name}
+		for j := 0; j < 3; j++ {
+			rmse, err := trackCentroid(series[j], builders[name](), o, 5)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig8 %s centroid %d: %w", name, j, err)
+			}
+			row = append(row, f4(rmse))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// centroidSeries runs collection (B=0.3) + dynamic clustering and returns
+// the K centroid series for one resource.
+func centroidSeries(ds *trace.Dataset, r, k int, seed uint64) ([][]float64, error) {
+	zs, err := collectZ(ds, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := cluster.NewTracker(cluster.Config{K: k, M: 1}, rand.New(rand.NewPCG(seed, 53)))
+	if err != nil {
+		return nil, fmt.Errorf("exp: centroid series: %w", err)
+	}
+	for t := range zs {
+		if _, err := tr.Update(scalarPoints(zs[t], r)); err != nil {
+			return nil, fmt.Errorf("exp: centroid series step %d: %w", t, err)
+		}
+	}
+	out := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		out[j] = tr.CentroidSeries(j, 0)
+	}
+	return out, nil
+}
+
+// trackCentroid walks a centroid series with the paper's training schedule,
+// forecasting h steps ahead at every step after warmup, and returns the RMSE
+// between forecasts and realized values.
+func trackCentroid(series []float64, model forecast.Model, o Options, h int) (float64, error) {
+	if len(series) <= o.Warmup+h {
+		return 0, fmt.Errorf("exp: series length %d too short for warmup %d: %w",
+			len(series), o.Warmup, trace.ErrBadConfig)
+	}
+	var acc metrics.Accumulator
+	lastFit := 0
+	for t := 1; t <= len(series); t++ {
+		y := series[t-1]
+		switch {
+		case t < o.Warmup:
+			// still collecting
+		case t == o.Warmup || (lastFit > 0 && t-lastFit >= retrainEvery):
+			fitSlice := series[:t]
+			if o.FitWindow > 0 && len(fitSlice) > o.FitWindow {
+				fitSlice = fitSlice[len(fitSlice)-o.FitWindow:]
+			}
+			if err := model.Fit(fitSlice); err != nil {
+				return 0, fmt.Errorf("exp: fit at %d: %w", t, err)
+			}
+			lastFit = t
+		default:
+			if lastFit > 0 {
+				model.Update(y)
+			}
+		}
+		if lastFit > 0 && t%5 == 0 && t+h <= len(series) {
+			f, err := model.Forecast(h)
+			if err != nil {
+				return 0, fmt.Errorf("exp: forecast at %d: %w", t, err)
+			}
+			diff := f[h-1] - series[t+h-1]
+			acc.AddSquared(diff * diff)
+		}
+	}
+	return acc.Value(), nil
+}
+
+// Fig9 compares forecasting models on the full pipeline: time-averaged RMSE
+// versus forecast step h for ARIMA, LSTM, sample-and-hold with K=3 and K=N,
+// and the standard-deviation bound.
+func Fig9(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		Title: "Fig. 9 — Time-averaged RMSE vs forecast steps h (dynamic clustering)",
+		Header: []string{"dataset", "resource", "h", "ARIMA", "LSTM",
+			"S&H K=3", "S&H K=N", "StdDev"},
+	}
+	simCfg := sim.Config{Horizons: paperHorizons, ForecastEvery: o.ForecastEvery}
+	builders := o.modelBuilders()
+	for _, p := range clusterPresets() {
+		ds, err := o.dataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig9 %s: %w", p.Name, err)
+		}
+		results := map[string]*sim.Result{}
+		for _, name := range []string{"ARIMA", "Sample-and-hold"} {
+			res, err := o.runPipeline(ds, 3, builders[name], simCfg)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig9 %s %s: %w", p.Name, name, err)
+			}
+			results[name] = res
+		}
+		// LSTM is randomly initialized; average over LSTMRuns seeds, as the
+		// paper averages 10 simulation runs.
+		lstmMean, err := o.lstmAveragedRMSE(ds, simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig9 %s LSTM: %w", p.Name, err)
+		}
+		shN, err := o.runPipeline(ds, ds.Nodes(), builders["Sample-and-hold"], simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig9 %s S&H K=N: %w", p.Name, err)
+		}
+		for r := 0; r < ds.NumResources(); r++ {
+			std := datasetStdDev(ds, r)
+			for _, h := range paperHorizons {
+				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(h),
+					f4(results["ARIMA"].RMSEAt(r, h)),
+					f4(lstmMean[r][h]),
+					f4(results["Sample-and-hold"].RMSEAt(r, h)),
+					f4(shN.RMSEAt(r, h)),
+					f4(std))
+			}
+		}
+	}
+	return tab, nil
+}
+
+// lstmAveragedRMSE runs the LSTM pipeline over LSTMRuns seeds and returns
+// the mean RMSE indexed [resource][horizon].
+func (o Options) lstmAveragedRMSE(ds *trace.Dataset, simCfg sim.Config) (map[int]map[int]float64, error) {
+	out := make(map[int]map[int]float64)
+	runs := max(o.LSTMRuns, 1)
+	for run := 0; run < runs; run++ {
+		seed := o.Seed + uint64(run)*1009
+		builder := func() forecast.Model {
+			return forecast.NewLSTM(forecast.LSTMConfig{
+				Epochs: o.LSTMEpochs, FitWindow: o.FitWindow, Seed: seed,
+			})
+		}
+		res, err := o.runPipeline(ds, 3, builder, simCfg)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < ds.NumResources(); r++ {
+			if out[r] == nil {
+				out[r] = make(map[int]float64)
+			}
+			for _, h := range paperHorizons {
+				out[r][h] += res.RMSEAt(r, h) / float64(runs)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table2 reports the aggregated training time of ARIMA and LSTM on one
+// centroid series over the whole dataset duration, with the paper's
+// schedule (initial training then retraining every 288 steps).
+func Table2(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		Title:  "Table II — Aggregated training time on one centroid (seconds)",
+		Header: []string{"dataset", "steps", "ARIMA", "LSTM"},
+	}
+	for _, p := range clusterPresets() {
+		ds, err := o.dataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: tab2 %s: %w", p.Name, err)
+		}
+		series, err := centroidSeries(ds, 0, 3, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		arima := forecast.NewAutoARIMA(o.Grid)
+		if _, err := trackCentroid(series[0], arima, o, 1); err != nil {
+			return nil, fmt.Errorf("exp: tab2 arima: %w", err)
+		}
+		lstm := forecast.NewLSTM(forecast.LSTMConfig{
+			Epochs: o.LSTMEpochs, FitWindow: o.FitWindow, Seed: o.Seed,
+		})
+		if _, err := trackCentroid(series[0], lstm, o, 1); err != nil {
+			return nil, fmt.Errorf("exp: tab2 lstm: %w", err)
+		}
+		tab.AddRow(p.Name, itoa(len(series[0])),
+			f2(arima.FitDuration().Seconds()), f2(lstm.FitDuration().Seconds()))
+	}
+	return tab, nil
+}
+
+// Fig10 combines the clustering methods with sample-and-hold temporal
+// forecasting and per-node offsets: RMSE vs h for the proposed dynamic
+// clustering, the minimum-distance baseline, and offline static clustering,
+// against the standard-deviation bound.
+func Fig10(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		Title: "Fig. 10 — Time-averaged RMSE vs h per clustering method (S&H forecaster)",
+		Header: []string{"dataset", "resource", "h", "proposed", "min-distance",
+			"static (offline)", "StdDev"},
+	}
+	simCfg := sim.Config{Horizons: paperHorizons, ForecastEvery: o.ForecastEvery}
+	for _, p := range clusterPresets() {
+		ds, err := o.dataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig10 %s: %w", p.Name, err)
+		}
+		prop, err := o.runPipeline(ds, 3, func() forecast.Model { return forecast.NewSampleAndHold() }, simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig10 proposed: %w", err)
+		}
+		zs, err := collectZ(ds, 0.3)
+		if err != nil {
+			return nil, err
+		}
+		md, err := baselineForecastRMSE(zs, ds, o, "min-distance")
+		if err != nil {
+			return nil, err
+		}
+		st, err := baselineForecastRMSE(zs, ds, o, "static")
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < ds.NumResources(); r++ {
+			std := datasetStdDev(ds, r)
+			for _, h := range paperHorizons {
+				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(h),
+					f4(prop.RMSEAt(r, h)), f4(md[r].At(h)), f4(st[r].At(h)), f4(std))
+			}
+		}
+	}
+	return tab, nil
+}
+
+// stepper abstracts the per-step clustering of the Fig. 10 baselines.
+type stepper interface {
+	step(points [][]float64) (*cluster.Step, error)
+}
+
+type mdStepper struct{ md *cluster.MinimumDistance }
+
+func (s mdStepper) step(points [][]float64) (*cluster.Step, error) { return s.md.Step(points) }
+
+type staticStepper struct{ st *cluster.Static }
+
+func (s staticStepper) step(points [][]float64) (*cluster.Step, error) {
+	return s.st.Step(points), nil
+}
+
+// baselineForecastRMSE runs the §V-C machinery (mode membership over M′,
+// eq. 12 offsets, sample-and-hold centroid forecast) on top of a baseline
+// clustering method and scores RMSE per horizon and resource.
+func baselineForecastRMSE(zs [][][]float64, ds *trace.Dataset, o Options, method string) ([]*metrics.HorizonSet, error) {
+	const mPrime = 5
+	nRes := ds.NumResources()
+	maxH := paperHorizons[len(paperHorizons)-1]
+	out := make([]*metrics.HorizonSet, nRes)
+	for r := range out {
+		hs, err := metrics.NewHorizonSet(maxH)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = hs
+	}
+	for r := 0; r < nRes; r++ {
+		var st stepper
+		switch method {
+		case "min-distance":
+			md, err := cluster.NewMinimumDistance(3, rand.New(rand.NewPCG(o.Seed, 61)))
+			if err != nil {
+				return nil, err
+			}
+			st = mdStepper{md: md}
+		case "static":
+			series := make([][]float64, ds.Nodes())
+			for i := range series {
+				series[i] = ds.NodeSeries(i, r)
+			}
+			sc, err := cluster.NewStatic(series, 3, rand.New(rand.NewPCG(o.Seed, 67)))
+			if err != nil {
+				return nil, err
+			}
+			st = staticStepper{st: sc}
+		default:
+			return nil, fmt.Errorf("exp: unknown method %q: %w", method, trace.ErrBadConfig)
+		}
+		var hist []blSnap
+		n := ds.Nodes()
+		for t := 1; t <= ds.Steps(); t++ {
+			pts := scalarPoints(zs[t-1], r)
+			step, err := st.step(pts)
+			if err != nil {
+				return nil, fmt.Errorf("exp: baseline %s step %d: %w", method, t, err)
+			}
+			hist = append([]blSnap{{assign: step.Assignments, cents: step.Centroids, z: pts}}, hist...)
+			if len(hist) > mPrime+1 {
+				hist = hist[:mPrime+1]
+			}
+			if t < o.Warmup || t%o.ForecastEvery != 0 {
+				continue
+			}
+			// Forecast every node: mode cluster + eq. (12) offset; S&H holds
+			// the current centroid for every h.
+			k := len(step.Centroids)
+			for _, h := range paperHorizons {
+				if t+h > ds.Steps() {
+					continue
+				}
+				var sq float64
+				for i := 0; i < n; i++ {
+					jStar := modeOf(hist, i, k)
+					var off float64
+					for _, s := range hist {
+						alpha := 1.0
+						if s.assign[i] != jStar {
+							alpha = core.MaxAlphaInCell(s.z[i], jStar, s.cents)
+						}
+						off += alpha * (s.z[i][0] - s.cents[jStar][0])
+					}
+					off /= float64(len(hist))
+					pred := clamp01(hist[0].cents[jStar][0] + off)
+					diff := pred - ds.At(t+h-1, i)[r]
+					sq += diff * diff
+				}
+				if err := out[r].Add(h, sqrtOf(sq/float64(n))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// blSnap is one look-back entry of the baseline pipeline-lite.
+type blSnap struct {
+	assign []int
+	cents  [][]float64
+	z      [][]float64
+}
+
+func modeOf(hist []blSnap, node, k int) int {
+	counts := make([]int, k)
+	for _, s := range hist {
+		counts[s.assign[node]]++
+	}
+	best := hist[0].assign[node]
+	bestCount := counts[best]
+	for j, c := range counts {
+		if c > bestCount {
+			best, bestCount = j, c
+		}
+	}
+	return best
+}
+
+// Table3 sweeps M and M′ on the Google dataset (CPU) at h ∈ {1,5,10} with
+// the sample-and-hold forecaster.
+func Table3(o Options) (*Table, error) {
+	o = o.withDefaults()
+	ds, err := o.dataset(trace.GoogleLike())
+	if err != nil {
+		return nil, fmt.Errorf("exp: tab3: %w", err)
+	}
+	cpu, err := singleResource(ds, 0)
+	if err != nil {
+		return nil, err
+	}
+	values := []int{1, 5, 12, 100}
+	horizons := []int{1, 5, 10}
+	tab := &Table{
+		Title:  "Table III — RMSE for M × M′ (Google CPU, sample-and-hold)",
+		Header: []string{"h", "M", "M'=1", "M'=5", "M'=12", "M'=100"},
+	}
+	// results[h][mIdx][mpIdx]
+	results := make(map[int]map[int]map[int]float64)
+	for _, m := range values {
+		for _, mp := range values {
+			sys, err := core.NewSystem(core.Config{
+				Nodes: cpu.Nodes(), Resources: 1, K: 3,
+				M: m, MPrime: mp,
+				InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
+				Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: tab3 M=%d M'=%d: %w", m, mp, err)
+			}
+			res, err := sim.Run(sys, cpu, sim.Config{Horizons: horizons, ForecastEvery: o.ForecastEvery})
+			if err != nil {
+				return nil, fmt.Errorf("exp: tab3 M=%d M'=%d: %w", m, mp, err)
+			}
+			for _, h := range horizons {
+				if results[h] == nil {
+					results[h] = map[int]map[int]float64{}
+				}
+				if results[h][m] == nil {
+					results[h][m] = map[int]float64{}
+				}
+				results[h][m][mp] = res.RMSEAt(0, h)
+			}
+		}
+	}
+	for _, h := range horizons {
+		for _, m := range values {
+			row := []string{itoa(h), itoa(m)}
+			for _, mp := range values {
+				row = append(row, f4(results[h][m][mp]))
+			}
+			tab.AddRow(row...)
+		}
+	}
+	return tab, nil
+}
+
+// Fig11 compares the paper's similarity measure against the Jaccard index
+// on the full pipeline (sample-and-hold forecaster).
+func Fig11(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		Title:  "Fig. 11 — RMSE vs h: proposed similarity measure vs Jaccard index",
+		Header: []string{"dataset", "resource", "h", "proposed", "jaccard"},
+	}
+	simCfg := sim.Config{Horizons: paperHorizons, ForecastEvery: o.ForecastEvery}
+	for _, p := range clusterPresets() {
+		ds, err := o.dataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig11 %s: %w", p.Name, err)
+		}
+		run := func(simil cluster.Similarity) (*sim.Result, error) {
+			sys, err := core.NewSystem(core.Config{
+				Nodes: ds.Nodes(), Resources: ds.NumResources(), K: 3,
+				Similarity:        simil,
+				InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
+				Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run(sys, ds, simCfg)
+		}
+		prop, err := run(cluster.SimilarityProposed)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig11 proposed: %w", err)
+		}
+		jac, err := run(cluster.SimilarityJaccard)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig11 jaccard: %w", err)
+		}
+		for r := 0; r < ds.NumResources(); r++ {
+			for _, h := range paperHorizons {
+				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(h),
+					f4(prop.RMSEAt(r, h)), f4(jac.RMSEAt(r, h)))
+			}
+		}
+	}
+	return tab, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func sqrtOf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,287 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"orcf/internal/gaussian"
+	"orcf/internal/kmeans"
+	"orcf/internal/trace"
+)
+
+// gaussianSetup mirrors §VI-E: 100 randomly selected nodes, a 500-step
+// training phase with full observation, then a 500-step testing phase where
+// only K monitors report and the rest are inferred.
+type gaussianSetup struct {
+	train [][]float64 // [t][node], one resource
+	test  [][]float64
+}
+
+func newGaussianSetup(ds *trace.Dataset, r, nodes, phase int, seed uint64) (*gaussianSetup, error) {
+	if ds.Steps() < 2*phase {
+		return nil, fmt.Errorf("exp: %d steps < 2×%d phase: %w", ds.Steps(), phase, trace.ErrBadConfig)
+	}
+	if ds.Nodes() < nodes {
+		nodes = ds.Nodes()
+	}
+	rng := rand.New(rand.NewPCG(seed, 71))
+	sel := rng.Perm(ds.Nodes())[:nodes]
+	mk := func(from int) [][]float64 {
+		out := make([][]float64, phase)
+		for t := 0; t < phase; t++ {
+			row := make([]float64, nodes)
+			for i, node := range sel {
+				row[i] = ds.At(from+t, node)[r]
+			}
+			out[t] = row
+		}
+		return out
+	}
+	return &gaussianSetup{train: mk(0), test: mk(phase)}, nil
+}
+
+// methodResult is one method's score in the §VI-E comparison.
+type methodResult struct {
+	rmse    float64
+	elapsed time.Duration
+}
+
+// runProposedMonitors adapts the proposed approach to the train/test
+// protocol: K-means on the 500-dimensional training series, monitor = the
+// member closest to each cluster centroid, and during testing every
+// non-monitor is estimated by its cluster's monitor value.
+func (g *gaussianSetup) runProposedMonitors(k int, seed uint64) (methodResult, error) {
+	start := time.Now()
+	n := len(g.train[0])
+	series := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		s := make([]float64, len(g.train))
+		for t := range g.train {
+			s[t] = g.train[t][i]
+		}
+		series[i] = s
+	}
+	res, err := kmeans.Run(series, kmeans.Config{K: k}, rand.New(rand.NewPCG(seed, 73)))
+	if err != nil {
+		return methodResult{}, fmt.Errorf("exp: proposed kmeans: %w", err)
+	}
+	kEff := len(res.Centroids)
+	monitors := make([]int, kEff)
+	bestDist := make([]float64, kEff)
+	for j := range bestDist {
+		bestDist[j] = math.Inf(1)
+	}
+	for i, j := range res.Assignments {
+		d := kmeans.SqDist(series[i], res.Centroids[j])
+		if d < bestDist[j] {
+			bestDist[j] = d
+			monitors[j] = i
+		}
+	}
+	rmse := g.scoreMonitorClusters(res.Assignments, monitors)
+	return methodResult{rmse: rmse, elapsed: time.Since(start)}, nil
+}
+
+// runMinDistanceMonitors selects K random monitors; other nodes join the
+// monitor with the closest training series.
+func (g *gaussianSetup) runMinDistanceMonitors(k int, seed uint64) (methodResult, error) {
+	start := time.Now()
+	n := len(g.train[0])
+	rng := rand.New(rand.NewPCG(seed, 79))
+	monitors := rng.Perm(n)[:k]
+	series := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		s := make([]float64, len(g.train))
+		for t := range g.train {
+			s[t] = g.train[t][i]
+		}
+		series[i] = s
+	}
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for j, m := range monitors {
+			if d := kmeans.SqDist(series[i], series[m]); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		assign[i] = best
+	}
+	rmse := g.scoreMonitorClusters(assign, monitors)
+	return methodResult{rmse: rmse, elapsed: time.Since(start)}, nil
+}
+
+// scoreMonitorClusters computes test-phase RMSE when every node's estimate
+// is the current value of its cluster's monitor.
+func (g *gaussianSetup) scoreMonitorClusters(assign []int, monitors []int) float64 {
+	n := len(g.train[0])
+	var sumSq float64
+	for _, row := range g.test {
+		var sq float64
+		for i := 0; i < n; i++ {
+			est := row[monitors[assign[i]]]
+			d := est - row[i]
+			sq += d * d
+		}
+		sumSq += sq / float64(n)
+	}
+	return math.Sqrt(sumSq / float64(len(g.test)))
+}
+
+// runGaussian trains the multivariate Gaussian on the training phase,
+// selects monitors with the given strategy, and infers non-monitors during
+// the test phase.
+func (g *gaussianSetup) runGaussian(k int, strat gaussian.Strategy) (methodResult, error) {
+	start := time.Now()
+	model, err := gaussian.Train(g.train)
+	if err != nil {
+		return methodResult{}, fmt.Errorf("exp: gaussian train: %w", err)
+	}
+	monitors, err := model.SelectMonitors(k, strat)
+	if err != nil {
+		return methodResult{}, fmt.Errorf("exp: gaussian select (%v): %w", strat, err)
+	}
+	inf, err := model.NewInferrer(monitors)
+	if err != nil {
+		return methodResult{}, fmt.Errorf("exp: gaussian inferrer: %w", err)
+	}
+	n := len(g.train[0])
+	var sumSq float64
+	obs := make([]float64, len(monitors))
+	for _, row := range g.test {
+		for j, m := range monitors {
+			obs[j] = row[m]
+		}
+		rec, err := inf.Infer(obs)
+		if err != nil {
+			return methodResult{}, fmt.Errorf("exp: gaussian infer: %w", err)
+		}
+		var sq float64
+		for i := 0; i < n; i++ {
+			d := rec[i] - row[i]
+			sq += d * d
+		}
+		sumSq += sq / float64(n)
+	}
+	rmse := math.Sqrt(sumSq / float64(len(g.test)))
+	return methodResult{rmse: rmse, elapsed: time.Since(start)}, nil
+}
+
+// gaussianComparison runs all five methods for one dataset/resource/K. The
+// paper's phases are 500 steps each; shorter datasets shrink both phases
+// proportionally so scaled test runs still work.
+func (o Options) gaussianComparison(ds *trace.Dataset, r, k int) (map[string]methodResult, error) {
+	const nodes = 100
+	phase := 500
+	if ds.Steps() < 2*phase {
+		phase = ds.Steps() / 2
+	}
+	setup, err := newGaussianSetup(ds, r, nodes, phase, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]methodResult{}
+	if out["Proposed"], err = setup.runProposedMonitors(k, o.Seed); err != nil {
+		return nil, err
+	}
+	if out["Min-distance"], err = setup.runMinDistanceMonitors(k, o.Seed); err != nil {
+		return nil, err
+	}
+	if out["Top-W"], err = setup.runGaussian(k, gaussian.TopW); err != nil {
+		return nil, err
+	}
+	if out["Top-W-Update"], err = setup.runGaussian(k, gaussian.TopWUpdate); err != nil {
+		return nil, err
+	}
+	if out["Batch"], err = setup.runGaussian(k, gaussian.BatchSelect); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig12 compares the proposed monitor-based estimation against the Gaussian
+// baselines of [3] over the number of selected monitors K (100 nodes,
+// separate 500-step training and testing phases).
+func Fig12(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		Title: "Fig. 12 — RMSE vs K against Gaussian-based methods (100 nodes)",
+		Header: []string{"dataset", "resource", "K", "Proposed", "Min-distance",
+			"Top-W", "Top-W-Update", "Batch"},
+	}
+	for _, p := range clusterPresets() {
+		ds, err := o.dataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig12 %s: %w", p.Name, err)
+		}
+		n := min(100, ds.Nodes())
+		var ks []int
+		for _, k := range []int{5, 10, 25, 50, 75, 100} {
+			if k < n {
+				ks = append(ks, k)
+			}
+		}
+		ks = append(ks, n) // the K=N endpoint where every node is monitored
+		for r := 0; r < ds.NumResources(); r++ {
+			for _, k := range ks {
+				res, err := o.gaussianComparison(ds, r, k)
+				if err != nil {
+					return nil, fmt.Errorf("exp: fig12 %s K=%d: %w", p.Name, k, err)
+				}
+				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(k),
+					f4(res["Proposed"].rmse), f4(res["Min-distance"].rmse),
+					f4(res["Top-W"].rmse), f4(res["Top-W-Update"].rmse),
+					f4(res["Batch"].rmse))
+			}
+		}
+	}
+	return tab, nil
+}
+
+// Table4 reports the computation time of each approach in the §VI-E setting
+// (selection + test-phase estimation, CPU resource). K is half the node
+// count, where the strategies' asymptotic costs separate cleanly; each
+// method is run three times and the fastest run is kept to suppress timer
+// noise.
+func Table4(o Options) (*Table, error) {
+	o = o.withDefaults()
+	tab := &Table{
+		Title:  "Table IV — Computation time per approach (seconds, 100 nodes, CPU)",
+		Header: []string{"method", "CPU alibaba", "CPU bitbrains", "CPU google"},
+	}
+	methods := []string{"Proposed", "Min-distance", "Top-W", "Top-W-Update", "Batch"}
+	times := map[string][]float64{}
+	for _, p := range clusterPresets() {
+		ds, err := o.dataset(p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: tab4 %s: %w", p.Name, err)
+		}
+		k := min(100, ds.Nodes()) / 2
+		best := map[string]float64{}
+		for rep := 0; rep < 3; rep++ {
+			res, err := o.gaussianComparison(ds, 0, k)
+			if err != nil {
+				return nil, fmt.Errorf("exp: tab4 %s: %w", p.Name, err)
+			}
+			for _, m := range methods {
+				v := res[m].elapsed.Seconds()
+				if cur, ok := best[m]; !ok || v < cur {
+					best[m] = v
+				}
+			}
+		}
+		for _, m := range methods {
+			times[m] = append(times[m], best[m])
+		}
+	}
+	for _, m := range methods {
+		row := []string{m}
+		for _, v := range times[m] {
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+
+	"orcf/internal/trace"
+)
+
+func TestSingleResourceProjection(t *testing.T) {
+	t.Parallel()
+	d, err := trace.Generate(trace.GeneratorConfig{Nodes: 5, Steps: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := singleResource(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.NumResources() != 1 || mem.Resources[0] != "mem" {
+		t.Fatalf("projection resources = %v", mem.Resources)
+	}
+	for step := 0; step < d.Steps(); step++ {
+		for i := 0; i < d.Nodes(); i++ {
+			if mem.At(step, i)[0] != d.At(step, i)[1] {
+				t.Fatal("projection values differ from source")
+			}
+		}
+	}
+	if _, err := singleResource(d, 5); !errors.Is(err, trace.ErrBadConfig) {
+		t.Fatalf("out-of-range resource: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestCollectZTracksBudgetAndStaleness(t *testing.T) {
+	t.Parallel()
+	d, err := trace.Generate(trace.GeneratorConfig{Nodes: 10, Steps: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := collectZ(d, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zs) != d.Steps() {
+		t.Fatalf("%d snapshots, want %d", len(zs), d.Steps())
+	}
+	// z is a lagged copy of x: every stored value must have appeared in the
+	// node's true history up to that step.
+	for i := 0; i < d.Nodes(); i++ {
+		seen := map[float64]bool{}
+		for step := 0; step < d.Steps(); step++ {
+			seen[d.At(step, i)[0]] = true
+			if !seen[zs[step][i][0]] {
+				t.Fatalf("stored value %v at step %d never observed at node %d",
+					zs[step][i][0], step, i)
+			}
+		}
+	}
+	// At budget 1.0 the store equals the truth exactly.
+	full, err := collectZ(d, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := range full {
+		for i := range full[step] {
+			for r := range full[step][i] {
+				if full[step][i][r] != d.At(step, i)[r] {
+					t.Fatal("B=1 store differs from truth")
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetStdDevMatchesDefinition(t *testing.T) {
+	t.Parallel()
+	d := &trace.Dataset{
+		Resources: []string{"cpu"},
+		Data: [][][]float64{
+			{{0.0}, {1.0}},
+			{{0.0}, {1.0}},
+		},
+	}
+	if got := datasetStdDev(d, 0); got != 0.5 {
+		t.Fatalf("stddev = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,534 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"orcf/internal/optimize"
+	"orcf/internal/stat"
+)
+
+// Order specifies a seasonal ARIMA(p,d,q)(P,D,Q)_s model.
+type Order struct {
+	P, D, Q int // non-seasonal AR order, differencing, MA order
+	SP, SD  int // seasonal AR order, seasonal differencing
+	SQ      int // seasonal MA order
+	Season  int // seasonal period s; ignored when SP=SD=SQ=0
+}
+
+// String renders the order in the conventional notation.
+func (o Order) String() string {
+	if o.SP == 0 && o.SD == 0 && o.SQ == 0 {
+		return fmt.Sprintf("ARIMA(%d,%d,%d)", o.P, o.D, o.Q)
+	}
+	return fmt.Sprintf("ARIMA(%d,%d,%d)(%d,%d,%d)[%d]", o.P, o.D, o.Q, o.SP, o.SD, o.SQ, o.Season)
+}
+
+func (o Order) numParams() int { return o.P + o.Q + o.SP + o.SQ + 1 } // +1 constant
+
+func (o Order) valid() bool {
+	return o.P >= 0 && o.D >= 0 && o.Q >= 0 &&
+		o.SP >= 0 && o.SD >= 0 && o.SQ >= 0 &&
+		(o.Season > 0 || (o.SP == 0 && o.SD == 0 && o.SQ == 0)) &&
+		o.P+o.Q+o.SP+o.SQ+o.D+o.SD > 0
+}
+
+// Grid is a hyper-parameter search space for AutoARIMA. Each field is the
+// inclusive maximum of the corresponding order component.
+type Grid struct {
+	MaxP, MaxD, MaxQ    int
+	MaxSP, MaxSD, MaxSQ int
+	Season              int
+}
+
+// PaperGrid returns the grid searched in §VI-A3: p∈[0,5], d∈[0,2], q∈[0,5],
+// P∈[0,2], D∈[0,1], Q∈[0,2] with the given seasonal period.
+func PaperGrid(season int) Grid {
+	return Grid{MaxP: 5, MaxD: 2, MaxQ: 5, MaxSP: 2, MaxSD: 1, MaxSQ: 2, Season: season}
+}
+
+// DefaultGrid returns a reduced grid that keeps AutoARIMA fast enough for
+// interactive runs while still covering the orders that win on the paper's
+// centroid series.
+func DefaultGrid() Grid {
+	return Grid{MaxP: 3, MaxD: 1, MaxQ: 2}
+}
+
+// orders enumerates every valid order in the grid.
+func (g Grid) orders() []Order {
+	var out []Order
+	maxSP, maxSD, maxSQ := g.MaxSP, g.MaxSD, g.MaxSQ
+	if g.Season <= 1 {
+		maxSP, maxSD, maxSQ = 0, 0, 0
+	}
+	for p := 0; p <= g.MaxP; p++ {
+		for d := 0; d <= g.MaxD; d++ {
+			for q := 0; q <= g.MaxQ; q++ {
+				for sp := 0; sp <= maxSP; sp++ {
+					for sd := 0; sd <= maxSD; sd++ {
+						for sq := 0; sq <= maxSQ; sq++ {
+							o := Order{P: p, D: d, Q: q, SP: sp, SD: sd, SQ: sq, Season: g.Season}
+							if o.valid() {
+								out = append(out, o)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ARIMA is a seasonal ARIMA model fitted by conditional sum of squares (CSS)
+// with a Nelder–Mead optimizer. Multiplicative seasonal polynomials are
+// expanded into flat lag-coefficient arrays before evaluating the CSS
+// recursion. A sufficient-condition stationarity/invertibility guard
+// (Σ|coef| < 1 per polynomial) keeps forecasts bounded, trading a slightly
+// reduced parameter space for robustness — the AICc grid search then selects
+// among the guarded fits, mirroring the paper's statsmodels setup.
+type ARIMA struct {
+	order Order
+
+	constant float64
+	phi      []float64 // non-seasonal AR
+	theta    []float64 // non-seasonal MA
+	sphi     []float64 // seasonal AR
+	stheta   []float64 // seasonal MA
+
+	// Expanded polynomial coefficient arrays (see expandPolynomials).
+	arLag []float64
+	maLag []float64
+
+	origin []float64 // full (or windowed) original series
+	w      []float64 // differenced series
+	resid  []float64 // CSS residuals aligned with w
+	rss    float64
+	aicc   float64
+	fitted bool
+}
+
+var _ Model = (*ARIMA)(nil)
+
+// NewARIMA creates a model with a fixed order (no grid search).
+func NewARIMA(order Order) (*ARIMA, error) {
+	if !order.valid() {
+		return nil, fmt.Errorf("forecast: invalid order %v: %w", order, ErrBadInput)
+	}
+	return &ARIMA{order: order}, nil
+}
+
+// OrderUsed returns the model's order.
+func (m *ARIMA) OrderUsed() Order { return m.order }
+
+// AICc returns the corrected Akaike criterion of the last fit, or +Inf.
+func (m *ARIMA) AICc() float64 {
+	if !m.fitted {
+		return math.Inf(1)
+	}
+	return m.aicc
+}
+
+// minObservations is the shortest series an order can be fitted on.
+func (m *ARIMA) minObservations() int {
+	o := m.order
+	need := o.D + o.SD*o.Season + // differencing
+		max(o.P+o.SP*o.Season, o.Q+o.SQ*o.Season) + // recursion warmup
+		o.numParams() + 4
+	return need
+}
+
+// Fit implements Model: difference, optimize CSS over the parameter vector,
+// then store residual state for forecasting.
+func (m *ARIMA) Fit(series []float64) error {
+	if len(series) < m.minObservations() {
+		return fmt.Errorf("forecast: %v needs ≥ %d observations, got %d: %w",
+			m.order, m.minObservations(), len(series), ErrBadInput)
+	}
+	m.origin = append([]float64(nil), series...)
+	w := difference(series, m.order)
+	if len(w) < m.order.numParams()+2 {
+		return fmt.Errorf("forecast: differenced series too short (%d): %w", len(w), ErrBadInput)
+	}
+	m.w = w
+
+	nParams := m.order.numParams()
+	objective := func(x []float64) float64 {
+		params := unpackParams(x, m.order)
+		if !params.stable() {
+			return math.Inf(1)
+		}
+		arLag, maLag := params.expandPolynomials(m.order)
+		rss, _ := cssResiduals(w, params.constant, arLag, maLag, nil)
+		return rss
+	}
+
+	// Start from zeros with the constant at the differenced-series mean;
+	// Nelder–Mead handles the rest.
+	x0 := make([]float64, nParams)
+	x0[0] = stat.Mean(w)
+	res, err := optimize.NelderMead(objective, x0, optimize.Options{
+		MaxEvaluations: 400 * nParams,
+		Tolerance:      1e-10,
+		InitialStep:    0.2,
+	})
+	if err != nil {
+		return fmt.Errorf("forecast: CSS optimization: %w", err)
+	}
+	if math.IsInf(res.F, 1) {
+		return fmt.Errorf("forecast: CSS optimization found no feasible fit for %v: %w", m.order, ErrBadInput)
+	}
+	params := unpackParams(res.X, m.order)
+	m.constant = params.constant
+	m.phi, m.theta = params.phi, params.theta
+	m.sphi, m.stheta = params.sphi, params.stheta
+	m.arLag, m.maLag = params.expandPolynomials(m.order)
+
+	m.resid = make([]float64, len(w))
+	m.rss, _ = cssResiduals(w, m.constant, m.arLag, m.maLag, m.resid)
+	effN := len(w)
+	m.aicc = stat.AICc(effN, nParams+1, m.rss) // +1 for innovation variance
+	m.fitted = true
+	return nil
+}
+
+// Update implements Model: append the observation and extend the differenced
+// series and residuals incrementally.
+func (m *ARIMA) Update(y float64) {
+	if !m.fitted {
+		return
+	}
+	m.origin = append(m.origin, y)
+	w := difference(m.origin, m.order)
+	if len(w) == 0 {
+		return
+	}
+	// Extend m.w / residuals for any newly available differenced values.
+	for len(m.w) < len(w) {
+		t := len(m.w)
+		m.w = append(m.w, w[t])
+		e := m.w[t] - m.constant
+		for i, c := range m.arLag {
+			if idx := t - i - 1; idx >= 0 {
+				e -= c * m.w[idx]
+			}
+		}
+		for j, c := range m.maLag {
+			if idx := t - j - 1; idx >= 0 {
+				e -= c * m.resid[idx]
+			}
+		}
+		m.resid = append(m.resid, e)
+	}
+}
+
+// Forecast implements Model: iterate the ARMA recursion on the differenced
+// scale with future innovations set to zero, then integrate the differencing
+// back to the original scale.
+func (m *ARIMA) Forecast(h int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("forecast: horizon %d < 1: %w", h, ErrBadInput)
+	}
+	wHist := append([]float64(nil), m.w...)
+	eHist := append([]float64(nil), m.resid...)
+	wf := make([]float64, h)
+	for s := 0; s < h; s++ {
+		t := len(wHist)
+		v := m.constant
+		for i, c := range m.arLag {
+			if idx := t - i - 1; idx >= 0 {
+				v += c * wHist[idx]
+			}
+		}
+		for j, c := range m.maLag {
+			if idx := t - j - 1; idx >= 0 {
+				v += c * eHist[idx]
+			}
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = m.constant
+		}
+		wf[s] = v
+		wHist = append(wHist, v)
+		eHist = append(eHist, 0)
+	}
+	return integrate(m.origin, wf, m.order), nil
+}
+
+// Name implements Model.
+func (m *ARIMA) Name() string { return m.order.String() }
+
+// params bundles the flat optimizer vector in structured form.
+type arimaParams struct {
+	constant float64
+	phi      []float64
+	theta    []float64
+	sphi     []float64
+	stheta   []float64
+}
+
+func unpackParams(x []float64, o Order) arimaParams {
+	var p arimaParams
+	i := 0
+	p.constant = x[i]
+	i++
+	take := func(n int) []float64 {
+		out := x[i : i+n]
+		i += n
+		return out
+	}
+	p.phi = take(o.P)
+	p.theta = take(o.Q)
+	p.sphi = take(o.SP)
+	p.stheta = take(o.SQ)
+	return p
+}
+
+// stable applies the sufficient stationarity/invertibility condition
+// Σ|coef| < 1 to each polynomial independently.
+func (p arimaParams) stable() bool {
+	for _, coefs := range [][]float64{p.phi, p.theta, p.sphi, p.stheta} {
+		var s float64
+		for _, c := range coefs {
+			s += math.Abs(c)
+		}
+		if s >= 0.995 {
+			return false
+		}
+	}
+	return true
+}
+
+// expandPolynomials multiplies the non-seasonal and seasonal polynomials into
+// flat lag arrays: arLag[i] is the coefficient of w_{t-1-i} on the right-hand
+// side of the recursion, maLag[j] the coefficient of ε_{t-1-j}.
+//
+// AR side: (1 − Σφ_i B^i)(1 − ΣΦ_k B^{ks}) w_t = ... ⇒
+// w_t = Σ a_m w_{t−m} + ... with a = expansion of the product minus the
+// leading 1, sign-flipped. MA side: (1 + Σθ B^i)(1 + ΣΘ B^{ks}) keeps signs.
+func (p arimaParams) expandPolynomials(o Order) (arLag, maLag []float64) {
+	// Represent polynomials as coefficient arrays indexed by lag, poly[0]=1.
+	arPoly := polyFromCoefs(p.phi, 1, -1)          // 1 − φ₁B − …
+	sarPoly := polyFromCoefs(p.sphi, o.Season, -1) // 1 − Φ₁B^s − …
+	arProd := polyMul(arPoly, sarPoly)
+	// Move to RHS: w_t = Σ_{m≥1} (−arProd[m]) w_{t−m} + c + MA terms.
+	if len(arProd) > 1 {
+		arLag = make([]float64, len(arProd)-1)
+		for mIdx := 1; mIdx < len(arProd); mIdx++ {
+			arLag[mIdx-1] = -arProd[mIdx]
+		}
+	}
+	maPoly := polyFromCoefs(p.theta, 1, 1)          // 1 + θ₁B + …
+	smaPoly := polyFromCoefs(p.stheta, o.Season, 1) // 1 + Θ₁B^s + …
+	maProd := polyMul(maPoly, smaPoly)
+	if len(maProd) > 1 {
+		maLag = make([]float64, len(maProd)-1)
+		for mIdx := 1; mIdx < len(maProd); mIdx++ {
+			maLag[mIdx-1] = maProd[mIdx]
+		}
+	}
+	return arLag, maLag
+}
+
+// polyFromCoefs builds 1 + sign·c₁B^step + sign·c₂B^{2·step} + … as a dense
+// coefficient array.
+func polyFromCoefs(coefs []float64, step int, sign float64) []float64 {
+	if len(coefs) == 0 {
+		return []float64{1}
+	}
+	out := make([]float64, len(coefs)*step+1)
+	out[0] = 1
+	for i, c := range coefs {
+		out[(i+1)*step] = sign * c
+	}
+	return out
+}
+
+func polyMul(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// cssResiduals runs the conditional-sum-of-squares recursion
+// e_t = w_t − c − Σ ar·w_{t−m} − Σ ma·e_{t−m} with zero initial conditions.
+// When residOut is non-nil it receives the residuals. Returns the residual
+// sum of squares over the post-warmup region and the warmup length.
+func cssResiduals(w []float64, constant float64, arLag, maLag []float64, residOut []float64) (rss float64, warmup int) {
+	warmup = len(arLag)
+	resid := residOut
+	if resid == nil {
+		resid = make([]float64, len(w))
+	}
+	for t := 0; t < len(w); t++ {
+		e := w[t] - constant
+		for i, c := range arLag {
+			if idx := t - i - 1; idx >= 0 {
+				e -= c * w[idx]
+			}
+		}
+		for j, c := range maLag {
+			if idx := t - j - 1; idx >= 0 {
+				e -= c * resid[idx]
+			}
+		}
+		resid[t] = e
+		if t >= warmup {
+			rss += e * e
+		}
+	}
+	if warmup >= len(w) {
+		// Degenerate: all warmup; fall back to full RSS so the objective is
+		// still informative.
+		rss = 0
+		for _, e := range resid {
+			rss += e * e
+		}
+	}
+	return rss, warmup
+}
+
+// difference applies d regular and SD seasonal differences.
+func difference(series []float64, o Order) []float64 {
+	w := append([]float64(nil), series...)
+	for i := 0; i < o.D; i++ {
+		w = stat.Diff(w, 1)
+	}
+	for i := 0; i < o.SD; i++ {
+		w = stat.Diff(w, o.Season)
+	}
+	return w
+}
+
+// integrate inverts the differencing: given the original series and forecasts
+// on the differenced scale, reconstruct forecasts on the original scale.
+func integrate(origin []float64, wf []float64, o Order) []float64 {
+	// Build the intermediate series stack: level 0 is the original, level i
+	// is level i−1 after one more difference. Regular differences first,
+	// then seasonal, matching difference() above.
+	type level struct {
+		lag  int
+		tail []float64 // enough history of this level to undo the next one
+	}
+	levels := []level{}
+	cur := append([]float64(nil), origin...)
+	for i := 0; i < o.D; i++ {
+		levels = append(levels, level{lag: 1, tail: cur})
+		cur = stat.Diff(cur, 1)
+	}
+	for i := 0; i < o.SD; i++ {
+		levels = append(levels, level{lag: o.Season, tail: cur})
+		cur = stat.Diff(cur, o.Season)
+	}
+	// wf lives at the deepest level; walk back up.
+	vals := append([]float64(nil), wf...)
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		hist := append([]float64(nil), lv.tail...)
+		up := make([]float64, len(vals))
+		for s, dv := range vals {
+			base := hist[len(hist)-lv.lag]
+			up[s] = base + dv
+			hist = append(hist, up[s])
+		}
+		vals = up
+	}
+	return vals
+}
+
+// AutoARIMA selects the best order from the grid by AICc, as in §VI-A3. It
+// returns the fitted winner. The candidates are fitted independently; ties
+// break toward fewer parameters (enumeration order is ascending).
+func AutoARIMA(series []float64, grid Grid) (*ARIMA, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("forecast: empty series: %w", ErrBadInput)
+	}
+	var best *ARIMA
+	bestAICc := math.Inf(1)
+	var lastErr error
+	for _, o := range grid.orders() {
+		m, err := NewARIMA(o)
+		if err != nil {
+			continue
+		}
+		if err := m.Fit(series); err != nil {
+			lastErr = err
+			continue
+		}
+		if m.AICc() < bestAICc {
+			best = m
+			bestAICc = m.AICc()
+		}
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("forecast: no ARIMA candidate fitted: %w", lastErr)
+		}
+		return nil, fmt.Errorf("forecast: empty grid: %w", ErrBadInput)
+	}
+	return best, nil
+}
+
+// AutoARIMAModel adapts AutoARIMA to the Builder interface: each Fit call
+// re-runs the grid search, which matches the paper's periodic re-selection.
+type AutoARIMAModel struct {
+	grid    Grid
+	current *ARIMA
+	// FitDuration accumulates time spent in grid-search fitting, feeding
+	// Table II.
+	fitDuration time.Duration
+}
+
+var _ Model = (*AutoARIMAModel)(nil)
+
+// NewAutoARIMA returns a self-selecting ARIMA model over the grid.
+func NewAutoARIMA(grid Grid) *AutoARIMAModel { return &AutoARIMAModel{grid: grid} }
+
+// Fit implements Model.
+func (a *AutoARIMAModel) Fit(series []float64) error {
+	start := time.Now()
+	m, err := AutoARIMA(series, a.grid)
+	a.fitDuration += time.Since(start)
+	if err != nil {
+		return err
+	}
+	a.current = m
+	return nil
+}
+
+// Update implements Model.
+func (a *AutoARIMAModel) Update(y float64) {
+	if a.current != nil {
+		a.current.Update(y)
+	}
+}
+
+// Forecast implements Model.
+func (a *AutoARIMAModel) Forecast(h int) ([]float64, error) {
+	if a.current == nil {
+		return nil, ErrNotFitted
+	}
+	return a.current.Forecast(h)
+}
+
+// Name implements Model.
+func (a *AutoARIMAModel) Name() string {
+	if a.current == nil {
+		return "auto-arima"
+	}
+	return "auto-" + a.current.Name()
+}
+
+// FitDuration returns the cumulative wall-clock time spent fitting.
+func (a *AutoARIMAModel) FitDuration() time.Duration { return a.fitDuration }

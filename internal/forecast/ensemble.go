@@ -1,0 +1,183 @@
+package forecast
+
+import (
+	"fmt"
+	"time"
+)
+
+// EnsembleConfig controls the per-cluster model management of §VI-A3.
+type EnsembleConfig struct {
+	// Clusters is K, the number of models (one per cluster). Required.
+	Clusters int
+	// Dims is the number of resource dimensions per centroid (models are
+	// univariate; one model per (cluster, dim)). Zero means 1.
+	Dims int
+	// InitialCollection is the warm-up length before the first training.
+	// Zero means the paper's 1000.
+	InitialCollection int
+	// RetrainEvery is the retraining period in steps. Zero means the
+	// paper's 288 (one day of 5-minute samples).
+	RetrainEvery int
+	// FitWindow caps the history length used per fit (most recent portion);
+	// zero means all history. The paper permits "all (or a subset of) the
+	// historical cluster centroids".
+	FitWindow int
+	// Builder constructs each model. Required.
+	Builder Builder
+}
+
+func (c EnsembleConfig) withDefaults() EnsembleConfig {
+	if c.Dims == 0 {
+		c.Dims = 1
+	}
+	if c.InitialCollection == 0 {
+		c.InitialCollection = 1000
+	}
+	if c.RetrainEvery == 0 {
+		c.RetrainEvery = 288
+	}
+	return c
+}
+
+// Ensemble manages K×Dims forecasting models over the evolving centroid
+// series: it buffers the initial collection phase, trains models at the end
+// of it, feeds every new centroid to the transient state, and retrains
+// periodically — exactly the schedule in §VI-A3.
+type Ensemble struct {
+	cfg    EnsembleConfig
+	models [][]Model     // [cluster][dim]
+	series [][][]float64 // [cluster][dim][t]
+	t      int
+	ready  bool
+
+	trainTime  time.Duration
+	trainRuns  int
+	lastrefits int
+}
+
+// NewEnsemble validates the configuration and returns an empty ensemble.
+func NewEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("forecast: %d clusters: %w", cfg.Clusters, ErrBadInput)
+	}
+	if cfg.Builder == nil {
+		return nil, fmt.Errorf("forecast: nil model builder: %w", ErrBadInput)
+	}
+	e := &Ensemble{cfg: cfg}
+	e.models = make([][]Model, cfg.Clusters)
+	e.series = make([][][]float64, cfg.Clusters)
+	for j := range e.models {
+		e.models[j] = make([]Model, cfg.Dims)
+		e.series[j] = make([][]float64, cfg.Dims)
+		for d := range e.models[j] {
+			e.models[j][d] = cfg.Builder()
+		}
+	}
+	return e, nil
+}
+
+// Observe ingests this step's centroids (Clusters × Dims). It triggers the
+// initial training at the end of the collection phase and retraining every
+// RetrainEvery steps thereafter.
+func (e *Ensemble) Observe(centroids [][]float64) error {
+	if len(centroids) != e.cfg.Clusters {
+		return fmt.Errorf("forecast: %d centroids, want %d: %w",
+			len(centroids), e.cfg.Clusters, ErrBadInput)
+	}
+	for j, c := range centroids {
+		if len(c) != e.cfg.Dims {
+			return fmt.Errorf("forecast: centroid %d has dim %d, want %d: %w",
+				j, len(c), e.cfg.Dims, ErrBadInput)
+		}
+		for d, v := range c {
+			e.series[j][d] = append(e.series[j][d], v)
+			if e.ready {
+				e.models[j][d].Update(v)
+			}
+		}
+	}
+	e.t++
+	switch {
+	case !e.ready && e.t >= e.cfg.InitialCollection:
+		return e.refit()
+	case e.ready && (e.t-e.lastrefitsStep()) >= e.cfg.RetrainEvery:
+		return e.refit()
+	}
+	return nil
+}
+
+func (e *Ensemble) lastrefitsStep() int { return e.lastrefits }
+
+// refit trains every model on its accumulated series, tracking wall time.
+func (e *Ensemble) refit() error {
+	start := time.Now()
+	for j := range e.models {
+		for d := range e.models[j] {
+			s := e.series[j][d]
+			if e.cfg.FitWindow > 0 && len(s) > e.cfg.FitWindow {
+				s = s[len(s)-e.cfg.FitWindow:]
+			}
+			if err := e.models[j][d].Fit(s); err != nil {
+				return fmt.Errorf("forecast: fitting cluster %d dim %d: %w", j, d, err)
+			}
+		}
+	}
+	e.trainTime += time.Since(start)
+	e.trainRuns++
+	e.lastrefits = e.t
+	e.ready = true
+	return nil
+}
+
+// Ready reports whether the initial collection phase has completed and
+// models are trained.
+func (e *Ensemble) Ready() bool { return e.ready }
+
+// Steps returns the number of observed time steps.
+func (e *Ensemble) Steps() int { return e.t }
+
+// Forecast returns h-step-ahead centroid forecasts, indexed
+// [cluster][dim][step]. It fails with ErrNotFitted during the initial
+// collection phase.
+func (e *Ensemble) Forecast(h int) ([][][]float64, error) {
+	if !e.ready {
+		return nil, ErrNotFitted
+	}
+	out := make([][][]float64, e.cfg.Clusters)
+	for j := range e.models {
+		out[j] = make([][]float64, e.cfg.Dims)
+		for d := range e.models[j] {
+			f, err := e.models[j][d].Forecast(h)
+			if err != nil {
+				return nil, fmt.Errorf("forecast: cluster %d dim %d: %w", j, d, err)
+			}
+			out[j][d] = f
+		}
+	}
+	return out, nil
+}
+
+// Series returns a copy of the accumulated centroid series for one
+// (cluster, dim) pair.
+func (e *Ensemble) Series(j, d int) []float64 {
+	if j < 0 || j >= e.cfg.Clusters || d < 0 || d >= e.cfg.Dims {
+		return nil
+	}
+	return append([]float64(nil), e.series[j][d]...)
+}
+
+// TrainingTime returns the cumulative wall-clock time spent fitting models
+// and the number of (re)training rounds, the quantities reported in
+// Table II.
+func (e *Ensemble) TrainingTime() (time.Duration, int) { return e.trainTime, e.trainRuns }
+
+// Model returns the model for a (cluster, dim) pair, or nil out of range.
+// It is exposed for inspection in experiments (e.g. reading the selected
+// ARIMA order).
+func (e *Ensemble) Model(j, d int) Model {
+	if j < 0 || j >= e.cfg.Clusters || d < 0 || d >= e.cfg.Dims {
+		return nil
+	}
+	return e.models[j][d]
+}

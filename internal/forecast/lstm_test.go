@@ -1,0 +1,159 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sineSeries(n int, period float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(i)/period)
+	}
+	return s
+}
+
+func TestLSTMLearnsPeriodicSeries(t *testing.T) {
+	t.Parallel()
+	series := sineSeries(400, 20)
+	m := NewLSTM(LSTMConfig{Window: 10, Hidden: 8, Epochs: 50, Seed: 1})
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSum float64
+	for i := range f {
+		truth := 0.5 + 0.3*math.Sin(2*math.Pi*float64(400+i)/20)
+		errSum += math.Abs(f[i] - truth)
+	}
+	if mean := errSum / 10; mean > 0.08 {
+		t.Fatalf("mean forecast error %v too large", mean)
+	}
+	if m.FitDuration() <= 0 {
+		t.Fatal("fit duration not recorded")
+	}
+}
+
+func TestLSTMDeterministicGivenSeed(t *testing.T) {
+	t.Parallel()
+	series := sineSeries(200, 25)
+	m1 := NewLSTM(LSTMConfig{Window: 8, Hidden: 6, Epochs: 10, Seed: 7})
+	m2 := NewLSTM(LSTMConfig{Window: 8, Hidden: 6, Epochs: 10, Seed: 7})
+	if err := m1.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := m1.Forecast(5)
+	f2, _ := m2.Forecast(5)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, f1[i], f2[i])
+		}
+	}
+}
+
+func TestLSTMDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
+	series := sineSeries(150, 15)
+	m1 := NewLSTM(LSTMConfig{Window: 8, Hidden: 6, Epochs: 5, Seed: 1})
+	m2 := NewLSTM(LSTMConfig{Window: 8, Hidden: 6, Epochs: 5, Seed: 2})
+	if err := m1.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := m1.Forecast(1)
+	f2, _ := m2.Forecast(1)
+	if f1[0] == f2[0] {
+		t.Fatal("different seeds should generally produce different forecasts")
+	}
+}
+
+func TestLSTMValidation(t *testing.T) {
+	t.Parallel()
+	m := NewLSTM(LSTMConfig{Window: 10})
+	if err := m.Fit(sineSeries(5, 10)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("short series: want ErrBadInput, got %v", err)
+	}
+	if _, err := m.Forecast(1); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+	if err := m.Fit(sineSeries(100, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("h=0: want ErrBadInput, got %v", err)
+	}
+	if m.Name() != "lstm" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestLSTMConstantSeries(t *testing.T) {
+	t.Parallel()
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 0.4
+	}
+	m := NewLSTM(LSTMConfig{Window: 8, Hidden: 4, Epochs: 5, Seed: 3})
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f {
+		if math.Abs(v-0.4) > 1e-9 {
+			t.Fatalf("constant series forecast %v, want 0.4", v)
+		}
+	}
+}
+
+func TestLSTMUpdateMovesWindow(t *testing.T) {
+	t.Parallel()
+	series := sineSeries(200, 20)
+	m := NewLSTM(LSTMConfig{Window: 10, Hidden: 8, Epochs: 30, Seed: 4})
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	f0, _ := m.Forecast(1)
+	// Feed five more true values; the forecast should track the sine phase.
+	for i := 0; i < 5; i++ {
+		m.Update(0.5 + 0.3*math.Sin(2*math.Pi*float64(200+i)/20))
+	}
+	f5, _ := m.Forecast(1)
+	if f0[0] == f5[0] {
+		t.Fatal("update did not move the forecast window")
+	}
+}
+
+func TestLSTMFitWindowCapsHistory(t *testing.T) {
+	t.Parallel()
+	series := sineSeries(300, 20)
+	m := NewLSTM(LSTMConfig{Window: 10, Hidden: 4, Epochs: 2, Seed: 5, FitWindow: 60})
+	if err := m.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	// Scaling bounds should come from the last 60 points only; since the
+	// sine covers its full range in 20 steps this is hard to distinguish, so
+	// use a ramp instead.
+	ramp := make([]float64, 300)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	m2 := NewLSTM(LSTMConfig{Window: 10, Hidden: 4, Epochs: 2, Seed: 5, FitWindow: 60})
+	if err := m2.Fit(ramp); err != nil {
+		t.Fatal(err)
+	}
+	if m2.lo != 240 || m2.hi != 299 {
+		t.Fatalf("fit window bounds [%v,%v], want [240,299]", m2.lo, m2.hi)
+	}
+}

@@ -1,0 +1,122 @@
+// Package hungarian solves the assignment problem: given a square weight
+// matrix w, find a one-to-one mapping ϕ from rows to columns maximizing
+// Σ w[k][ϕ(k)].
+//
+// The paper (§V-B) uses this to re-index fresh K-means clusters against the
+// clusters of previous time steps so centroid time series stay coherent. The
+// implementation is the O(n³) Jonker–Volgenant-style shortest augmenting path
+// variant of the Hungarian algorithm with dual potentials.
+package hungarian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSquare is returned when the weight matrix is ragged or empty.
+var ErrNotSquare = errors.New("hungarian: weight matrix must be square and non-empty")
+
+// MaxWeightMatch returns the row→column assignment maximizing total weight,
+// along with the achieved total. Weights may be negative; every row is
+// assigned exactly one distinct column.
+func MaxWeightMatch(w [][]float64) (assignment []int, total float64, err error) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0, ErrNotSquare
+	}
+	for i, row := range w {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("hungarian: row %d has %d entries, want %d: %w",
+				i, len(row), n, ErrNotSquare)
+		}
+	}
+	// Convert maximization to minimization: cost = max(w) − w ≥ 0.
+	maxW := math.Inf(-1)
+	for _, row := range w {
+		for _, v := range row {
+			if v > maxW {
+				maxW = v
+			}
+		}
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = maxW - w[i][j]
+		}
+	}
+	assignment = minCostAssign(cost)
+	for i, j := range assignment {
+		total += w[i][j]
+	}
+	return assignment, total, nil
+}
+
+// minCostAssign implements the shortest-augmenting-path Hungarian algorithm
+// (1-indexed internally, as is conventional for this formulation) and returns
+// the 0-indexed row→column assignment of minimum total cost.
+func minCostAssign(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assignment := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	return assignment
+}

@@ -1,0 +1,182 @@
+package hungarian
+
+import (
+	"errors"
+	"math"
+	mrand "math/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxWeightMatchSimple(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name      string
+		w         [][]float64
+		wantTotal float64
+	}{
+		{
+			name:      "identity best",
+			w:         [][]float64{{10, 1}, {1, 10}},
+			wantTotal: 20,
+		},
+		{
+			name:      "anti-diagonal best",
+			w:         [][]float64{{1, 10}, {10, 1}},
+			wantTotal: 20,
+		},
+		{
+			name:      "single",
+			w:         [][]float64{{-3}},
+			wantTotal: -3,
+		},
+		{
+			name: "three by three",
+			w: [][]float64{
+				{7, 5, 11},
+				{5, 4, 1},
+				{9, 3, 2},
+			},
+			// 11 + 4 + 9 = 24 via (0→2, 1→1, 2→0)
+			wantTotal: 24,
+		},
+		{
+			name: "negative weights",
+			w: [][]float64{
+				{-1, -2},
+				{-2, -5},
+			},
+			wantTotal: -4, // (0→1, 1→0): −2−2 beats −1−5
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			assign, total, err := MaxWeightMatch(tt.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(total-tt.wantTotal) > 1e-9 {
+				t.Fatalf("total = %v, want %v (assign %v)", total, tt.wantTotal, assign)
+			}
+			assertPermutation(t, assign)
+			// Reported total must match the assignment.
+			var sum float64
+			for i, j := range assign {
+				sum += tt.w[i][j]
+			}
+			if math.Abs(sum-total) > 1e-9 {
+				t.Fatalf("assignment sum %v != reported total %v", sum, total)
+			}
+		})
+	}
+}
+
+func TestMaxWeightMatchErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, err := MaxWeightMatch(nil); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("empty: want ErrNotSquare, got %v", err)
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, _, err := MaxWeightMatch(ragged); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("ragged: want ErrNotSquare, got %v", err)
+	}
+}
+
+// TestAgainstBruteForce checks optimality on random instances by exhaustive
+// enumeration of permutations up to n=7.
+func TestAgainstBruteForce(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed*2654435761+1))
+		n := 1 + int(seed%7)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = math.Round(rng.NormFloat64()*100) / 10
+			}
+		}
+		_, got, err := MaxWeightMatch(w)
+		if err != nil {
+			return false
+		}
+		want := bruteForceMax(w)
+		return math.Abs(got-want) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: mrand.New(mrand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeInstanceIsPermutation(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(17, 23))
+	n := 60
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	assign, total, err := MaxWeightMatch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPermutation(t, assign)
+	// Total must be at least as good as the identity assignment.
+	var id float64
+	for i := 0; i < n; i++ {
+		id += w[i][i]
+	}
+	if total < id-1e-9 {
+		t.Fatalf("optimal total %v worse than identity %v", total, id)
+	}
+}
+
+func assertPermutation(t *testing.T, assign []int) {
+	t.Helper()
+	seen := make(map[int]bool, len(assign))
+	for _, j := range assign {
+		if j < 0 || j >= len(assign) {
+			t.Fatalf("assignment %v out of range", assign)
+		}
+		if seen[j] {
+			t.Fatalf("assignment %v not a permutation", assign)
+		}
+		seen[j] = true
+	}
+}
+
+func bruteForceMax(w [][]float64) float64 {
+	n := len(w)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var s float64
+			for i, j := range perm {
+				s += w[i][j]
+			}
+			if s > best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}

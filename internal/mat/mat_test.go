@@ -1,0 +1,345 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	mrand "math/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	t.Parallel()
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("got %d×%d, want 2×3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 4.5)
+	if got := m.At(1, 2); got != 4.5 {
+		t.Fatalf("At(1,2) = %v, want 4.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("zero value not zero: %v", got)
+	}
+}
+
+func TestNewFromDataShapeError(t *testing.T) {
+	t.Parallel()
+	if _, err := NewFromData(2, 2, []float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds access")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	t.Parallel()
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if got := id.At(i, j); got != want {
+				t.Errorf("I(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := NewFromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 2, []float64{58, 64, 139, 154})
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("Mul result:\n%vwant:\n%v", got, want)
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	t.Parallel()
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(8)
+		a := randomDense(rng, n, n)
+		got, err := Mul(a, Identity(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxAbsDiff(got, a) > 1e-12 {
+			t.Fatalf("A·I != A for n=%d", n)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got, err := MulVec(a, []float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+	if _, err := MulVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	b, _ := NewFromData(2, 2, []float64{5, 6, 7, 8})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Sub(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(diff, a) > 1e-12 {
+		t.Fatal("(a+b)-b != a")
+	}
+	twice := Scale(2, a)
+	if twice.At(1, 1) != 8 {
+		t.Fatalf("Scale: got %v, want 8", twice.At(1, 1))
+	}
+	// Ensure inputs were not mutated.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 5 {
+		t.Fatal("Add/Sub/Scale mutated their inputs")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T shape %d×%d, want 3×2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("T values wrong: %v", at)
+	}
+	if MaxAbsDiff(at.T(), a) > 0 {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestRowColSetRow(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := a.Row(1)
+	r[0] = 99 // must not alias
+	if a.At(1, 0) != 4 {
+		t.Fatal("Row returned aliasing slice")
+	}
+	c := a.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col = %v", c)
+	}
+	a.SetRow(0, []float64{7, 8, 9})
+	if a.At(0, 2) != 9 {
+		t.Fatal("SetRow did not write")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.IntN(10)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("cholesky n=%d: %v", n, err)
+		}
+		lt := l.T()
+		recon, err := Mul(l, lt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(recon, a); d > 1e-8 {
+			t.Fatalf("L·Lᵀ differs from A by %g (n=%d)", d, n)
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("want ErrNotSPD, got %v", err)
+	}
+	b := New(2, 3)
+	if _, err := Cholesky(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape for non-square, got %v", err)
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.IntN(10)
+		a := randomSPD(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, err := MulVec(a, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveCholesky(l, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("solve mismatch at %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInvertSPD(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(11, 4))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.IntN(8)
+		a := randomSPD(rng, n)
+		inv, err := InvertSPD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := Mul(a, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(prod, Identity(n)); d > 1e-6 {
+			t.Fatalf("A·A⁻¹ differs from I by %g (n=%d)", d, n)
+		}
+	}
+}
+
+func TestRegularizeSPD(t *testing.T) {
+	t.Parallel()
+	// Singular matrix becomes factorizable after jitter.
+	a, _ := NewFromData(2, 2, []float64{1, 1, 1, 1})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected failure on singular matrix")
+	}
+	if _, err := Cholesky(RegularizeSPD(a, 1e-6)); err != nil {
+		t.Fatalf("regularized cholesky failed: %v", err)
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatal("RegularizeSPD mutated input")
+	}
+}
+
+func TestLogDetCholesky(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(2, 2, []float64{4, 0, 0, 9}) // det = 36
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := LogDetCholesky(l), math.Log(36); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logdet = %v, want %v", got, want)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	t.Parallel()
+	a, _ := NewFromData(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := Submatrix(a, []int{0, 2}, []int{1})
+	if s.Rows() != 2 || s.Cols() != 1 || s.At(0, 0) != 2 || s.At(1, 0) != 8 {
+		t.Fatalf("Submatrix wrong: %v", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
+	a := New(1, 1)
+	b := a.Clone()
+	b.Set(0, 0, 5)
+	if a.At(0, 0) != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+// Property: matrix multiplication is associative (A·B)·C == A·(B·C) within
+// floating-point tolerance.
+func TestMulAssociativityProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x9e37))
+		n := 1 + int(seed%5)
+		a := randomDense(r, n, n)
+		b := randomDense(r, n, n)
+		c := randomDense(r, n, n)
+		ab, _ := Mul(a, b)
+		abc1, _ := Mul(ab, c)
+		bc, _ := Mul(b, c)
+		abc2, _ := Mul(a, bc)
+		return MaxAbsDiff(abc1, abc2) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: mrand.New(mrand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randomSPD builds A = GᵀG + n·I which is symmetric positive definite.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	g := randomDense(rng, n, n)
+	gt := g.T()
+	a, err := Mul(gt, g)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestStepRMSE(t *testing.T) {
+	t.Parallel()
+	forecast := [][]float64{{1, 2}, {3, 4}}
+	truth := [][]float64{{1, 2}, {3, 4}}
+	got, err := StepRMSE(forecast, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("identical RMSE = %v, want 0", got)
+	}
+	// One node off by (1,1): mean squared distance = 2/2 = 1 → RMSE 1.
+	forecast2 := [][]float64{{2, 3}, {3, 4}}
+	got, err = StepRMSE(forecast2, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RMSE = %v, want 1", got)
+	}
+	if _, err := StepRMSE(forecast, truth[:1]); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("length mismatch: want ErrBadInput, got %v", err)
+	}
+	if _, err := StepRMSE([][]float64{{1}}, [][]float64{{1, 2}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("dim mismatch: want ErrBadInput, got %v", err)
+	}
+	if _, err := StepRMSE(nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestAccumulatorEquation4(t *testing.T) {
+	t.Parallel()
+	var a Accumulator
+	if !math.IsNaN(a.Value()) {
+		t.Fatal("empty accumulator should be NaN")
+	}
+	// Eq. (4): sqrt(mean of squares), NOT mean of values.
+	a.Add(3)
+	a.Add(4)
+	want := math.Sqrt((9.0 + 16.0) / 2.0)
+	if got := a.Value(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Value = %v, want %v", got, want)
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	var b Accumulator
+	b.AddSquared(9)
+	b.AddSquared(16)
+	if b.Value() != a.Value() {
+		t.Fatal("AddSquared disagrees with Add")
+	}
+}
+
+func TestHorizonSet(t *testing.T) {
+	t.Parallel()
+	if _, err := NewHorizonSet(-1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative maxH: want ErrBadInput, got %v", err)
+	}
+	s, err := NewHorizonSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxH() != 2 {
+		t.Fatalf("MaxH = %d", s.MaxH())
+	}
+	if err := s.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(3, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("out-of-range h: want ErrBadInput, got %v", err)
+	}
+	if got := s.At(0); got != 1 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if !math.IsNaN(s.At(1)) {
+		t.Fatal("empty horizon should be NaN")
+	}
+	// Objective over populated horizons {1, 2}: sqrt((1+4)/2).
+	want := math.Sqrt(2.5)
+	if got := s.Objective(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Objective = %v, want %v", got, want)
+	}
+	empty, _ := NewHorizonSet(1)
+	if !math.IsNaN(empty.Objective()) {
+		t.Fatal("empty objective should be NaN")
+	}
+}
+
+func TestIntermediateRMSE(t *testing.T) {
+	t.Parallel()
+	centroids := [][]float64{{0.0}, {1.0}}
+	truth := [][]float64{{0.1}, {0.9}, {0.0}}
+	assign := []int{0, 1, 0}
+	got, err := IntermediateRMSE(assign, centroids, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((0.01 + 0.01 + 0) / 3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("intermediate RMSE = %v, want %v", got, want)
+	}
+	if _, err := IntermediateRMSE([]int{0}, centroids, truth); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("length mismatch: want ErrBadInput, got %v", err)
+	}
+	if _, err := IntermediateRMSE([]int{5, 0, 0}, centroids, truth); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad assignment: want ErrBadInput, got %v", err)
+	}
+	if _, err := IntermediateRMSE([]int{0, 0, 0}, [][]float64{{1, 2}}, truth); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("dim mismatch: want ErrBadInput, got %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// LSTMNetwork is the paper's forecasting architecture (§VI-A3): stacked LSTM
+// layers followed by a dense layer with ReLU activation. The network maps a
+// sequence of input vectors to one output vector read from the final
+// timestep's top hidden state.
+type LSTMNetwork struct {
+	layers []*LSTMCell
+	head   *Dense
+}
+
+// NetworkConfig sizes an LSTMNetwork.
+type NetworkConfig struct {
+	// InputSize is the per-timestep input width (1 for univariate series).
+	InputSize int
+	// HiddenSize is the LSTM hidden width of every stacked layer.
+	HiddenSize int
+	// Layers is the number of stacked LSTM layers (the paper uses 2).
+	Layers int
+	// OutputSize is the dense head width (1 for one-step-ahead forecasts).
+	OutputSize int
+}
+
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	if c.InputSize == 0 {
+		c.InputSize = 1
+	}
+	if c.HiddenSize == 0 {
+		c.HiddenSize = 16
+	}
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	if c.OutputSize == 0 {
+		c.OutputSize = 1
+	}
+	return c
+}
+
+// NewLSTMNetwork builds the network with Xavier-initialized weights drawn
+// from rng.
+func NewLSTMNetwork(cfg NetworkConfig, rng *rand.Rand) (*LSTMNetwork, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("nn: %d layers: %w", cfg.Layers, ErrBadConfig)
+	}
+	net := &LSTMNetwork{}
+	in := cfg.InputSize
+	for l := 0; l < cfg.Layers; l++ {
+		cell, err := NewLSTMCell(in, cfg.HiddenSize, rng)
+		if err != nil {
+			return nil, err
+		}
+		net.layers = append(net.layers, cell)
+		in = cfg.HiddenSize
+	}
+	head, err := NewDense(cfg.HiddenSize, cfg.OutputSize, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	net.head = head
+	return net, nil
+}
+
+// Params returns every learnable tensor in the network.
+func (n *LSTMNetwork) Params() []*Param {
+	var out []*Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	out = append(out, n.head.Params()...)
+	return out
+}
+
+// ZeroGrad clears all gradients.
+func (n *LSTMNetwork) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// netCache holds the intermediates of one forward pass.
+type netCache struct {
+	layerCaches [][]*lstmCache
+	headCache   *denseCache
+	seqLen      int
+}
+
+// Forward runs the network on a sequence (seqLen × InputSize) and returns
+// the output vector along with the cache for Backward.
+func (n *LSTMNetwork) Forward(seq [][]float64) ([]float64, *netCache) {
+	cache := &netCache{seqLen: len(seq)}
+	cur := seq
+	for _, l := range n.layers {
+		hs, cs := l.ForwardSequence(cur)
+		cache.layerCaches = append(cache.layerCaches, cs)
+		cur = hs
+	}
+	out, hc := n.head.Forward(cur[len(cur)-1])
+	cache.headCache = hc
+	return out, cache
+}
+
+// Predict runs Forward and discards the cache.
+func (n *LSTMNetwork) Predict(seq [][]float64) []float64 {
+	out, _ := n.Forward(seq)
+	return out
+}
+
+// Backward accumulates gradients for ∂L/∂out = dout. The loss is attached to
+// the final timestep only, matching one-step-ahead training.
+func (n *LSTMNetwork) Backward(cache *netCache, dout []float64) {
+	dTop := n.head.Backward(cache.headCache, dout)
+	// Upstream gradient for the top LSTM layer: only the last timestep.
+	dhs := make([][]float64, cache.seqLen)
+	dhs[cache.seqLen-1] = dTop
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		dxs := n.layers[li].BackwardSequence(cache.layerCaches[li], dhs)
+		dhs = dxs // becomes upstream for the layer below, every timestep
+	}
+}
+
+// TrainEpoch performs one epoch of minibatch SGD-with-Adam over the samples.
+// seqs[i] is a window (seqLen × InputSize), targets[i] the desired output.
+// It returns the mean squared error across all samples before the updates of
+// this epoch (i.e., evaluated as it goes). order is a permutation of sample
+// indices supplied by the caller for deterministic shuffling.
+func (n *LSTMNetwork) TrainEpoch(seqs [][][]float64, targets [][]float64, order []int, batchSize int, opt *Adam, clipNorm float64) float64 {
+	if batchSize < 1 {
+		batchSize = 32
+	}
+	var totalLoss float64
+	var count int
+	for start := 0; start < len(order); start += batchSize {
+		end := min(start+batchSize, len(order))
+		n.ZeroGrad()
+		for _, idx := range order[start:end] {
+			out, cache := n.Forward(seqs[idx])
+			dout := make([]float64, len(out))
+			for j := range out {
+				diff := out[j] - targets[idx][j]
+				totalLoss += diff * diff
+				dout[j] = 2 * diff / float64(len(out))
+			}
+			count += len(out)
+			n.Backward(cache, dout)
+		}
+		// Average gradient over batch.
+		bs := float64(end - start)
+		for _, p := range n.Params() {
+			for i := range p.Grad {
+				p.Grad[i] /= bs
+			}
+		}
+		if clipNorm > 0 {
+			ClipGradients(n.Params(), clipNorm)
+		}
+		opt.Step(n.Params())
+	}
+	if count == 0 {
+		return 0
+	}
+	return totalLoss / float64(count)
+}

@@ -1,0 +1,329 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0x5555)) }
+
+func TestNewLSTMCellValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewLSTMCell(0, 4, testRNG(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewLSTMCell(1, 0, testRNG(1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewLSTMCell(1, 4, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil rng: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestLSTMForwardShapes(t *testing.T) {
+	t.Parallel()
+	cell, err := NewLSTMCell(2, 5, testRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}
+	hs, caches := cell.ForwardSequence(seq)
+	if len(hs) != 3 || len(caches) != 3 {
+		t.Fatalf("got %d states / %d caches, want 3", len(hs), len(caches))
+	}
+	for _, h := range hs {
+		if len(h) != 5 {
+			t.Fatalf("hidden width %d, want 5", len(h))
+		}
+		for _, v := range h {
+			if math.Abs(v) >= 1 {
+				t.Fatalf("hidden state out of tanh·sigmoid range: %v", v)
+			}
+		}
+	}
+}
+
+func TestLSTMDeterministicInit(t *testing.T) {
+	t.Parallel()
+	c1, _ := NewLSTMCell(1, 4, testRNG(3))
+	c2, _ := NewLSTMCell(1, 4, testRNG(3))
+	for i := range c1.wx.W {
+		if c1.wx.W[i] != c2.wx.W[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+// TestLSTMGradientCheck verifies the analytic BPTT gradients against central
+// finite differences on a tiny network. This is the make-or-break test for
+// the whole nn package.
+func TestLSTMGradientCheck(t *testing.T) {
+	t.Parallel()
+	rng := testRNG(4)
+	cell, err := NewLSTMCell(2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.5, -0.3}, {0.2, 0.8}, {-0.6, 0.1}, {0.4, 0.4}}
+	target := []float64{0.3, -0.2, 0.5}
+
+	loss := func() float64 {
+		hs, _ := cell.ForwardSequence(seq)
+		last := hs[len(hs)-1]
+		var l float64
+		for j := range last {
+			d := last[j] - target[j]
+			l += d * d
+		}
+		return l
+	}
+
+	// Analytic gradient.
+	hs, caches := cell.ForwardSequence(seq)
+	last := hs[len(hs)-1]
+	dhs := make([][]float64, len(seq))
+	dLast := make([]float64, len(last))
+	for j := range last {
+		dLast[j] = 2 * (last[j] - target[j])
+	}
+	dhs[len(seq)-1] = dLast
+	for _, p := range cell.Params() {
+		p.ZeroGrad()
+	}
+	cell.BackwardSequence(caches, dhs)
+
+	const eps = 1e-6
+	for pi, p := range cell.Params() {
+		// Check a spread of entries in each tensor.
+		stride := max(1, len(p.W)/7)
+		for i := 0; i < len(p.W); i += stride {
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			up := loss()
+			p.W[i] = orig - eps
+			down := loss()
+			p.W[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad[i]
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if diff/scale > 1e-4 {
+				t.Fatalf("param %d entry %d: analytic %v vs numeric %v", pi, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+// TestLSTMInputGradientCheck verifies ∂L/∂x against finite differences, which
+// exercises the dx path used to stack layers.
+func TestLSTMInputGradientCheck(t *testing.T) {
+	t.Parallel()
+	cell, err := NewLSTMCell(2, 3, testRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.5, -0.3}, {0.2, 0.8}}
+	loss := func() float64 {
+		hs, _ := cell.ForwardSequence(seq)
+		last := hs[len(hs)-1]
+		var l float64
+		for _, v := range last {
+			l += v * v
+		}
+		return l
+	}
+	hs, caches := cell.ForwardSequence(seq)
+	last := hs[len(hs)-1]
+	dhs := make([][]float64, len(seq))
+	d := make([]float64, len(last))
+	for j := range last {
+		d[j] = 2 * last[j]
+	}
+	dhs[len(seq)-1] = d
+	for _, p := range cell.Params() {
+		p.ZeroGrad()
+	}
+	dxs := cell.BackwardSequence(caches, dhs)
+
+	const eps = 1e-6
+	for ti := range seq {
+		for xi := range seq[ti] {
+			orig := seq[ti][xi]
+			seq[ti][xi] = orig + eps
+			up := loss()
+			seq[ti][xi] = orig - eps
+			down := loss()
+			seq[ti][xi] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-dxs[ti][xi]) > 1e-5*math.Max(1, math.Abs(numeric)) {
+				t.Fatalf("dx[%d][%d]: analytic %v vs numeric %v", ti, xi, dxs[ti][xi], numeric)
+			}
+		}
+	}
+}
+
+func TestDenseForwardBackward(t *testing.T) {
+	t.Parallel()
+	d, err := NewDense(3, 2, false, testRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -2, 0.5}
+	out, cache := d.Forward(x)
+	if len(out) != 2 {
+		t.Fatalf("output width %d, want 2", len(out))
+	}
+	// Gradient check.
+	target := []float64{0.1, -0.1}
+	loss := func() float64 {
+		o, _ := d.Forward(x)
+		var l float64
+		for j := range o {
+			diff := o[j] - target[j]
+			l += diff * diff
+		}
+		return l
+	}
+	dout := make([]float64, 2)
+	for j := range out {
+		dout[j] = 2 * (out[j] - target[j])
+	}
+	for _, p := range d.Params() {
+		p.ZeroGrad()
+	}
+	dx := d.Backward(cache, dout)
+	const eps = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-5 {
+			t.Fatalf("dense dx[%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestDenseReLUClipsGradient(t *testing.T) {
+	t.Parallel()
+	d, err := NewDense(1, 1, true, testRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a negative preactivation.
+	d.w.W[0] = -5
+	d.b.W[0] = 0
+	out, cache := d.Forward([]float64{1})
+	if out[0] != 0 {
+		t.Fatalf("ReLU output %v, want 0", out[0])
+	}
+	d.ZeroGradAll()
+	dx := d.Backward(cache, []float64{1})
+	if dx[0] != 0 || d.w.Grad[0] != 0 {
+		t.Fatal("gradient should be blocked through inactive ReLU")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	t.Parallel()
+	p := newParam(2)
+	p.W[0], p.W[1] = 5, -3
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad[0] = 2 * (p.W[0] - 1)
+		p.Grad[1] = 2 * (p.W[1] - 2)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.W[0]-1) > 0.05 || math.Abs(p.W[1]-2) > 0.05 {
+		t.Fatalf("Adam did not converge: %v", p.W)
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	t.Parallel()
+	p := newParam(2)
+	p.Grad[0], p.Grad[1] = 3, 4 // norm 5
+	norm := ClipGradients([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v, want 5", norm)
+	}
+	if math.Abs(p.Grad[0]-0.6) > 1e-12 || math.Abs(p.Grad[1]-0.8) > 1e-12 {
+		t.Fatalf("clipped grads %v, want [0.6 0.8]", p.Grad)
+	}
+	// Below the threshold: untouched.
+	p.Grad[0], p.Grad[1] = 0.3, 0.4
+	ClipGradients([]*Param{p}, 1)
+	if p.Grad[0] != 0.3 {
+		t.Fatal("grads below max norm must not change")
+	}
+}
+
+func TestNetworkLearnsSine(t *testing.T) {
+	t.Parallel()
+	rng := testRNG(8)
+	net, err := NewLSTMNetwork(NetworkConfig{InputSize: 1, HiddenSize: 8, Layers: 2, OutputSize: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict next value of a sine mapped into [0.1, 0.9] (ReLU-safe).
+	series := make([]float64, 220)
+	for i := range series {
+		series[i] = 0.5 + 0.4*math.Sin(float64(i)*2*math.Pi/20)
+	}
+	window := 10
+	var seqs [][][]float64
+	var targets [][]float64
+	for i := 0; i+window < len(series); i++ {
+		seq := make([][]float64, window)
+		for j := 0; j < window; j++ {
+			seq[j] = []float64{series[i+j]}
+		}
+		seqs = append(seqs, seq)
+		targets = append(targets, []float64{series[i+window]})
+	}
+	opt := NewAdam(0.01)
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+	var loss float64
+	for epoch := 0; epoch < 60; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		loss = net.TrainEpoch(seqs, targets, order, 32, opt, 5)
+	}
+	if loss > 0.002 {
+		t.Fatalf("network failed to learn sine: final MSE %v", loss)
+	}
+	// One-step prediction quality on a fresh window.
+	pred := net.Predict(seqs[17])
+	if math.Abs(pred[0]-targets[17][0]) > 0.1 {
+		t.Fatalf("prediction %v vs target %v", pred[0], targets[17][0])
+	}
+}
+
+func TestNetworkConfigValidationAndParams(t *testing.T) {
+	t.Parallel()
+	net, err := NewLSTMNetwork(NetworkConfig{}, testRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: 2 layers × 3 tensors + dense 2 tensors = 8.
+	if got := len(net.Params()); got != 8 {
+		t.Fatalf("param tensors = %d, want 8", got)
+	}
+	if _, err := NewLSTMNetwork(NetworkConfig{Layers: -1}, testRNG(9)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+// ZeroGradAll is a small helper for tests.
+func (d *Dense) ZeroGradAll() {
+	for _, p := range d.Params() {
+		p.ZeroGrad()
+	}
+}

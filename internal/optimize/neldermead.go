@@ -1,0 +1,221 @@
+// Package optimize provides the derivative-free Nelder–Mead simplex
+// minimizer used to fit ARIMA coefficients by conditional sum of squares.
+// The objective may be non-smooth or defined only inside a stability region
+// (return +Inf outside), which Nelder–Mead tolerates and gradient methods do
+// not.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadInput is returned for invalid starting points or options.
+var ErrBadInput = errors.New("optimize: invalid input")
+
+// Objective is a function to minimize. It must be deterministic. Returning
+// +Inf (or NaN, which is treated as +Inf) marks a point as infeasible.
+type Objective func(x []float64) float64
+
+// Options tunes the Nelder–Mead run. The zero value selects sensible
+// defaults.
+type Options struct {
+	// MaxEvaluations bounds objective calls. Zero means 200·dim.
+	MaxEvaluations int
+	// Tolerance terminates when the simplex function-value spread falls
+	// below it. Zero means 1e-8.
+	Tolerance float64
+	// ToleranceX additionally requires the simplex diameter (L∞) to fall
+	// below it before terminating, which prevents premature convergence on
+	// simplexes straddling a symmetric minimum. Zero means 1e-6.
+	ToleranceX float64
+	// InitialStep is the size of the initial simplex along each axis.
+	// Zero means 0.1.
+	InitialStep float64
+}
+
+func (o Options) withDefaults(dim int) Options {
+	if o.MaxEvaluations == 0 {
+		o.MaxEvaluations = 200 * dim
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-8
+	}
+	if o.ToleranceX == 0 {
+		o.ToleranceX = 1e-6
+	}
+	if o.InitialStep == 0 {
+		o.InitialStep = 0.1
+	}
+	return o
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Evaluations is the number of objective calls consumed.
+	Evaluations int
+	// Converged reports whether the tolerance criterion was met before the
+	// evaluation budget ran out.
+	Converged bool
+}
+
+// NelderMead minimizes f starting from x0 using the standard simplex method
+// with reflection, expansion, contraction and shrink steps (coefficients
+// 1, 2, 0.5, 0.5).
+func NelderMead(f Objective, x0 []float64, opts Options) (*Result, error) {
+	if len(x0) == 0 {
+		return nil, fmt.Errorf("optimize: empty start point: %w", ErrBadInput)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("optimize: nil objective: %w", ErrBadInput)
+	}
+	dim := len(x0)
+	opts = opts.withDefaults(dim)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build initial simplex: x0 plus a step along each axis.
+	simplex := make([][]float64, dim+1)
+	fvals := make([]float64, dim+1)
+	simplex[0] = append([]float64(nil), x0...)
+	fvals[0] = eval(simplex[0])
+	for i := 0; i < dim; i++ {
+		p := append([]float64(nil), x0...)
+		step := opts.InitialStep
+		if p[i] != 0 {
+			step = opts.InitialStep * math.Max(math.Abs(p[i]), 1)
+		}
+		p[i] += step
+		simplex[i+1] = p
+		fvals[i+1] = eval(p)
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		beta  = 2.0 // expansion
+		gamma = 0.5 // contraction
+		delta = 0.5 // shrink
+	)
+
+	converged := false
+	for evals < opts.MaxEvaluations {
+		sortSimplex(simplex, fvals)
+		if math.IsInf(fvals[0], 1) {
+			break // entire simplex infeasible: no progress possible
+		}
+		if spread(fvals) < opts.Tolerance && diameter(simplex) < opts.ToleranceX {
+			converged = true
+			break
+		}
+		// Centroid of all but the worst vertex.
+		cent := make([]float64, dim)
+		for _, v := range simplex[:dim] {
+			for j := range cent {
+				cent[j] += v[j]
+			}
+		}
+		for j := range cent {
+			cent[j] /= float64(dim)
+		}
+		worst := simplex[dim]
+
+		refl := combine(cent, worst, 1+alpha, -alpha)
+		fRefl := eval(refl)
+		switch {
+		case fRefl < fvals[0]:
+			// Try expanding further in the same direction.
+			exp := combine(cent, worst, 1+alpha*beta, -alpha*beta)
+			if fExp := eval(exp); fExp < fRefl {
+				simplex[dim], fvals[dim] = exp, fExp
+			} else {
+				simplex[dim], fvals[dim] = refl, fRefl
+			}
+		case fRefl < fvals[dim-1]:
+			simplex[dim], fvals[dim] = refl, fRefl
+		default:
+			// Contract toward the better of worst/reflected.
+			var contr []float64
+			if fRefl < fvals[dim] {
+				contr = combine(cent, refl, 1-gamma, gamma)
+			} else {
+				contr = combine(cent, worst, 1-gamma, gamma)
+			}
+			fContr := eval(contr)
+			if fContr < math.Min(fRefl, fvals[dim]) {
+				simplex[dim], fvals[dim] = contr, fContr
+			} else {
+				// Shrink everything toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					simplex[i] = combine(simplex[0], simplex[i], 1-delta, delta)
+					fvals[i] = eval(simplex[i])
+				}
+			}
+		}
+	}
+	sortSimplex(simplex, fvals)
+	return &Result{
+		X:           append([]float64(nil), simplex[0]...),
+		F:           fvals[0],
+		Evaluations: evals,
+		Converged:   converged,
+	}, nil
+}
+
+// combine returns a·x + b·y elementwise.
+func combine(x, y []float64, a, b float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = a*x[i] + b*y[i]
+	}
+	return out
+}
+
+func sortSimplex(simplex [][]float64, fvals []float64) {
+	// Insertion sort: the simplex is nearly sorted between iterations.
+	for i := 1; i < len(fvals); i++ {
+		v, fv := simplex[i], fvals[i]
+		j := i - 1
+		for j >= 0 && fvals[j] > fv {
+			simplex[j+1], fvals[j+1] = simplex[j], fvals[j]
+			j--
+		}
+		simplex[j+1], fvals[j+1] = v, fv
+	}
+}
+
+func spread(fvals []float64) float64 {
+	lo, hi := fvals[0], fvals[0]
+	for _, v := range fvals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(hi, 1) && math.IsInf(lo, 1) {
+		return 0 // entire simplex infeasible: stop
+	}
+	return hi - lo
+}
+
+// diameter is the largest L∞ distance from the best vertex to any other.
+func diameter(simplex [][]float64) float64 {
+	var d float64
+	best := simplex[0]
+	for _, v := range simplex[1:] {
+		for j := range v {
+			d = math.Max(d, math.Abs(v[j]-best[j]))
+		}
+	}
+	return d
+}

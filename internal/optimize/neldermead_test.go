@@ -1,0 +1,129 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	t.Parallel()
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-3 || math.Abs(res.X[1]+2) > 1e-3 {
+		t.Fatalf("minimum at %v, want (3,-2)", res.X)
+	}
+	if !res.Converged {
+		t.Fatal("should converge on a quadratic")
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	t.Parallel()
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, Options{MaxEvaluations: 5000, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1)", res.X)
+	}
+}
+
+func TestNelderMeadOneDimensional(t *testing.T) {
+	t.Parallel()
+	f := func(x []float64) float64 { return math.Abs(x[0] - 0.5) }
+	res, err := NelderMead(f, []float64{-4}, Options{MaxEvaluations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-3 {
+		t.Fatalf("minimum at %v, want 0.5", res.X[0])
+	}
+}
+
+func TestNelderMeadInfeasibleRegion(t *testing.T) {
+	t.Parallel()
+	// Objective defined only for x > 0; +Inf outside. The optimizer must
+	// stay in the feasible region and find the minimum at x=2.
+	f := func(x []float64) float64 {
+		if x[0] <= 0 {
+			return math.Inf(1)
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res, err := NelderMead(f, []float64{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Fatalf("constrained minimum at %v, want 2", res.X[0])
+	}
+}
+
+func TestNelderMeadNaNTreatedAsInf(t *testing.T) {
+	t.Parallel()
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return x[0] * x[0]
+	}
+	res, err := NelderMead(f, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] < -1e-6 || res.F > 1e-4 {
+		t.Fatalf("NaN region entered: x=%v f=%v", res.X, res.F)
+	}
+}
+
+func TestNelderMeadBudget(t *testing.T) {
+	t.Parallel()
+	calls := 0
+	f := func(x []float64) float64 {
+		calls++
+		return x[0] * x[0]
+	}
+	res, err := NelderMead(f, []float64{100}, Options{MaxEvaluations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 12 { // small overshoot allowed within one iteration
+		t.Fatalf("used %d evaluations with budget 10", res.Evaluations)
+	}
+	if calls != res.Evaluations {
+		t.Fatalf("reported %d evaluations, actual %d", res.Evaluations, calls)
+	}
+}
+
+func TestNelderMeadErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := NelderMead(nil, []float64{1}, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil objective: want ErrBadInput, got %v", err)
+	}
+	if _, err := NelderMead(func([]float64) float64 { return 0 }, nil, Options{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty start: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestNelderMeadAllInfeasibleStops(t *testing.T) {
+	t.Parallel()
+	f := func([]float64) float64 { return math.Inf(1) }
+	res, err := NelderMead(f, []float64{0, 0}, Options{MaxEvaluations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.F, 1) {
+		t.Fatalf("expected +Inf objective, got %v", res.F)
+	}
+}

@@ -1,0 +1,257 @@
+// Package stat provides the statistical primitives shared across the
+// repository: moments, covariance and correlation, empirical CDFs, quantiles,
+// information criteria, and RMSE helpers.
+//
+// All functions are pure and operate on float64 slices. Functions that are
+// undefined on empty input return NaN rather than panicking, mirroring the
+// behaviour of the IEEE-754 operations they compose.
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divides by n), or NaN for
+// empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance of xs (divides by n−1),
+// or NaN when fewer than two observations are given.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Covariance returns the sample covariance between xs and ys (divides by
+// n−1), or NaN when the lengths differ or fewer than two pairs are given.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and ys.
+// It returns NaN when either series is constant or the input is degenerate;
+// this matches the paper's definition of spatial correlation (covariance over
+// the product of standard deviations).
+func Correlation(xs, ys []float64) float64 {
+	c := Covariance(xs, ys)
+	sx := math.Sqrt(SampleVariance(xs))
+	sy := math.Sqrt(SampleVariance(ys))
+	if sx == 0 || sy == 0 {
+		return math.NaN()
+	}
+	return c / (sx * sy)
+}
+
+// PairwiseCorrelations returns the Pearson correlation for every unordered
+// pair of rows in series (each row is one node's time series). NaN values
+// (constant series) are omitted from the result.
+func PairwiseCorrelations(series [][]float64) []float64 {
+	var out []float64
+	for i := 0; i < len(series); i++ {
+		for j := i + 1; j < len(series); j++ {
+			r := Correlation(series[i], series[j])
+			if !math.IsNaN(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// ECDF is an empirical cumulative distribution function over a fixed sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the sample xs. The input is copied.
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns F(x) = P(X ≤ x) under the empirical distribution.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// Advance over ties so that At is right-continuous (P(X <= x)).
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Len returns the number of samples backing the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the sample using the
+// nearest-rank method. It returns NaN for empty samples or q outside [0,1].
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if q == 0 {
+		return e.sorted[0]
+	}
+	rank := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(e.sorted) {
+		rank = len(e.sorted) - 1
+	}
+	return e.sorted[rank]
+}
+
+// RMSE returns the root mean square error between predictions and truth. It
+// returns NaN when lengths differ or the input is empty.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MSE returns the mean square error between predictions and truth, or NaN on
+// degenerate input.
+func MSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// AICc returns the corrected Akaike information criterion for a Gaussian
+// model with n observations, k estimated parameters, and residual sum of
+// squares rss. When the correction term denominator n−k−1 is non-positive the
+// criterion is +Inf, which makes over-parameterized models lose any model
+// selection they take part in.
+func AICc(n, k int, rss float64) float64 {
+	if n <= 0 || rss <= 0 {
+		return math.Inf(1)
+	}
+	aic := float64(n)*math.Log(rss/float64(n)) + 2*float64(k)
+	denom := float64(n - k - 1)
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return aic + 2*float64(k)*float64(k+1)/denom
+}
+
+// Normalize returns (xs − mean)/std along with the mean and std used. When
+// the series is constant the std returned is 1 so the transform is invertible.
+func Normalize(xs []float64) (normalized []float64, mean, std float64) {
+	mean = Mean(xs)
+	std = StdDev(xs)
+	if std == 0 || math.IsNaN(std) {
+		std = 1
+	}
+	normalized = make([]float64, len(xs))
+	for i, x := range xs {
+		normalized[i] = (x - mean) / std
+	}
+	return normalized, mean, std
+}
+
+// Denormalize inverts Normalize for a single value.
+func Denormalize(x, mean, std float64) float64 { return x*std + mean }
+
+// Clamp limits v to the interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Diff returns the lag-k difference of xs: out[i] = xs[i+k] − xs[i], with
+// length len(xs)−k. It returns nil when xs is shorter than k+1.
+func Diff(xs []float64, k int) []float64 {
+	if k <= 0 || len(xs) <= k {
+		return nil
+	}
+	out := make([]float64, len(xs)-k)
+	for i := range out {
+		out[i] = xs[i+k] - xs[i]
+	}
+	return out
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs, or NaN for
+// degenerate input.
+func Autocorrelation(xs []float64, k int) float64 {
+	if k < 0 || len(xs) <= k {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < len(xs)-k; i++ {
+		num += (xs[i] - m) * (xs[i+k] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

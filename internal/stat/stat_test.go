@@ -1,0 +1,278 @@
+package stat
+
+import (
+	"math"
+	mrand "math/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, math.NaN()},
+		{"single", []float64{3}, 3},
+		{"symmetric", []float64{-1, 1}, 0},
+		{"typical", []float64{1, 2, 3, 4}, 2.5},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	t.Parallel()
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Fatal("Variance(nil) should be NaN")
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3}
+	if got := SampleVariance(xs); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want 1", got)
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Fatal("SampleVariance of single element should be NaN")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10} // perfectly correlated
+	if got := Correlation(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Correlation = %v, want -1", got)
+	}
+	constant := []float64{3, 3, 3, 3, 3}
+	if got := Correlation(xs, constant); !math.IsNaN(got) {
+		t.Fatalf("Correlation with constant = %v, want NaN", got)
+	}
+	if got := Covariance(xs, ys[:3]); !math.IsNaN(got) {
+		t.Fatalf("Covariance length mismatch = %v, want NaN", got)
+	}
+}
+
+func TestPairwiseCorrelations(t *testing.T) {
+	t.Parallel()
+	series := [][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{5, 5, 5, 5}, // constant: pairs with it are dropped
+	}
+	got := PairwiseCorrelations(series)
+	if len(got) != 1 {
+		t.Fatalf("got %d correlations, want 1 (constant rows dropped)", len(got))
+	}
+	if !almostEqual(got[0], 1, 1e-12) {
+		t.Fatalf("correlation = %v, want 1", got[0])
+	}
+}
+
+func TestECDF(t *testing.T) {
+	t.Parallel()
+	e := NewECDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("F(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", e.Len())
+	}
+	if got := NewECDF(nil).At(1); !math.IsNaN(got) {
+		t.Fatalf("empty ECDF At = %v, want NaN", got)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + int(seed%50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.25 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: mrand.New(mrand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+	e := NewECDF([]float64{1, 2, 3, 4})
+	if got := e.Quantile(0); got != 1 {
+		t.Fatalf("Q(0) = %v, want 1", got)
+	}
+	if got := e.Quantile(0.5); got != 2 {
+		t.Fatalf("Q(0.5) = %v, want 2", got)
+	}
+	if got := e.Quantile(1); got != 4 {
+		t.Fatalf("Q(1) = %v, want 4", got)
+	}
+	if got := e.Quantile(1.5); !math.IsNaN(got) {
+		t.Fatalf("Q(1.5) = %v, want NaN", got)
+	}
+}
+
+func TestRMSEAndMSE(t *testing.T) {
+	t.Parallel()
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 3}
+	if got := RMSE(pred, truth); got != 0 {
+		t.Fatalf("RMSE identical = %v, want 0", got)
+	}
+	pred2 := []float64{2, 3, 4}
+	if got := RMSE(pred2, truth); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("RMSE = %v, want 1", got)
+	}
+	if got := MSE(pred2, truth); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("MSE = %v, want 1", got)
+	}
+	if got := RMSE(pred, truth[:2]); !math.IsNaN(got) {
+		t.Fatalf("RMSE mismatched lengths = %v, want NaN", got)
+	}
+}
+
+func TestAICc(t *testing.T) {
+	t.Parallel()
+	// More parameters with the same fit must be penalized.
+	low := AICc(100, 2, 10)
+	high := AICc(100, 10, 10)
+	if low >= high {
+		t.Fatalf("AICc should penalize parameters: k=2 %v vs k=10 %v", low, high)
+	}
+	// Saturated model: correction denominator non-positive → +Inf.
+	if got := AICc(5, 5, 1); !math.IsInf(got, 1) {
+		t.Fatalf("AICc saturated = %v, want +Inf", got)
+	}
+	if got := AICc(0, 1, 1); !math.IsInf(got, 1) {
+		t.Fatalf("AICc n=0 = %v, want +Inf", got)
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	t.Parallel()
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	norm, mean, std := Normalize(xs)
+	if !almostEqual(Mean(norm), 0, 1e-12) {
+		t.Fatalf("normalized mean = %v, want 0", Mean(norm))
+	}
+	for i := range xs {
+		if got := Denormalize(norm[i], mean, std); !almostEqual(got, xs[i], 1e-9) {
+			t.Fatalf("round trip at %d: %v vs %v", i, got, xs[i])
+		}
+	}
+	// Constant series: std forced to 1, transform still invertible.
+	cs := []float64{2, 2, 2}
+	norm2, m2, s2 := Normalize(cs)
+	if s2 != 1 {
+		t.Fatalf("constant series std = %v, want 1", s2)
+	}
+	if got := Denormalize(norm2[0], m2, s2); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("constant round trip = %v, want 2", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	t.Parallel()
+	if got := Clamp(-0.5, 0, 1); got != 0 {
+		t.Fatalf("Clamp low = %v", got)
+	}
+	if got := Clamp(1.5, 0, 1); got != 1 {
+		t.Fatalf("Clamp high = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Fatalf("Clamp mid = %v", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 3, 6, 10}
+	got := Diff(xs, 1)
+	want := []float64{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Diff length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Diff(xs, 4) != nil {
+		t.Fatal("Diff beyond length should be nil")
+	}
+	if Diff(xs, 0) != nil {
+		t.Fatal("Diff lag 0 should be nil")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	t.Parallel()
+	// Perfectly periodic series has autocorrelation 1 at its period... use
+	// lag-0 = 1 and check lag-1 of alternating series is negative.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(alt, 0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("lag-0 autocorrelation = %v, want 1", got)
+	}
+	if got := Autocorrelation(alt, 1); got >= 0 {
+		t.Fatalf("lag-1 autocorrelation of alternating = %v, want negative", got)
+	}
+	if got := Autocorrelation([]float64{1, 1}, 1); !math.IsNaN(got) {
+		t.Fatalf("constant series autocorrelation = %v, want NaN", got)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSVRoundTripProperty: any generated dataset survives the CSV codec
+// bit-exactly, for arbitrary shapes, resource counts, and quantization.
+func TestCSVRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+		cfg := GeneratorConfig{
+			Nodes:     1 + rng.IntN(12),
+			Steps:     1 + rng.IntN(20),
+			Resources: 1 + rng.IntN(3),
+			Quantum:   -1, // full float precision round trip
+			Seed:      seed,
+		}
+		d, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := SaveCSV(&buf, d); err != nil {
+			return false
+		}
+		got, err := LoadCSV(&buf, d.Name)
+		if err != nil {
+			return false
+		}
+		if got.Nodes() != d.Nodes() || got.Steps() != d.Steps() ||
+			got.NumResources() != d.NumResources() {
+			return false
+		}
+		for step := range d.Data {
+			for i := range d.Data[step] {
+				for r := range d.Data[step][i] {
+					if got.Data[step][i][r] != d.Data[step][i][r] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: mrand.New(mrand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

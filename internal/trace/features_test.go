@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantizationProperty: every generated value is a multiple of the
+// quantum (within float tolerance) when quantization is on, and flat
+// stretches exist (the adaptive-transmission banking signal).
+func TestQuantizationProperty(t *testing.T) {
+	t.Parallel()
+	d, err := Generate(GeneratorConfig{Nodes: 30, Steps: 300, Quantum: 0.01, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := 0
+	total := 0
+	for step := 0; step < d.Steps(); step++ {
+		for i := 0; i < d.Nodes(); i++ {
+			for _, v := range d.At(step, i) {
+				q := v / 0.01
+				if math.Abs(q-math.Round(q)) > 1e-9 {
+					t.Fatalf("value %v not on 0.01 grid", v)
+				}
+			}
+			if step > 0 {
+				total++
+				if d.At(step, i)[0] == d.At(step-1, i)[0] {
+					flat++
+				}
+			}
+		}
+	}
+	if frac := float64(flat) / float64(total); frac < 0.2 {
+		t.Fatalf("only %.2f of consecutive samples are exactly flat; quantization "+
+			"should create flat stretches", frac)
+	}
+}
+
+func TestQuantizationDisabled(t *testing.T) {
+	t.Parallel()
+	d, err := Generate(GeneratorConfig{Nodes: 10, Steps: 100, Quantum: -1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offGrid := 0
+	for step := 0; step < d.Steps(); step++ {
+		for i := 0; i < d.Nodes(); i++ {
+			v := d.At(step, i)[0]
+			q := v / 0.01
+			if math.Abs(q-math.Round(q)) > 1e-9 {
+				offGrid++
+			}
+		}
+	}
+	if offGrid == 0 {
+		t.Fatal("with quantization disabled values should not sit on the grid")
+	}
+}
+
+// TestIdleMachinesAreConstant: with idle machines forced on, a substantial
+// fraction of machines emit (almost) constant series — the singular-
+// covariance feature of real traces.
+func TestIdleMachinesAreConstant(t *testing.T) {
+	t.Parallel()
+	d, err := Generate(GeneratorConfig{
+		Nodes: 60, Steps: 400, IdleProb: 0.5, TwinProb: -1,
+		NodeBurstProb: -1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := 0
+	for i := 0; i < d.Nodes(); i++ {
+		s := d.NodeSeries(i, 0)
+		same := true
+		for _, v := range s[1:] {
+			if v != s[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			constant++
+		}
+	}
+	// ~50% idle, each exactly constant without bursts.
+	if constant < d.Nodes()/4 {
+		t.Fatalf("only %d/%d machines constant with IdleProb=0.5", constant, d.Nodes())
+	}
+}
+
+// TestTwinMachinesMirror: twins track their target almost exactly.
+func TestTwinMachinesMirror(t *testing.T) {
+	t.Parallel()
+	d, err := Generate(GeneratorConfig{
+		Nodes: 40, Steps: 300, TwinProb: 0.9, IdleProb: -1, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With TwinProb 0.9 almost every node i>0 mirrors an earlier node.
+	// Detect pairs by near-perfect agreement.
+	pairs := 0
+	for i := 1; i < d.Nodes(); i++ {
+		si := d.NodeSeries(i, 0)
+		for j := 0; j < i; j++ {
+			sj := d.NodeSeries(j, 0)
+			agree := 0
+			for k := range si {
+				if math.Abs(si[k]-sj[k]) <= 0.0100001 {
+					agree++
+				}
+			}
+			if float64(agree) >= 0.95*float64(len(si)) {
+				pairs++
+				break
+			}
+		}
+	}
+	if pairs < d.Nodes()/2 {
+		t.Fatalf("only %d near-duplicate machines found with TwinProb=0.9", pairs)
+	}
+}
+
+// TestDiurnalAmpControlsCycle: a strong DiurnalAmp yields visibly periodic
+// mean utilization; a disabled one does not.
+func TestDiurnalAmpControlsCycle(t *testing.T) {
+	t.Parallel()
+	period := 96
+	strong, err := Generate(GeneratorConfig{
+		Nodes: 40, Steps: 4 * period, DiurnalPeriod: period, DiurnalAmp: 0.35,
+		Profiles: 2, BurstProb: -1, NodeBurstProb: -1, IdleProb: -1,
+		TwinProb: -1, ChurnProb: -1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Generate(GeneratorConfig{
+		Nodes: 40, Steps: 4 * period, DiurnalPeriod: period, DiurnalAmp: -1,
+		Profiles: 2, BurstProb: -1, NodeBurstProb: -1, IdleProb: -1,
+		TwinProb: -1, ChurnProb: -1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp(meanSeries(strong)) < 4*amp(meanSeries(flat)) {
+		t.Fatalf("diurnal amplitude knob ineffective: strong %v vs flat %v",
+			amp(meanSeries(strong)), amp(meanSeries(flat)))
+	}
+}
+
+func meanSeries(d *Dataset) []float64 {
+	out := make([]float64, d.Steps())
+	for t := 0; t < d.Steps(); t++ {
+		var s float64
+		for i := 0; i < d.Nodes(); i++ {
+			s += d.At(t, i)[0]
+		}
+		out[t] = s / float64(d.Nodes())
+	}
+	return out
+}
+
+func amp(s []float64) float64 {
+	lo, hi := s[0], s[0]
+	for _, v := range s {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}

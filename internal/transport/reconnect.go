@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ReconnectingClient wraps Client with automatic redial. Monitoring
+// semantics make this simple: measurements are idempotent snapshots keyed by
+// (node, step) and the store keeps only the newest, so losing a few samples
+// during an outage is acceptable — the client never buffers, it just
+// re-establishes the stream and lets the adaptive policy's future
+// transmissions repair staleness.
+//
+// Send attempts one redial per call when the connection is down, with a
+// capped exponential backoff between redial attempts so a dead collector is
+// not hammered.
+type ReconnectingClient struct {
+	addr string
+	node int
+
+	mu          sync.Mutex
+	client      *Client
+	closed      bool
+	nextAttempt time.Time
+	backoff     time.Duration
+
+	minBackoff time.Duration
+	maxBackoff time.Duration
+}
+
+var _ interface {
+	Send(step int, values []float64) error
+	Close() error
+} = (*ReconnectingClient)(nil)
+
+// NewReconnectingClient prepares a lazily-dialed client for the node. No
+// connection is attempted until the first Send.
+func NewReconnectingClient(addr string, node int) *ReconnectingClient {
+	return &ReconnectingClient{
+		addr:       addr,
+		node:       node,
+		minBackoff: 50 * time.Millisecond,
+		maxBackoff: 5 * time.Second,
+	}
+}
+
+// SetBackoff overrides the redial backoff bounds (useful in tests).
+func (r *ReconnectingClient) SetBackoff(minB, maxB time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if minB > 0 {
+		r.minBackoff = minB
+	}
+	if maxB >= r.minBackoff {
+		r.maxBackoff = maxB
+	}
+}
+
+// Send transmits one measurement, redialing if necessary. It returns an
+// error when the measurement could not be delivered in this call; callers
+// may simply try again on their next sample.
+func (r *ReconnectingClient) Send(step int, values []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.client == nil {
+		if err := r.redialLocked(); err != nil {
+			return err
+		}
+	}
+	if err := r.client.Send(step, values); err != nil {
+		// Connection went bad: drop it and try one immediate redial.
+		_ = r.client.Close()
+		r.client = nil
+		if err := r.redialLocked(); err != nil {
+			return fmt.Errorf("transport: send failed and redial pending: %w", err)
+		}
+		if err := r.client.Send(step, values); err != nil {
+			_ = r.client.Close()
+			r.client = nil
+			return fmt.Errorf("transport: send after redial: %w", err)
+		}
+	}
+	return nil
+}
+
+// redialLocked attempts to establish a connection, honoring the backoff
+// window. The caller holds r.mu.
+func (r *ReconnectingClient) redialLocked() error {
+	now := time.Now()
+	if now.Before(r.nextAttempt) {
+		return fmt.Errorf("transport: redial backoff until %s: %w",
+			r.nextAttempt.Format(time.RFC3339Nano), ErrClosed)
+	}
+	c, err := Dial(r.addr, r.node)
+	if err != nil {
+		if r.backoff == 0 {
+			r.backoff = r.minBackoff
+		} else {
+			r.backoff *= 2
+			if r.backoff > r.maxBackoff {
+				r.backoff = r.maxBackoff
+			}
+		}
+		r.nextAttempt = now.Add(r.backoff)
+		return fmt.Errorf("transport: redial %s: %w", r.addr, err)
+	}
+	r.client = c
+	r.backoff = 0
+	r.nextAttempt = time.Time{}
+	return nil
+}
+
+// Connected reports whether a live connection is currently held.
+func (r *ReconnectingClient) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.client != nil
+}
+
+// Close tears down the connection; subsequent Sends fail with ErrClosed.
+func (r *ReconnectingClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.client != nil {
+		err := r.client.Close()
+		r.client = nil
+		return err
+	}
+	return nil
+}

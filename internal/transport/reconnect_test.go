@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePort reserves a local port and releases it so a server can bind it.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+func waitFor(t *testing.T, cond func() bool, within time.Duration, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReconnectingClientLazyDialAndSend(t *testing.T) {
+	t.Parallel()
+	store := NewStore()
+	srv, err := NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rc := NewReconnectingClient(addr, 7)
+	defer rc.Close()
+	if rc.Connected() {
+		t.Fatal("client should be lazy")
+	}
+	if err := rc.Send(1, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Connected() {
+		t.Fatal("client should be connected after first send")
+	}
+	waitFor(t, func() bool { _, ok := store.Latest(7); return ok }, 2*time.Second,
+		"measurement never arrived")
+}
+
+func TestReconnectingClientSurvivesServerRestart(t *testing.T) {
+	t.Parallel()
+	addr := freePort(t)
+
+	store1 := NewStore()
+	srv1, err := NewServer(store1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := NewReconnectingClient(addr, 3)
+	rc.SetBackoff(time.Millisecond, 10*time.Millisecond)
+	defer rc.Close()
+	if err := rc.Send(1, []float64{0.1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { _, ok := store1.Latest(3); return ok }, 2*time.Second,
+		"first measurement never arrived")
+
+	// Kill the collector. Sends start failing (possibly after a few calls:
+	// TCP buffering delays the error).
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	failedOnce := false
+	for i := 0; i < 100; i++ {
+		if err := rc.Send(100+i, []float64{0.2}); err != nil {
+			failedOnce = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !failedOnce {
+		t.Fatal("sends never failed while the collector was down")
+	}
+
+	// Restart the collector on the same address; the client must recover.
+	store2 := NewStore()
+	srv2, err := NewServer(store2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bindErr error
+	waitFor(t, func() bool {
+		_, bindErr = srv2.Listen(addr)
+		return bindErr == nil
+	}, 3*time.Second, "could not rebind collector address")
+	defer srv2.Close()
+
+	recovered := false
+	deadline := time.Now().Add(5 * time.Second)
+	step := 1000
+	for time.Now().Before(deadline) {
+		step++
+		if err := rc.Send(step, []float64{0.9}); err == nil {
+			recovered = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("client never recovered after restart")
+	}
+	waitFor(t, func() bool { m, ok := store2.Latest(3); return ok && m.Values[0] == 0.9 },
+		2*time.Second, "post-restart measurement never arrived")
+}
+
+func TestReconnectingClientBackoffLimitsDialRate(t *testing.T) {
+	t.Parallel()
+	// Nothing listens at this address.
+	rc := NewReconnectingClient("127.0.0.1:1", 0)
+	rc.SetBackoff(50*time.Millisecond, time.Second)
+	defer rc.Close()
+	if err := rc.Send(1, []float64{1}); err == nil {
+		t.Fatal("send to dead address should fail")
+	}
+	// Within the backoff window the next send must fail fast with the
+	// backoff error rather than re-dialing.
+	start := time.Now()
+	err := rc.Send(2, []float64{1})
+	if err == nil {
+		t.Fatal("send during backoff should fail")
+	}
+	if !strings.Contains(err.Error(), "backoff") {
+		t.Fatalf("want backoff error, got %v", err)
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("backoff send should not block on dialing")
+	}
+}
+
+func TestReconnectingClientClose(t *testing.T) {
+	t.Parallel()
+	rc := NewReconnectingClient("127.0.0.1:1", 0)
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := rc.Send(1, []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: want ErrClosed, got %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package transport implements the distributed collection plane: local node
+// agents stream their (adaptively filtered) measurements to the central
+// collector over TCP with gob encoding. The in-process simulator bypasses
+// this layer; the livecollect example and the cmd/collectd + cmd/nodeagent
+// binaries run it for real.
+//
+// Protocol: each connection carries a gob stream of Envelope values. The
+// first envelope from an agent must carry a Hello identifying the node; every
+// subsequent envelope carries a Measurement. The server applies measurements
+// to a Store and invokes an optional callback.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"encoding/gob"
+)
+
+// ErrClosed is returned when operating on a closed client or server.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrProtocol reports a malformed message sequence.
+var ErrProtocol = errors.New("transport: protocol violation")
+
+// Hello identifies an agent when its connection opens.
+type Hello struct {
+	// Node is the agent's node index.
+	Node int
+}
+
+// Measurement is one transmitted observation.
+type Measurement struct {
+	// Node is the reporting node index.
+	Node int
+	// Step is the node-local time step of the observation.
+	Step int
+	// Values is the d-dimensional measurement.
+	Values []float64
+}
+
+// Envelope is the wire message. Exactly one field is non-nil.
+type Envelope struct {
+	Hello       *Hello
+	Measurement *Measurement
+}
+
+// Store holds the most recent measurement of every node, i.e. the central
+// node's z_t. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	latest map[int]Measurement
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{latest: make(map[int]Measurement)}
+}
+
+// Apply records a measurement, keeping only the newest step per node.
+func (s *Store) Apply(m Measurement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.latest[m.Node]; ok && prev.Step >= m.Step {
+		return
+	}
+	s.latest[m.Node] = m
+}
+
+// Latest returns the most recent measurement of a node.
+func (s *Store) Latest(node int) (Measurement, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.latest[node]
+	return m, ok
+}
+
+// Snapshot returns the latest measurement of every node that has reported.
+func (s *Store) Snapshot() map[int]Measurement {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int]Measurement, len(s.latest))
+	for k, v := range s.latest {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of nodes that have reported at least once.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.latest)
+}
+
+// Server is the central collector endpoint.
+type Server struct {
+	store    *Store
+	onUpdate func(Measurement)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a collector around the store. onUpdate, when non-nil, is
+// invoked after each stored measurement (serialized per connection, but
+// concurrent across connections — the callee must synchronize if needed).
+func NewServer(store *Store, onUpdate func(Measurement)) (*Server, error) {
+	if store == nil {
+		return nil, fmt.Errorf("transport: nil store: %w", ErrProtocol)
+	}
+	return &Server{
+		store:    store,
+		onUpdate: onUpdate,
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen binds the given address ("127.0.0.1:0" for an ephemeral port) and
+// starts accepting agents. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if s.listener != nil {
+		return "", fmt.Errorf("transport: already listening: %w", ErrProtocol)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	dec := gob.NewDecoder(conn)
+	var hello Envelope
+	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
+		return // protocol violation: drop the connection
+	}
+	node := hello.Hello.Node
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return // EOF or closed
+		}
+		if env.Measurement == nil || env.Measurement.Node != node {
+			return // protocol violation
+		}
+		s.store.Apply(*env.Measurement)
+		if s.onUpdate != nil {
+			s.onUpdate(*env.Measurement)
+		}
+	}
+}
+
+// Close shuts the server down: stops accepting, closes live connections, and
+// waits for handler goroutines to finish. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a node agent's connection to the collector.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	node   int
+	closed bool
+}
+
+// Dial connects to the collector and sends the Hello for this node.
+func Dial(addr string, node int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(Envelope{Hello: &Hello{Node: node}}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	return &Client{conn: conn, enc: enc, node: node}, nil
+}
+
+// Send transmits one measurement. The Node field is forced to the client's
+// registered identity.
+func (c *Client) Send(step int, values []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	m := Measurement{Node: c.node, Step: step, Values: append([]float64(nil), values...)}
+	if err := c.enc.Encode(Envelope{Measurement: &m}); err != nil {
+		if errors.Is(err, io.ErrClosedPipe) {
+			return ErrClosed
+		}
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// Close tears the connection down. Safe to call more than once.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,403 @@
+// Package orcf (Online Resource Collection and Forecasting) is the public
+// API of this repository: a Go implementation of "Online Collection and
+// Forecasting of Resource Utilization in Large-Scale Distributed Systems"
+// (Tuor, Wang, Leung, Ko — ICDCS 2019).
+//
+// The pipeline monitors N machines from one central node under a
+// transmission-frequency budget:
+//
+//  1. each machine decides per time step whether to upload its measurement
+//     (Lyapunov drift-plus-penalty, §V-A of the paper);
+//  2. the central node compresses the stored measurements into K evolving
+//     clusters whose identities persist over time (§V-B);
+//  3. one forecasting model per cluster (sample-and-hold, ARIMA, or LSTM)
+//     predicts future centroids, and per-node forecasts are reconstructed
+//     as centroid + per-node offset (§V-C).
+//
+// Minimal usage:
+//
+//	sys, err := orcf.New(nodes, 2,
+//		orcf.WithBudget(0.3),
+//		orcf.WithClusters(3),
+//		orcf.WithARIMA(orcf.DefaultARIMAGrid()))
+//	...
+//	for t := 0; t < steps; t++ {
+//		if _, err := sys.Step(measurements[t]); err != nil { ... }
+//		if sys.Ready() {
+//			f, err := sys.Forecast(5) // f[h][node][resource]
+//			...
+//		}
+//	}
+package orcf
+
+import (
+	"errors"
+	"fmt"
+
+	"orcf/internal/cluster"
+	"orcf/internal/core"
+	"orcf/internal/forecast"
+	"orcf/internal/sim"
+	"orcf/internal/trace"
+	"orcf/internal/transmit"
+)
+
+// Re-exported types: external consumers use these through the root package
+// (the implementing packages are internal).
+type (
+	// StepResult reports one processed time step (transmissions and the
+	// per-resource clustering outcome).
+	StepResult = core.StepResult
+	// ResourceStep is the clustering outcome for one resource tracker.
+	ResourceStep = core.ResourceStep
+	// Dataset is a dense Steps × Nodes × Resources measurement tensor.
+	Dataset = trace.Dataset
+	// GeneratorConfig parameterizes synthetic trace generation.
+	GeneratorConfig = trace.GeneratorConfig
+	// TracePreset identifies one of the built-in dataset imitations.
+	TracePreset = trace.Preset
+	// LSTMConfig parameterizes the LSTM forecaster.
+	LSTMConfig = forecast.LSTMConfig
+	// ARIMAGrid is the ARIMA hyper-parameter search space.
+	ARIMAGrid = forecast.Grid
+	// Model is a univariate forecasting model.
+	Model = forecast.Model
+	// EvalConfig controls an evaluation run over a dataset.
+	EvalConfig = sim.Config
+	// EvalResult is the outcome of an evaluation run.
+	EvalResult = sim.Result
+)
+
+// ErrBadOption reports an invalid option combination.
+var ErrBadOption = errors.New("orcf: invalid option")
+
+// Option configures New.
+type Option func(*core.Config) error
+
+// WithClusters sets K, the number of clusters and forecasting models
+// (paper default 3).
+func WithClusters(k int) Option {
+	return func(c *core.Config) error {
+		if k < 1 {
+			return fmt.Errorf("orcf: K=%d: %w", k, ErrBadOption)
+		}
+		c.K = k
+		return nil
+	}
+}
+
+// WithBudget installs the paper's adaptive transmission policy with
+// long-run frequency budget b ∈ [0,1] on every node (paper default 0.3).
+func WithBudget(b float64) Option {
+	return func(c *core.Config) error {
+		c.Policy = func(int) (transmit.Policy, error) {
+			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: b})
+		}
+		return nil
+	}
+}
+
+// WithAdaptivePolicy installs the adaptive policy with explicit Lyapunov
+// control parameters V0 and γ (paper defaults 1e-12 and 0.65).
+func WithAdaptivePolicy(budget, v0, gamma float64) Option {
+	return func(c *core.Config) error {
+		c.Policy = func(int) (transmit.Policy, error) {
+			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: budget, V0: v0, Gamma: gamma})
+		}
+		return nil
+	}
+}
+
+// WithUniformSampling installs the uniform-sampling baseline at frequency b.
+func WithUniformSampling(b float64) Option {
+	return func(c *core.Config) error {
+		c.Policy = func(int) (transmit.Policy, error) {
+			return transmit.NewUniform(b)
+		}
+		return nil
+	}
+}
+
+// WithAlwaysTransmit disables collection filtering (B = 1).
+func WithAlwaysTransmit() Option {
+	return func(c *core.Config) error {
+		c.Policy = func(int) (transmit.Policy, error) { return transmit.Always{}, nil }
+		return nil
+	}
+}
+
+// WithPolicyFactory installs a custom per-node transmission policy.
+func WithPolicyFactory(f core.PolicyFactory) Option {
+	return func(c *core.Config) error {
+		if f == nil {
+			return fmt.Errorf("orcf: nil policy factory: %w", ErrBadOption)
+		}
+		c.Policy = f
+		return nil
+	}
+}
+
+// WithSampleAndHold uses the sample-and-hold forecaster (default).
+func WithSampleAndHold() Option {
+	return func(c *core.Config) error {
+		c.Model = func() forecast.Model { return forecast.NewSampleAndHold() }
+		return nil
+	}
+}
+
+// WithARIMA uses AICc-selected ARIMA models over the given grid.
+func WithARIMA(grid ARIMAGrid) Option {
+	return func(c *core.Config) error {
+		c.Model = func() forecast.Model { return forecast.NewAutoARIMA(grid) }
+		return nil
+	}
+}
+
+// WithAR uses a fixed-order AR(p) forecaster.
+func WithAR(p int) Option {
+	return func(c *core.Config) error {
+		if p < 1 {
+			return fmt.Errorf("orcf: AR order %d: %w", p, ErrBadOption)
+		}
+		c.Model = func() forecast.Model {
+			m, err := forecast.NewAR(p)
+			if err != nil {
+				panic(err) // unreachable: p validated above
+			}
+			return m
+		}
+		return nil
+	}
+}
+
+// WithLSTM uses the two-layer LSTM forecaster.
+func WithLSTM(cfg LSTMConfig) Option {
+	return func(c *core.Config) error {
+		c.Model = func() forecast.Model { return forecast.NewLSTM(cfg) }
+		return nil
+	}
+}
+
+// WithSES uses simple exponential smoothing with the given alpha
+// (0 selects the default 0.3) — the cheapest level-adaptive forecaster.
+func WithSES(alpha float64) Option {
+	return func(c *core.Config) error {
+		if _, err := forecast.NewSES(alpha); err != nil {
+			return fmt.Errorf("orcf: %w", err)
+		}
+		c.Model = func() forecast.Model {
+			m, err := forecast.NewSES(alpha)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return m
+		}
+		return nil
+	}
+}
+
+// WithHolt uses damped Holt linear-trend smoothing (zeros select the
+// defaults α=0.3, β=0.1, φ=0.98).
+func WithHolt(alpha, beta, phi float64) Option {
+	return func(c *core.Config) error {
+		if _, err := forecast.NewHolt(alpha, beta, phi); err != nil {
+			return fmt.Errorf("orcf: %w", err)
+		}
+		c.Model = func() forecast.Model {
+			m, err := forecast.NewHolt(alpha, beta, phi)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return m
+		}
+		return nil
+	}
+}
+
+// WithHoltWinters uses additive Holt-Winters smoothing with the given
+// seasonal period (e.g. 288 for daily cycles at 5-minute sampling).
+func WithHoltWinters(period int) Option {
+	return func(c *core.Config) error {
+		if _, err := forecast.NewHoltWinters(period, 0, 0, 0); err != nil {
+			return fmt.Errorf("orcf: %w", err)
+		}
+		c.Model = func() forecast.Model {
+			m, err := forecast.NewHoltWinters(period, 0, 0, 0)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return m
+		}
+		return nil
+	}
+}
+
+// WithModelBuilder installs a custom forecasting model factory.
+func WithModelBuilder(b forecast.Builder) Option {
+	return func(c *core.Config) error {
+		if b == nil {
+			return fmt.Errorf("orcf: nil model builder: %w", ErrBadOption)
+		}
+		c.Model = b
+		return nil
+	}
+}
+
+// WithSimilarityLookback sets M, the cluster-matching look-back of eq. (10)
+// (paper default 1).
+func WithSimilarityLookback(m int) Option {
+	return func(c *core.Config) error {
+		if m < 1 {
+			return fmt.Errorf("orcf: M=%d: %w", m, ErrBadOption)
+		}
+		c.M = m
+		return nil
+	}
+}
+
+// WithMembershipLookback sets M′, the look-back for membership forecasting
+// and offsets (paper default 5). Zero selects "current step only".
+func WithMembershipLookback(mPrime int) Option {
+	return func(c *core.Config) error {
+		if mPrime < 0 {
+			return fmt.Errorf("orcf: M'=%d: %w", mPrime, ErrBadOption)
+		}
+		if mPrime == 0 {
+			c.MPrime = -1
+		} else {
+			c.MPrime = mPrime
+		}
+		return nil
+	}
+}
+
+// WithJaccardSimilarity switches cluster matching to the Jaccard index
+// (the Fig. 11 comparison); the default is the paper's proposed measure.
+func WithJaccardSimilarity() Option {
+	return func(c *core.Config) error {
+		c.Similarity = cluster.SimilarityJaccard
+		return nil
+	}
+}
+
+// WithJointClustering clusters full d-dimensional measurement vectors
+// instead of per-resource scalars (the Table I ablation).
+func WithJointClustering() Option {
+	return func(c *core.Config) error {
+		c.JointClustering = true
+		return nil
+	}
+}
+
+// WithTrainingSchedule sets the initial collection length and retraining
+// period (paper defaults 1000 and 288).
+func WithTrainingSchedule(initialCollection, retrainEvery int) Option {
+	return func(c *core.Config) error {
+		if initialCollection < 1 || retrainEvery < 1 {
+			return fmt.Errorf("orcf: schedule %d/%d: %w", initialCollection, retrainEvery, ErrBadOption)
+		}
+		c.InitialCollection = initialCollection
+		c.RetrainEvery = retrainEvery
+		return nil
+	}
+}
+
+// WithFitWindow caps the history used per model fit (0 = all history).
+func WithFitWindow(n int) Option {
+	return func(c *core.Config) error {
+		if n < 0 {
+			return fmt.Errorf("orcf: fit window %d: %w", n, ErrBadOption)
+		}
+		c.FitWindow = n
+		return nil
+	}
+}
+
+// WithSeed fixes the random seed for clustering, making runs reproducible.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// System is the public handle to the collection-and-forecasting pipeline.
+type System struct {
+	inner *core.System
+}
+
+// New builds a pipeline for the given number of nodes and resource types,
+// applying the paper's defaults (§VI-A2) for anything not overridden:
+// adaptive policy at B=0.3, K=3, M=1, M′=5, scalar per-resource clustering,
+// sample-and-hold forecasting, warm-up 1000 steps, retraining every 288.
+func New(nodes, resources int, opts ...Option) (*System, error) {
+	cfg := core.Config{Nodes: nodes, Resources: resources}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+// Step ingests the true measurements of all nodes for one time step
+// (x[i] is node i's d-dimensional measurement) and returns what happened.
+func (s *System) Step(x [][]float64) (*StepResult, error) { return s.inner.Step(x) }
+
+// Ready reports whether the forecasting models finished initial training.
+func (s *System) Ready() bool { return s.inner.Ready() }
+
+// Forecast returns per-node forecasts for horizons 1..h as
+// result[h-1][node][resource].
+func (s *System) Forecast(h int) ([][][]float64, error) { return s.inner.Forecast(h) }
+
+// Stored returns the central node's current measurement copies (z_t).
+func (s *System) Stored() [][]float64 { return s.inner.Stored() }
+
+// Frequency returns the realized transmission frequency of one node.
+func (s *System) Frequency(node int) float64 { return s.inner.Frequency(node) }
+
+// MeanFrequency returns the average realized transmission frequency.
+func (s *System) MeanFrequency() float64 { return s.inner.MeanFrequency() }
+
+// CentroidSeries returns the centroid history of (tracker, cluster, dim).
+func (s *System) CentroidSeries(tracker, clusterIdx, dim int) []float64 {
+	return s.inner.CentroidSeries(tracker, clusterIdx, dim)
+}
+
+// Steps returns the number of processed time steps.
+func (s *System) Steps() int { return s.inner.Steps() }
+
+// Evaluate drives the system over a dataset and scores RMSE per horizon,
+// the h=0 staleness error, and (optionally) the intermediate clustering
+// RMSE. The system must be freshly constructed for meaningful results.
+func (s *System) Evaluate(ds *Dataset, cfg EvalConfig) (*EvalResult, error) {
+	return sim.Run(s.inner, ds, cfg)
+}
+
+// GenerateTrace produces a synthetic dataset (see GeneratorConfig).
+func GenerateTrace(cfg GeneratorConfig) (*Dataset, error) { return trace.Generate(cfg) }
+
+// AlibabaLike returns the Alibaba-2018-like preset (see internal/trace).
+func AlibabaLike() TracePreset { return trace.AlibabaLike() }
+
+// BitbrainsLike returns the Bitbrains-GWA-T-12-like preset.
+func BitbrainsLike() TracePreset { return trace.BitbrainsLike() }
+
+// GoogleLike returns the Google-cluster-usage-v2-like preset.
+func GoogleLike() TracePreset { return trace.GoogleLike() }
+
+// SensorLike returns the Intel-Berkeley-sensor-like preset.
+func SensorLike() TracePreset { return trace.SensorLike() }
+
+// DefaultARIMAGrid returns a reduced ARIMA search grid that is fast enough
+// for interactive use.
+func DefaultARIMAGrid() ARIMAGrid { return forecast.DefaultGrid() }
+
+// PaperARIMAGrid returns the full grid searched in the paper (§VI-A3) with
+// the given seasonal period.
+func PaperARIMAGrid(season int) ARIMAGrid { return forecast.PaperGrid(season) }

@@ -1,0 +1,207 @@
+package orcf
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	t.Parallel()
+	sys, err := New(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Ready() {
+		t.Fatal("fresh system should not be ready")
+	}
+	if sys.Steps() != 0 {
+		t.Fatal("fresh system has steps")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		opt  Option
+	}{
+		{"bad K", WithClusters(0)},
+		{"bad AR", WithAR(0)},
+		{"bad M", WithSimilarityLookback(0)},
+		{"bad MPrime", WithMembershipLookback(-1)},
+		{"nil policy", WithPolicyFactory(nil)},
+		{"nil builder", WithModelBuilder(nil)},
+		{"bad schedule", WithTrainingSchedule(0, 5)},
+		{"bad fit window", WithFitWindow(-1)},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := New(10, 1, tt.opt); !errors.Is(err, ErrBadOption) {
+				t.Fatalf("want ErrBadOption, got %v", err)
+			}
+		})
+	}
+}
+
+func TestEndToEndPublicAPI(t *testing.T) {
+	t.Parallel()
+	ds, err := GenerateTrace(GeneratorConfig{
+		Name: "api", Nodes: 20, Steps: 300, Profiles: 3, Seed: 1,
+		DiurnalPeriod: 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(20, 2,
+		WithBudget(0.3),
+		WithClusters(3),
+		WithSampleAndHold(),
+		WithTrainingSchedule(60, 100),
+		WithMembershipLookback(5),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Evaluate(ds, EvalConfig{
+		Horizons:          []int{1, 5},
+		ForecastEvery:     4,
+		ScoreIntermediate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 300 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+	if math.Abs(res.MeanFrequency-0.3) > 0.05 {
+		t.Fatalf("frequency %v, want ≈ 0.3", res.MeanFrequency)
+	}
+	for r := range res.PerResource {
+		if v := res.RMSEAt(r, 1); !(v > 0 && v < 0.5) {
+			t.Fatalf("resource %d h=1 RMSE %v implausible", r, v)
+		}
+	}
+}
+
+func TestPresetAccessors(t *testing.T) {
+	t.Parallel()
+	for _, p := range []TracePreset{AlibabaLike(), BitbrainsLike(), GoogleLike(), SensorLike()} {
+		ds, err := p.Generate(5, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Nodes() != 5 || ds.Steps() != 10 {
+			t.Fatalf("%s: %d×%d", p.Name, ds.Nodes(), ds.Steps())
+		}
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	t.Parallel()
+	g := DefaultARIMAGrid()
+	if g.MaxP < 1 {
+		t.Fatal("default grid empty")
+	}
+	pg := PaperARIMAGrid(288)
+	if pg.MaxP != 5 || pg.MaxD != 2 || pg.MaxQ != 5 || pg.Season != 288 {
+		t.Fatalf("paper grid %+v", pg)
+	}
+}
+
+func TestForecastViaPublicAPI(t *testing.T) {
+	t.Parallel()
+	sys, err := New(6, 1,
+		WithAlwaysTransmit(),
+		WithClusters(2),
+		WithTrainingSchedule(10, 50),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		x := make([][]float64, 6)
+		for n := range x {
+			v := 0.2
+			if n >= 3 {
+				v = 0.8
+			}
+			x[n] = []float64{v}
+		}
+		if _, err := sys.Step(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sys.Ready() {
+		t.Fatal("system should be ready")
+	}
+	f, err := sys.Forecast(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f[2][0][0]-0.2) > 0.01 || math.Abs(f[2][5][0]-0.8) > 0.01 {
+		t.Fatalf("forecasts %v / %v", f[2][0][0], f[2][5][0])
+	}
+	if sys.MeanFrequency() != 1 {
+		t.Fatalf("frequency %v", sys.MeanFrequency())
+	}
+	if len(sys.CentroidSeries(0, 0, 0)) != 12 {
+		t.Fatal("centroid series length wrong")
+	}
+	if len(sys.Stored()) != 6 {
+		t.Fatal("stored length wrong")
+	}
+	if sys.Frequency(0) != 1 {
+		t.Fatal("node frequency wrong")
+	}
+}
+
+func TestSmoothingOptions(t *testing.T) {
+	t.Parallel()
+	// Invalid parameters surface at option time, not at first fit.
+	if _, err := New(4, 1, WithSES(2)); err == nil {
+		t.Fatal("invalid SES alpha should fail")
+	}
+	if _, err := New(4, 1, WithHolt(2, 0, 0)); err == nil {
+		t.Fatal("invalid Holt alpha should fail")
+	}
+	if _, err := New(4, 1, WithHoltWinters(1)); err == nil {
+		t.Fatal("invalid Holt-Winters period should fail")
+	}
+	// Valid smoothing models run end to end.
+	sys, err := New(6, 1,
+		WithAlwaysTransmit(),
+		WithClusters(2),
+		WithHolt(0, 0, 0),
+		WithTrainingSchedule(10, 50),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		x := make([][]float64, 6)
+		for n := range x {
+			v := 0.2 + 0.005*float64(i)
+			if n >= 3 {
+				v = 0.8 - 0.005*float64(i)
+			}
+			x[n] = []float64{v}
+		}
+		if _, err := sys.Step(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := sys.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Holt extrapolates the opposing trends.
+	if !(f[4][0][0] > f[0][0][0]) || !(f[4][5][0] < f[0][5][0]) {
+		t.Fatalf("trend extrapolation wrong: %v vs %v", f[0][0][0], f[4][0][0])
+	}
+}

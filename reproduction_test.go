@@ -1,0 +1,143 @@
+package orcf
+
+// Reproduction smoke tests: fast end-to-end checks of the paper's headline
+// claims through the public API only. The full per-figure verification
+// lives in internal/exp; these tests guard the claims a release must not
+// regress.
+
+import (
+	"math"
+	"testing"
+)
+
+// smokeTrace is a small Google-like dataset shared by the smoke tests.
+func smokeTrace(t *testing.T, nodes, steps int) *Dataset {
+	t.Helper()
+	ds, err := GoogleLike().Generate(nodes, steps, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestClaimAdaptiveBeatsUniform is Fig. 4's headline: at the same bandwidth
+// budget, the adaptive policy keeps the central store strictly fresher than
+// uniform sampling.
+func TestClaimAdaptiveBeatsUniform(t *testing.T) {
+	t.Parallel()
+	ds := smokeTrace(t, 40, 800)
+	run := func(opt Option) float64 {
+		sys, err := New(40, 2, opt, WithClusters(3), WithSeed(2),
+			WithTrainingSchedule(10_000, 10_000)) // no forecasting needed
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Evaluate(ds, EvalConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (res.RMSEAt(0, 0) + res.RMSEAt(1, 0)) / 2
+	}
+	adaptive := run(WithBudget(0.3))
+	uniform := run(WithUniformSampling(0.3))
+	if !(adaptive < uniform) {
+		t.Fatalf("adaptive h=0 RMSE %v not below uniform %v", adaptive, uniform)
+	}
+}
+
+// TestClaimFewClustersSuffice is Fig. 7's headline: K=3 captures most of
+// the achievable clustering quality; K=N with B<1 cannot reach zero.
+func TestClaimFewClustersSuffice(t *testing.T) {
+	t.Parallel()
+	ds := smokeTrace(t, 40, 600)
+	run := func(k int) float64 {
+		sys, err := New(40, 2, WithBudget(0.3), WithClusters(k), WithSeed(2),
+			WithTrainingSchedule(10_000, 10_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Evaluate(ds, EvalConfig{ScoreIntermediate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (res.PerResource[0].Intermediate.Value() +
+			res.PerResource[1].Intermediate.Value()) / 2
+	}
+	k1 := run(1)
+	k3 := run(3)
+	k20 := run(20)
+	if !(k3 < k1*0.7) {
+		t.Fatalf("K=3 (%v) should be far below K=1 (%v)", k3, k1)
+	}
+	if !(k20 <= k3) {
+		t.Fatalf("K=20 (%v) should not exceed K=3 (%v)", k20, k3)
+	}
+	if k20 <= 0.01 {
+		t.Fatalf("K=20 intermediate RMSE %v implausibly near zero with B=0.3", k20)
+	}
+}
+
+// TestClaimForecastsBeatLongTermStatistics is Fig. 9's headline: the
+// pipeline's forecasts beat the standard-deviation bound of a statistics-
+// only mechanism for moderate horizons.
+func TestClaimForecastsBeatLongTermStatistics(t *testing.T) {
+	t.Parallel()
+	ds := smokeTrace(t, 40, 1000)
+	sys, err := New(40, 2, WithBudget(0.3), WithClusters(3), WithSeed(2),
+		WithTrainingSchedule(300, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Evaluate(ds, EvalConfig{Horizons: []int{1, 10}, ForecastEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		series := make([]float64, 0, ds.Steps()*ds.Nodes())
+		for step := 0; step < ds.Steps(); step++ {
+			for i := 0; i < ds.Nodes(); i++ {
+				series = append(series, ds.At(step, i)[r])
+			}
+		}
+		std := populationStd(series)
+		for _, h := range []int{1, 10} {
+			if got := res.RMSEAt(r, h); !(got < std) {
+				t.Fatalf("resource %d h=%d RMSE %v not below stddev bound %v", r, h, got, std)
+			}
+		}
+	}
+}
+
+// TestClaimBudgetEnforced is Fig. 3's headline through the public API: the
+// realized frequency matches the configured budget.
+func TestClaimBudgetEnforced(t *testing.T) {
+	t.Parallel()
+	ds := smokeTrace(t, 30, 1200)
+	for _, b := range []float64{0.1, 0.3} {
+		sys, err := New(30, 2, WithBudget(b), WithSeed(2),
+			WithTrainingSchedule(10_000, 10_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Evaluate(ds, EvalConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.MeanFrequency-b) > 0.02 {
+			t.Fatalf("budget %v: realized %v", b, res.MeanFrequency)
+		}
+	}
+}
+
+func populationStd(xs []float64) float64 {
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var sq float64
+	for _, v := range xs {
+		sq += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(sq / float64(len(xs)))
+}
