@@ -1,0 +1,33 @@
+# Tier-1 gate plus the race-mode pass over the concurrency-bearing packages.
+# CI (.github/workflows/ci.yml) runs these same targets as individual steps;
+# a target added to `ci:` below must also be added there to run in CI.
+
+GO ?= go
+
+# Packages that spawn goroutines (worker pools, TCP collection plane) — kept
+# in one place so the race pass and CI never drift apart.
+RACE_PKGS = ./internal/parallel ./internal/core ./internal/forecast \
+            ./internal/transport ./internal/agent .
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .

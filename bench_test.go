@@ -10,9 +10,11 @@ package orcf
 // the CLI instead: `go run ./cmd/repro -exp fig4` or `-exp all [-full]`.
 
 import (
+	"math"
 	"testing"
 
 	"orcf/internal/exp"
+	"orcf/internal/forecast"
 )
 
 // benchOptions is the reduced scale shared by all experiment benchmarks.
@@ -139,15 +141,17 @@ func BenchmarkAblations(b *testing.B) {
 	runExpBenchmark(b, exp.Ablations, benchOptions())
 }
 
-// BenchmarkPipelineStep measures the steady-state cost of one online step of
+// benchPipelineStep measures the steady-state cost of one online step of
 // the full system (transmission decisions + clustering + model updates) at
 // N=256 nodes with two resources — the per-tick cost a deployment would pay.
-func BenchmarkPipelineStep(b *testing.B) {
+func benchPipelineStep(b *testing.B, workers int) {
+	b.Helper()
 	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: 256, Steps: 64, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := New(256, 2, WithBudget(0.3), WithTrainingSchedule(1_000_000, 1_000_000), WithSeed(1))
+	sys, err := New(256, 2, WithBudget(0.3), WithTrainingSchedule(1_000_000, 1_000_000),
+		WithSeed(1), WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -160,14 +164,24 @@ func BenchmarkPipelineStep(b *testing.B) {
 	}
 }
 
-// BenchmarkForecastQuery measures producing a 50-step forecast for all
-// nodes from a warm system.
-func BenchmarkForecastQuery(b *testing.B) {
+// BenchmarkPipelineStep runs the online step with the default
+// GOMAXPROCS-bounded worker pool; BenchmarkPipelineStepSerial pins the pool
+// to one worker. The outputs are bit-identical (see
+// core.TestParallelMatchesSerialExactly); comparing the two isolates the
+// multi-core speedup from the allocation reductions, which both share.
+func BenchmarkPipelineStep(b *testing.B)       { benchPipelineStep(b, 0) }
+func BenchmarkPipelineStepSerial(b *testing.B) { benchPipelineStep(b, 1) }
+
+// benchForecastQuery measures producing a 50-step forecast for all nodes
+// from a warm system.
+func benchForecastQuery(b *testing.B, workers int) {
+	b.Helper()
 	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: 128, Steps: 80, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := New(128, 2, WithAlwaysTransmit(), WithTrainingSchedule(60, 1000), WithSeed(1))
+	sys, err := New(128, 2, WithAlwaysTransmit(), WithTrainingSchedule(60, 1000),
+		WithSeed(1), WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -184,3 +198,56 @@ func BenchmarkForecastQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkForecastQuery / BenchmarkForecastQuerySerial mirror the
+// PipelineStep pair for the per-node forecast reconstruction path.
+func BenchmarkForecastQuery(b *testing.B)       { benchForecastQuery(b, 0) }
+func BenchmarkForecastQuerySerial(b *testing.B) { benchForecastQuery(b, 1) }
+
+// benchEnsembleRetrain measures one full retraining round of the K×Dims
+// ARIMA models of a single tracker's ensemble — the grid search dominates
+// the system's periodic maintenance cost and is embarrassingly parallel
+// across the independent (cluster, dim) models.
+func benchEnsembleRetrain(b *testing.B, workers int) {
+	b.Helper()
+	const warm = 192
+	ens, err := forecast.NewEnsemble(forecast.EnsembleConfig{
+		Clusters: 3, Dims: 2,
+		InitialCollection: warm,
+		RetrainEvery:      1, // every post-warmup Observe retrains all models
+		Builder:           func() forecast.Model { return forecast.NewAutoARIMA(DefaultARIMAGrid()) },
+		Workers:           workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	centroids := func(t int) [][]float64 {
+		out := make([][]float64, 3)
+		for j := range out {
+			phase := float64(j) * 2.1
+			out[j] = []float64{
+				0.4 + 0.2*math.Sin(float64(t)/12+phase),
+				0.5 + 0.1*math.Cos(float64(t)/9+phase),
+			}
+		}
+		return out
+	}
+	for t := 0; t < warm; t++ {
+		if err := ens.Observe(centroids(t)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ens.Observe(centroids(warm + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnsembleRetrain measures the periodic model-retraining round with
+// the default worker pool; the Serial variant pins it to one worker. ns/op
+// is one complete 3×2-model ARIMA refit.
+func BenchmarkEnsembleRetrain(b *testing.B)       { benchEnsembleRetrain(b, 0) }
+func BenchmarkEnsembleRetrainSerial(b *testing.B) { benchEnsembleRetrain(b, 1) }

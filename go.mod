@@ -1,0 +1,3 @@
+module orcf
+
+go 1.24

@@ -1,5 +1,12 @@
 package agent
 
+// The agent runs its sampling loop on its own goroutine; run these tests
+// with the race detector when touching it:
+//
+//	go test -race ./internal/agent
+//
+// (CI runs the same invocation; see the ci target in the Makefile.)
+
 import (
 	"context"
 	"errors"

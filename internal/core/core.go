@@ -9,6 +9,13 @@
 // The System processes one measurement tensor per time step and exposes the
 // stored state, clustering, and forecasts that the evaluation harness scores
 // against ground truth.
+//
+// The steady-state path is allocation-free where the paper's structure
+// allows it: the eq. (12) look-back is a ring buffer with reused backing
+// arrays, cluster-input projections reuse per-tracker buffers, and the
+// independent per-resource trackers run on a bounded worker pool
+// (Config.Workers). Results are bit-identical for any worker count because
+// every tracker owns its RNG, ensemble, and output slots outright.
 package core
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"orcf/internal/cluster"
 	"orcf/internal/forecast"
+	"orcf/internal/parallel"
 	"orcf/internal/transmit"
 )
 
@@ -71,6 +79,14 @@ type Config struct {
 	JointClustering bool
 	// Seed drives K-means seeding.
 	Seed uint64
+	// Workers bounds the total concurrency of per-tracker clustering, model
+	// (re)training, and per-node forecast reconstruction (the nested
+	// ensemble pools split this budget across trackers). Zero means
+	// GOMAXPROCS; 1 forces the serial path. Output is identical for any
+	// value as long as every Step succeeds; after a Step error, how far the
+	// other trackers progressed depends on scheduling, so the System must
+	// be discarded rather than stepped further.
+	Workers int
 	// DisableClamp turns off the [0,1] clamp applied to forecasts of
 	// normalized utilizations.
 	DisableClamp bool
@@ -134,7 +150,8 @@ type StepResult struct {
 	PerResource []ResourceStep
 }
 
-// snapshot is one entry of the look-back ring used by eq. (12).
+// snapshot is one slot of the look-back ring used by eq. (12). All backing
+// arrays are allocated once in NewSystem and overwritten in place.
 type snapshot struct {
 	z           [][]float64   // N×d stored measurements
 	assignments [][]int       // [tracker][node]
@@ -144,13 +161,31 @@ type snapshot struct {
 // System is the end-to-end pipeline.
 type System struct {
 	cfg       Config
+	nTrackers int // Resources trackers for scalar clustering, 1 for joint
+	dims      int // point dimensionality per tracker (1, or d for joint)
 	policies  []transmit.Policy
 	meters    []transmit.Meter
-	z         [][]float64
+	z         [][]float64 // rows into zback once a node first transmits
+	zback     []float64   // N×d flat backing for z
 	trackers  []*cluster.Tracker
 	ensembles []*forecast.Ensemble
-	history   []snapshot // history[0] is the current step, up to M'+1 entries
-	t         int
+
+	// ring is the eq. (12) look-back of depth M′+1; ring[head] is the
+	// current step, ringLen the number of valid slots. stage is the spare
+	// slot the in-flight step writes into; it is swapped with the oldest
+	// ring slot only when the whole step succeeds, so an errored step never
+	// leaves a half-written snapshot inside the look-back window.
+	ring    []snapshot
+	stage   snapshot
+	head    int
+	ringLen int
+
+	// Reusable K-means input buffers for scalar clustering: pts[tr][i] is a
+	// length-1 view into ptsFlat[tr]. Joint clustering feeds z directly.
+	ptsFlat [][]float64
+	pts     [][][]float64
+
+	t int
 }
 
 // NewSystem validates the configuration and builds the pipeline.
@@ -176,15 +211,20 @@ func NewSystem(cfg Config) (*System, error) {
 		s.policies[i] = p
 	}
 	s.z = make([][]float64, cfg.Nodes)
+	s.zback = make([]float64, cfg.Nodes*cfg.Resources)
 
-	nTrackers := cfg.Resources
-	dims := 1
+	s.nTrackers = cfg.Resources
+	s.dims = 1
 	if cfg.JointClustering {
-		nTrackers = 1
-		dims = cfg.Resources
+		s.nTrackers = 1
+		s.dims = cfg.Resources
 	}
 	histDepth := max(cfg.M, cfg.MPrime+1)
-	for tr := 0; tr < nTrackers; tr++ {
+	// The per-tracker fan-out in Step/Forecast nests the ensembles' model
+	// fan-out, so the worker budget is split across trackers to keep total
+	// concurrency bounded by Workers instead of multiplying with it.
+	ensembleWorkers := max(1, parallel.Workers(cfg.Workers)/s.nTrackers)
+	for tr := 0; tr < s.nTrackers; tr++ {
 		tracker, err := cluster.NewTracker(cluster.Config{
 			K:               cfg.K,
 			M:               cfg.M,
@@ -198,18 +238,58 @@ func NewSystem(cfg Config) (*System, error) {
 		s.trackers = append(s.trackers, tracker)
 		ens, err := forecast.NewEnsemble(forecast.EnsembleConfig{
 			Clusters:          cfg.K,
-			Dims:              dims,
+			Dims:              s.dims,
 			InitialCollection: cfg.InitialCollection,
 			RetrainEvery:      cfg.RetrainEvery,
 			FitWindow:         cfg.FitWindow,
 			Builder:           cfg.Model,
+			Workers:           ensembleWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: ensemble %d: %w", tr, err)
 		}
 		s.ensembles = append(s.ensembles, ens)
 	}
+
+	newSnapshot := func() snapshot {
+		var snap snapshot
+		snap.z = newMatrix(cfg.Nodes, cfg.Resources)
+		snap.assignments = make([][]int, s.nTrackers)
+		snap.centroids = make([][][]float64, s.nTrackers)
+		for tr := range snap.assignments {
+			snap.assignments[tr] = make([]int, cfg.Nodes)
+			snap.centroids[tr] = newMatrix(cfg.K, s.dims)
+		}
+		return snap
+	}
+	s.ring = make([]snapshot, cfg.MPrime+1)
+	for si := range s.ring {
+		s.ring[si] = newSnapshot()
+	}
+	s.stage = newSnapshot()
+
+	if !cfg.JointClustering {
+		s.ptsFlat = make([][]float64, s.nTrackers)
+		s.pts = make([][][]float64, s.nTrackers)
+		for tr := range s.pts {
+			s.ptsFlat[tr] = make([]float64, cfg.Nodes)
+			s.pts[tr] = make([][]float64, cfg.Nodes)
+			for i := range s.pts[tr] {
+				s.pts[tr][i] = s.ptsFlat[tr][i : i+1 : i+1]
+			}
+		}
+	}
 	return s, nil
+}
+
+// newMatrix allocates an n×d matrix whose rows share one backing array.
+func newMatrix(n, d int) [][]float64 {
+	flat := make([]float64, n*d)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*d : (i+1)*d : (i+1)*d]
+	}
+	return rows
 }
 
 // Steps returns the number of processed steps.
@@ -257,8 +337,10 @@ func (s *System) Stored() [][]float64 {
 	return out
 }
 
-// TrainingTime aggregates cumulative model-fitting wall time and rounds
-// across all trackers (Table II).
+// TrainingTime aggregates the wall-clock time and count of (re)training
+// rounds across all trackers. Rounds run their model fits on the worker
+// pool, so the duration is what the pipeline actually stalls on maintenance
+// and shrinks with Workers/cores.
 func (s *System) TrainingTime() (time.Duration, int) {
 	var total time.Duration
 	var runs int
@@ -289,7 +371,10 @@ func (s *System) CentroidSeries(tracker, clusterIdx, dim int) []float64 {
 
 // Step ingests the true measurements of all nodes for one time step:
 // x[i] is node i's d-dimensional measurement. It runs transmission decisions,
-// clustering, and model maintenance, and returns the step outcome.
+// clustering, and model maintenance, and returns the step outcome. On error
+// the look-back ring is untouched, but trackers/ensembles may have advanced
+// unevenly (how far depends on the worker schedule) — discard the System
+// instead of stepping it further.
 func (s *System) Step(x [][]float64) (*StepResult, error) {
 	if len(x) != s.cfg.Nodes {
 		return nil, fmt.Errorf("core: %d nodes in step, want %d: %w", len(x), s.cfg.Nodes, ErrBadInput)
@@ -307,12 +392,20 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		}
 	}
 	s.t++
-	res := &StepResult{T: s.t, Transmitted: make([]bool, s.cfg.Nodes)}
+	res := &StepResult{
+		T:           s.t,
+		Transmitted: make([]bool, s.cfg.Nodes),
+		PerResource: make([]ResourceStep, s.nTrackers),
+	}
 
-	// Layer 1: transmission decisions update the central store.
+	// Layer 1: transmission decisions update the central store in place.
+	d := s.cfg.Resources
 	for i, xi := range x {
 		if s.policies[i].Decide(s.t, xi, s.z[i]) {
-			s.z[i] = append([]float64(nil), xi...)
+			if s.z[i] == nil {
+				s.z[i] = s.zback[i*d : (i+1)*d : (i+1)*d]
+			}
+			copy(s.z[i], xi)
 			res.Transmitted[i] = true
 		}
 		s.meters[i].Observe(res.Transmitted[i])
@@ -324,52 +417,84 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		}
 	}
 
-	// Layer 2+3: per-tracker clustering and model maintenance.
-	snap := snapshot{z: s.Stored()}
-	for tr, tracker := range s.trackers {
-		points := s.trackerPoints(tr)
-		step, err := tracker.Update(points)
-		if err != nil {
-			return nil, fmt.Errorf("core: tracker %d: %w", tr, err)
-		}
-		if err := s.ensembles[tr].Observe(step.Centroids); err != nil {
-			return nil, fmt.Errorf("core: ensemble %d: %w", tr, err)
-		}
-		res.PerResource = append(res.PerResource, ResourceStep{
-			Assignments: step.Assignments,
-			Centroids:   step.Centroids,
-		})
-		snap.assignments = append(snap.assignments, step.Assignments)
-		snap.centroids = append(snap.centroids, step.Centroids)
+	// Record the store's state into the staging snapshot; it only enters
+	// the eq. (12) look-back ring when the whole step succeeds.
+	snap := &s.stage
+	for i, zi := range s.z {
+		copy(snap.z[i], zi)
 	}
 
-	// Maintain the look-back ring for eq. (12).
-	s.history = append([]snapshot{snap}, s.history...)
-	if len(s.history) > s.cfg.MPrime+1 {
-		s.history = s.history[:s.cfg.MPrime+1]
+	// Layers 2+3: per-tracker clustering and model maintenance. Trackers are
+	// independent — each owns its RNG, ensemble, and the tr-indexed slots
+	// written below — so the fan-out is deterministic.
+	err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+		step, err := s.trackers[tr].Update(s.trackerPoints(tr))
+		if err != nil {
+			return fmt.Errorf("core: tracker %d: %w", tr, err)
+		}
+		if err := s.ensembles[tr].Observe(step.Centroids); err != nil {
+			return fmt.Errorf("core: ensemble %d: %w", tr, err)
+		}
+		res.PerResource[tr] = ResourceStep{
+			Assignments: step.Assignments,
+			Centroids:   step.Centroids,
+		}
+		copy(snap.assignments[tr], step.Assignments)
+		for j, c := range step.Centroids {
+			copy(snap.centroids[tr][j], c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	// Commit: swap the staged snapshot with the oldest ring slot (slice
+	// headers only — no copying), making it the current look-back entry.
+	s.head = (s.head + 1) % len(s.ring)
+	if s.ringLen < len(s.ring) {
+		s.ringLen++
+	}
+	s.ring[s.head], s.stage = s.stage, s.ring[s.head]
 	return res, nil
 }
 
 // trackerPoints projects the stored measurements into the point space of
-// tracker tr: scalars of resource tr, or full vectors for joint clustering.
+// tracker tr: scalars of resource tr (reusing the per-tracker buffer), or
+// the stored vectors themselves for joint clustering (the tracker reads the
+// points but never retains them).
 func (s *System) trackerPoints(tr int) [][]float64 {
-	points := make([][]float64, len(s.z))
 	if s.cfg.JointClustering {
-		for i, zi := range s.z {
-			points[i] = append([]float64(nil), zi...)
-		}
-		return points
+		return s.z
 	}
+	flat := s.ptsFlat[tr]
 	for i, zi := range s.z {
-		points[i] = []float64{zi[tr]}
+		flat[i] = zi[tr]
 	}
-	return points
+	return s.pts[tr]
+}
+
+// snapAt returns the ring slot from `ago` steps back (0 = current step);
+// ago must be < ringLen.
+func (s *System) snapAt(ago int) *snapshot {
+	n := len(s.ring)
+	return &s.ring[(s.head-ago+n)%n]
+}
+
+// fcScratch is the per-worker scratch of Forecast: reused across the nodes
+// one worker processes so the per-node path allocates nothing.
+type fcScratch struct {
+	counts []int     // membership counts, len K
+	offset []float64 // eq. (12) accumulator, len dims
+	zi     []float64 // scalar-projection view, len dims
+	delta  []float64 // MaxAlphaInCell scratch, len dims
 }
 
 // Forecast produces per-node forecasts for horizons 1..h:
 // result[hIdx][node][resource]. It applies §V-C: forecasted centroid of the
-// node's mode cluster plus the α-scaled offset of eq. (12).
+// node's mode cluster plus the α-scaled offset of eq. (12). Nodes are
+// reconstructed on the worker pool; each node writes only its own output
+// rows, so the result is identical for any worker count.
 func (s *System) Forecast(h int) ([][][]float64, error) {
 	if h < 1 {
 		return nil, fmt.Errorf("core: horizon %d < 1: %w", h, ErrBadInput)
@@ -377,32 +502,54 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 	if !s.Ready() {
 		return nil, ErrNotReady
 	}
+
+	// Per-tracker centroid forecasts (the ensembles fan the K×dims models
+	// out on their own pool).
+	centF := make([][][][]float64, s.nTrackers)
+	if err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+		f, err := s.ensembles[tr].Forecast(h)
+		if err != nil {
+			return fmt.Errorf("core: tracker %d forecast: %w", tr, err)
+		}
+		centF[tr] = f
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// The h×N×d result shares one flat backing and one row-header array
+	// instead of h·N small slices.
+	n, d := s.cfg.Nodes, s.cfg.Resources
+	flat := make([]float64, h*n*d)
+	rows := make([][]float64, h*n)
 	out := make([][][]float64, h)
 	for hi := range out {
-		out[hi] = make([][]float64, s.cfg.Nodes)
-		for i := range out[hi] {
-			out[hi][i] = make([]float64, s.cfg.Resources)
+		out[hi] = rows[hi*n : (hi+1)*n : (hi+1)*n]
+		for i := 0; i < n; i++ {
+			off := (hi*n + i) * d
+			out[hi][i] = flat[off : off+d : off+d]
 		}
 	}
-	for tr := range s.trackers {
-		centF, err := s.ensembles[tr].Forecast(h)
-		if err != nil {
-			return nil, fmt.Errorf("core: tracker %d forecast: %w", tr, err)
+
+	scratches := make([]fcScratch, parallel.Workers(s.cfg.Workers))
+	err := parallel.ForEachWorker(s.cfg.Workers, n, func(w, i int) error {
+		sc := &scratches[w]
+		if sc.counts == nil {
+			sc.counts = make([]int, s.cfg.K)
+			sc.offset = make([]float64, s.dims)
+			sc.zi = make([]float64, s.dims)
+			sc.delta = make([]float64, s.dims)
 		}
-		dims := 1
-		if s.cfg.JointClustering {
-			dims = s.cfg.Resources
-		}
-		for i := 0; i < s.cfg.Nodes; i++ {
-			jStar := s.modeCluster(tr, i)
-			offset := s.offset(tr, i, jStar)
-			for d := 0; d < dims; d++ {
+		for tr := 0; tr < s.nTrackers; tr++ {
+			jStar := s.modeCluster(sc, tr, i)
+			offset := s.offset(sc, tr, i, jStar)
+			for d := 0; d < s.dims; d++ {
 				resIdx := tr
 				if s.cfg.JointClustering {
 					resIdx = d
 				}
 				for hi := 0; hi < h; hi++ {
-					v := centF[jStar][d][hi] + offset[d]
+					v := centF[tr][jStar][d][hi] + offset[d]
 					if !s.cfg.DisableClamp {
 						if v < 0 {
 							v = 0
@@ -415,6 +562,10 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -423,12 +574,15 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 // look-back window [t−M′, t] for tracker tr (§V-C). Ties break toward the
 // current membership when it participates in the tie, and otherwise toward
 // the smaller cluster index, keeping the choice deterministic.
-func (s *System) modeCluster(tr, node int) int {
-	counts := make([]int, s.cfg.K)
-	for _, snap := range s.history {
-		counts[snap.assignments[tr][node]]++
+func (s *System) modeCluster(sc *fcScratch, tr, node int) int {
+	counts := sc.counts
+	for j := range counts {
+		counts[j] = 0
 	}
-	best := s.history[0].assignments[tr][node] // current membership
+	for ago := 0; ago < s.ringLen; ago++ {
+		counts[s.snapAt(ago).assignments[tr][node]]++
+	}
+	best := s.snapAt(0).assignments[tr][node] // current membership
 	bestCount := counts[best]
 	for j, c := range counts {
 		if c > bestCount {
@@ -441,33 +595,36 @@ func (s *System) modeCluster(tr, node int) int {
 // offset computes eq. (12): the averaged α-scaled deviation of node i from
 // the centroid of cluster jStar over the look-back window. α is 1 when the
 // node belonged to jStar at that step; otherwise it shrinks the deviation
-// just enough that centroid+α·deviation still falls in jStar's cell.
-func (s *System) offset(tr, node, jStar int) []float64 {
-	dims := 1
-	if s.cfg.JointClustering {
-		dims = s.cfg.Resources
+// just enough that centroid+α·deviation still falls in jStar's cell. The
+// returned slice is the scratch accumulator, valid until the next call with
+// the same scratch.
+func (s *System) offset(sc *fcScratch, tr, node, jStar int) []float64 {
+	out := sc.offset[:s.dims]
+	for d := range out {
+		out[d] = 0
 	}
-	out := make([]float64, dims)
-	if len(s.history) == 0 {
+	if s.ringLen == 0 {
 		return out
 	}
-	for _, snap := range s.history {
+	for ago := 0; ago < s.ringLen; ago++ {
+		snap := s.snapAt(ago)
 		c := snap.centroids[tr][jStar]
 		var zi []float64
 		if s.cfg.JointClustering {
 			zi = snap.z[node]
 		} else {
-			zi = []float64{snap.z[node][tr]}
+			sc.zi[0] = snap.z[node][tr]
+			zi = sc.zi[:1]
 		}
 		alpha := 1.0
 		if !s.cfg.DisableAlphaClamp && snap.assignments[tr][node] != jStar {
-			alpha = MaxAlphaInCell(zi, jStar, snap.centroids[tr])
+			alpha = maxAlphaInCell(zi, jStar, snap.centroids[tr], sc.delta)
 		}
-		for d := 0; d < dims; d++ {
+		for d := 0; d < s.dims; d++ {
 			out[d] += alpha * (zi[d] - c[d])
 		}
 	}
-	inv := 1 / float64(len(s.history))
+	inv := 1 / float64(s.ringLen)
 	for d := range out {
 		out[d] *= inv
 	}
@@ -479,8 +636,14 @@ func (s *System) offset(tr, node, jStar int) []float64 {
 // cluster j's Voronoi cell). For each other centroid j′ with u = c_j′ − c_j
 // and δ = z − c_j, the boundary constraint is α·(2δ·u) ≤ ‖u‖².
 func MaxAlphaInCell(z []float64, j int, centroids [][]float64) float64 {
+	return maxAlphaInCell(z, j, centroids, make([]float64, len(z)))
+}
+
+// maxAlphaInCell is MaxAlphaInCell with a caller-provided δ scratch of
+// length ≥ len(z), so the Forecast hot path runs allocation-free.
+func maxAlphaInCell(z []float64, j int, centroids [][]float64, delta []float64) float64 {
 	cj := centroids[j]
-	delta := make([]float64, len(z))
+	delta = delta[:len(z)]
 	var deltaNorm float64
 	for d := range z {
 		delta[d] = z[d] - cj[d]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orcf/internal/core"
+	"orcf/internal/parallel"
 	"orcf/internal/sim"
 	"orcf/internal/trace"
 	"orcf/internal/transmit"
@@ -41,11 +42,15 @@ func Ablations(o Options) (*Table, error) {
 			c.Policy = uniformPolicyFactory(0.3)
 		}},
 	}
-	for _, v := range variants {
+	// The variants are independent full-pipeline runs over the shared
+	// read-only dataset; fan them out (each system serial), emit rows in
+	// declaration order after.
+	results, err := parallel.Map(o.Workers, len(variants), func(vi int) (*sim.Result, error) {
+		v := variants[vi]
 		cfg := core.Config{
 			Nodes: ds.Nodes(), Resources: ds.NumResources(), K: 3,
 			InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
-			Seed: o.Seed,
+			Seed: o.Seed, Workers: 1,
 		}
 		v.mutate(&cfg)
 		sys, err := core.NewSystem(cfg)
@@ -56,11 +61,17 @@ func Ablations(o Options) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: ablation %q: %w", v.name, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		row := []string{v.name}
 		for _, h := range horizons {
 			mean := 0.0
 			for r := 0; r < ds.NumResources(); r++ {
-				mean += res.RMSEAt(r, h)
+				mean += results[vi].RMSEAt(r, h)
 			}
 			row = append(row, f4(mean/float64(ds.NumResources())))
 		}

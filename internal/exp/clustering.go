@@ -8,6 +8,7 @@ import (
 	"orcf/internal/cluster"
 	"orcf/internal/kmeans"
 	"orcf/internal/metrics"
+	"orcf/internal/parallel"
 	"orcf/internal/trace"
 	"orcf/internal/transmit"
 )
@@ -127,7 +128,13 @@ func Fig5(o Options) (*Table, error) {
 		Title:  "Fig. 5 — Intermediate RMSE vs temporal clustering dimension (B=0.3, K=3)",
 		Header: []string{"dataset", "resource", "window", "intermediate RMSE"},
 	}
-	for _, p := range clusterPresets() {
+	presets := clusterPresets()
+	type fig5Dataset struct {
+		ds *trace.Dataset
+		zs [][][]float64
+	}
+	data := make([]fig5Dataset, len(presets))
+	for pi, p := range presets {
 		ds, err := o.dataset(p)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig5 %s: %w", p.Name, err)
@@ -136,15 +143,29 @@ func Fig5(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for r := 0; r < ds.NumResources(); r++ {
+		data[pi] = fig5Dataset{ds: ds, zs: zs}
+	}
+	// Every (preset, resource, window) sweep cell is an independent
+	// clustering run over the shared read-only zs with its own seeded RNG.
+	type fig5Spec struct{ pi, r, w int }
+	var specs []fig5Spec
+	for pi := range data {
+		for r := 0; r < data[pi].ds.NumResources(); r++ {
 			for _, w := range windows {
-				v, err := windowedIntermediate(zs, ds, r, w, 3, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(w), f4(v))
+				specs = append(specs, fig5Spec{pi, r, w})
 			}
 		}
+	}
+	vals, err := parallel.Map(o.Workers, len(specs), func(i int) (float64, error) {
+		sp := specs[i]
+		d := &data[sp.pi]
+		return windowedIntermediate(d.zs, d.ds, sp.r, sp.w, 3, o.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		tab.AddRow(presets[sp.pi].Name, resourceLabel(data[sp.pi].ds, sp.r), itoa(sp.w), f4(vals[i]))
 	}
 	return tab, nil
 }
@@ -183,29 +204,44 @@ func Table1(o Options) (*Table, error) {
 		Title:  "Table I — Intermediate RMSE: independent scalars vs full vectors (B=0.3, K=3)",
 		Header: []string{"resource & dataset", "Scalar", "Full"},
 	}
-	for _, p := range clusterPresets() {
-		ds, err := o.dataset(p)
+	presets := clusterPresets()
+	type tab1Preset struct {
+		ds      *trace.Dataset
+		scalarR []float64
+		fullR   []float64
+	}
+	// The three presets are independent (collection + scalar trackers +
+	// joint tracker each); run them concurrently, emit rows in order after.
+	results, err := parallel.Map(o.Workers, len(presets), func(pi int) (tab1Preset, error) {
+		ds, err := o.dataset(presets[pi])
 		if err != nil {
-			return nil, fmt.Errorf("exp: tab1 %s: %w", p.Name, err)
+			return tab1Preset{}, fmt.Errorf("exp: tab1 %s: %w", presets[pi].Name, err)
 		}
 		zs, err := collectZ(ds, 0.3)
 		if err != nil {
-			return nil, err
+			return tab1Preset{}, err
 		}
 		scalarR := make([]float64, ds.NumResources())
 		for r := range scalarR {
 			v, err := intermediateProposed(zs, ds, r, 3, 1, o.Seed)
 			if err != nil {
-				return nil, err
+				return tab1Preset{}, err
 			}
 			scalarR[r] = v
 		}
 		fullR, err := jointIntermediate(zs, ds, 3, 1, o.Seed)
 		if err != nil {
-			return nil, err
+			return tab1Preset{}, err
 		}
-		for r := 0; r < ds.NumResources(); r++ {
-			tab.AddRow(fmt.Sprintf("%s %s", resourceLabel(ds, r), p.Name), f4(scalarR[r]), f4(fullR[r]))
+		return tab1Preset{ds: ds, scalarR: scalarR, fullR: fullR}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range presets {
+		res := &results[pi]
+		for r := 0; r < res.ds.NumResources(); r++ {
+			tab.AddRow(fmt.Sprintf("%s %s", resourceLabel(res.ds, r), p.Name), f4(res.scalarR[r]), f4(res.fullR[r]))
 		}
 	}
 	return tab, nil
@@ -251,30 +287,53 @@ func Fig6(o Options) (*Table, error) {
 		Title:  "Fig. 6 — Intermediate RMSE vs transmission frequency B (K=3)",
 		Header: []string{"dataset", "resource", "B", "proposed", "min-distance", "static (offline)"},
 	}
-	for _, p := range clusterPresets() {
+	presets := clusterPresets()
+	datasets := make([]*trace.Dataset, len(presets))
+	for pi, p := range presets {
 		ds, err := o.dataset(p)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig6 %s: %w", p.Name, err)
 		}
-		for _, b := range budgets {
-			zs, err := collectZ(ds, b)
+		datasets[pi] = ds
+	}
+	// Each (preset, budget) cell re-collects under its own budget and runs
+	// the three clustering methods with their own seeded RNGs — fully
+	// independent, so the whole sweep fans out on the worker pool.
+	// cells[pi*len(budgets)+bi][resource] = {prop, md, st}.
+	cells, err := parallel.Map(o.Workers, len(presets)*len(budgets), func(idx int) ([][3]float64, error) {
+		pi, bi := idx/len(budgets), idx%len(budgets)
+		ds := datasets[pi]
+		zs, err := collectZ(ds, budgets[bi])
+		if err != nil {
+			return nil, err
+		}
+		perRes := make([][3]float64, ds.NumResources())
+		for r := 0; r < ds.NumResources(); r++ {
+			prop, err := intermediateProposed(zs, ds, r, 3, 1, o.Seed)
 			if err != nil {
 				return nil, err
 			}
+			md, err := intermediateMinDistance(zs, ds, r, 3, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			st, err := intermediateStatic(zs, ds, r, 3, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			perRes[r] = [3]float64{prop, md, st}
+		}
+		return perRes, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range presets {
+		ds := datasets[pi]
+		for bi, b := range budgets {
 			for r := 0; r < ds.NumResources(); r++ {
-				prop, err := intermediateProposed(zs, ds, r, 3, 1, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				md, err := intermediateMinDistance(zs, ds, r, 3, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				st, err := intermediateStatic(zs, ds, r, 3, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				tab.AddRow(p.Name, resourceLabel(ds, r), f2(b), f4(prop), f4(md), f4(st))
+				v := cells[pi*len(budgets)+bi][r]
+				tab.AddRow(p.Name, resourceLabel(ds, r), f2(b), f4(v[0]), f4(v[1]), f4(v[2]))
 			}
 		}
 	}
@@ -288,7 +347,14 @@ func Fig7(o Options) (*Table, error) {
 		Title:  "Fig. 7 — Intermediate RMSE vs number of clusters K (B=0.3)",
 		Header: []string{"dataset", "resource", "K", "proposed", "min-distance", "static (offline)"},
 	}
-	for _, p := range clusterPresets() {
+	presets := clusterPresets()
+	type fig7Spec struct {
+		pi, k int
+		ds    *trace.Dataset
+		zs    [][][]float64
+	}
+	var specs []fig7Spec
+	for pi, p := range presets {
 		ds, err := o.dataset(p)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig7 %s: %w", p.Name, err)
@@ -305,21 +371,38 @@ func Fig7(o Options) (*Table, error) {
 			if k > ds.Nodes() {
 				continue
 			}
-			for r := 0; r < ds.NumResources(); r++ {
-				prop, err := intermediateProposed(zs, ds, r, k, 1, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				md, err := intermediateMinDistance(zs, ds, r, k, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				st, err := intermediateStatic(zs, ds, r, k, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(k), f4(prop), f4(md), f4(st))
+			specs = append(specs, fig7Spec{pi: pi, k: k, ds: ds, zs: zs})
+		}
+	}
+	// The K sweep cells share only read-only collected data; each runs the
+	// three clustering methods with its own seeded RNGs.
+	vals, err := parallel.Map(o.Workers, len(specs), func(i int) ([][3]float64, error) {
+		sp := specs[i]
+		perRes := make([][3]float64, sp.ds.NumResources())
+		for r := 0; r < sp.ds.NumResources(); r++ {
+			prop, err := intermediateProposed(sp.zs, sp.ds, r, sp.k, 1, o.Seed)
+			if err != nil {
+				return nil, err
 			}
+			md, err := intermediateMinDistance(sp.zs, sp.ds, r, sp.k, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			st, err := intermediateStatic(sp.zs, sp.ds, r, sp.k, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			perRes[r] = [3]float64{prop, md, st}
+		}
+		return perRes, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		for r := 0; r < sp.ds.NumResources(); r++ {
+			tab.AddRow(presets[sp.pi].Name, resourceLabel(sp.ds, r), itoa(sp.k),
+				f4(vals[i][r][0]), f4(vals[i][r][1]), f4(vals[i][r][2]))
 		}
 	}
 	return tab, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"orcf/internal/parallel"
 	"orcf/internal/stat"
 	"orcf/internal/trace"
 	"orcf/internal/transmit"
@@ -135,7 +136,18 @@ func Fig4(o Options) (*Table, error) {
 		Title:  "Fig. 4 — RMSE (h=0): adaptive vs uniform sampling",
 		Header: []string{"dataset", "resource", "B", "proposed", "uniform"},
 	}
-	for _, p := range clusterPresets() {
+	// One sweep cell per (preset, resource, budget): two policy runs over a
+	// read-only single-resource projection — independent, so they fan out.
+	presets := clusterPresets()
+	type fig4Spec struct {
+		p    trace.Preset
+		ds   *trace.Dataset
+		mono *trace.Dataset
+		r    int
+		b    float64
+	}
+	var specs []fig4Spec
+	for _, p := range presets {
 		ds, err := o.dataset(p)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig4 %s: %w", p.Name, err)
@@ -146,22 +158,31 @@ func Fig4(o Options) (*Table, error) {
 				return nil, err
 			}
 			for _, b := range budgets {
-				b := b
-				_, adaptive, err := collectRun(mono, func() (transmit.Policy, error) {
-					return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: b})
-				})
-				if err != nil {
-					return nil, err
-				}
-				_, uniform, err := collectRun(mono, func() (transmit.Policy, error) {
-					return transmit.NewUniform(b)
-				})
-				if err != nil {
-					return nil, err
-				}
-				tab.AddRow(p.Name, resourceLabel(ds, r), f2(b), f4(adaptive), f4(uniform))
+				specs = append(specs, fig4Spec{p: p, ds: ds, mono: mono, r: r, b: b})
 			}
 		}
+	}
+	vals, err := parallel.Map(o.Workers, len(specs), func(i int) ([2]float64, error) {
+		sp := specs[i]
+		_, adaptive, err := collectRun(sp.mono, func() (transmit.Policy, error) {
+			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: sp.b})
+		})
+		if err != nil {
+			return [2]float64{}, err
+		}
+		_, uniform, err := collectRun(sp.mono, func() (transmit.Policy, error) {
+			return transmit.NewUniform(sp.b)
+		})
+		if err != nil {
+			return [2]float64{}, err
+		}
+		return [2]float64{adaptive, uniform}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		tab.AddRow(sp.p.Name, resourceLabel(sp.ds, sp.r), f2(sp.b), f4(vals[i][0]), f4(vals[i][1]))
 	}
 	return tab, nil
 }

@@ -9,6 +9,7 @@ import (
 	"orcf/internal/core"
 	"orcf/internal/forecast"
 	"orcf/internal/metrics"
+	"orcf/internal/parallel"
 	"orcf/internal/sim"
 	"orcf/internal/trace"
 )
@@ -31,8 +32,11 @@ func (o Options) modelBuilders() map[string]forecast.Builder {
 }
 
 // runPipeline evaluates the full proposed pipeline on a dataset with the
-// given model and K, scoring the paper horizons.
-func (o Options) runPipeline(ds *trace.Dataset, k int, builder forecast.Builder, simCfg sim.Config) (*sim.Result, error) {
+// given model and K, scoring the paper horizons. workers bounds the system
+// under test's own pool: call sites inside a sweep fan-out pass 1 so the
+// sweep level alone owns the concurrency budget; top-level call sites pass
+// o.Workers.
+func (o Options) runPipeline(ds *trace.Dataset, k int, builder forecast.Builder, simCfg sim.Config, workers int) (*sim.Result, error) {
 	sys, err := core.NewSystem(core.Config{
 		Nodes:             ds.Nodes(),
 		Resources:         ds.NumResources(),
@@ -42,6 +46,7 @@ func (o Options) runPipeline(ds *trace.Dataset, k int, builder forecast.Builder,
 		FitWindow:         o.FitWindow,
 		Model:             builder,
 		Seed:              o.Seed,
+		Workers:           workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exp: pipeline: %w", err)
@@ -160,36 +165,68 @@ func Fig9(o Options) (*Table, error) {
 	}
 	simCfg := sim.Config{Horizons: paperHorizons, ForecastEvery: o.ForecastEvery}
 	builders := o.modelBuilders()
-	for _, p := range clusterPresets() {
+	presets := clusterPresets()
+	datasets := make([]*trace.Dataset, len(presets))
+	for pi, p := range presets {
 		ds, err := o.dataset(p)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig9 %s: %w", p.Name, err)
 		}
-		results := map[string]*sim.Result{}
-		for _, name := range []string{"ARIMA", "Sample-and-hold"} {
-			res, err := o.runPipeline(ds, 3, builders[name], simCfg)
-			if err != nil {
-				return nil, fmt.Errorf("exp: fig9 %s %s: %w", p.Name, name, err)
-			}
-			results[name] = res
+		datasets[pi] = ds
+	}
+
+	// Phase 1: the deterministic per-preset runs fan out over the preset ×
+	// variant grid, each system running serially so the sweep level owns
+	// the whole worker budget. k == 0 selects K = N for that dataset.
+	variants := []struct {
+		name string
+		k    int
+		b    forecast.Builder
+	}{
+		{"ARIMA", 3, builders["ARIMA"]},
+		{"Sample-and-hold", 3, builders["Sample-and-hold"]},
+		{"S&H K=N", 0, builders["Sample-and-hold"]},
+	}
+	jobs := len(variants)
+	named, err := parallel.Map(o.Workers, len(presets)*jobs, func(idx int) (*sim.Result, error) {
+		pi, v := idx/jobs, variants[idx%jobs]
+		ds := datasets[pi]
+		k := v.k
+		if k == 0 {
+			k = ds.Nodes()
 		}
-		// LSTM is randomly initialized; average over LSTMRuns seeds, as the
-		// paper averages 10 simulation runs.
-		lstmMean, err := o.lstmAveragedRMSE(ds, simCfg)
+		res, err := o.runPipeline(ds, k, v.b, simCfg, 1)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig9 %s %s: %w", presets[pi].Name, v.name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the LSTM seed averages, one preset at a time — each fans out
+	// over its LSTMRuns seeds internally, so running the presets serially
+	// here keeps total concurrency at the Workers bound instead of nesting.
+	lstm := make([]map[int]map[int]float64, len(presets))
+	for pi, p := range presets {
+		mean, err := o.lstmAveragedRMSE(datasets[pi], simCfg)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig9 %s LSTM: %w", p.Name, err)
 		}
-		shN, err := o.runPipeline(ds, ds.Nodes(), builders["Sample-and-hold"], simCfg)
-		if err != nil {
-			return nil, fmt.Errorf("exp: fig9 %s S&H K=N: %w", p.Name, err)
-		}
+		lstm[pi] = mean
+	}
+
+	for pi, p := range presets {
+		ds := datasets[pi]
+		arima, sh, shN := named[pi*jobs], named[pi*jobs+1], named[pi*jobs+2]
 		for r := 0; r < ds.NumResources(); r++ {
 			std := datasetStdDev(ds, r)
 			for _, h := range paperHorizons {
 				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(h),
-					f4(results["ARIMA"].RMSEAt(r, h)),
-					f4(lstmMean[r][h]),
-					f4(results["Sample-and-hold"].RMSEAt(r, h)),
+					f4(arima.RMSEAt(r, h)),
+					f4(lstm[pi][r][h]),
+					f4(sh.RMSEAt(r, h)),
 					f4(shN.RMSEAt(r, h)),
 					f4(std))
 			}
@@ -199,21 +236,26 @@ func Fig9(o Options) (*Table, error) {
 }
 
 // lstmAveragedRMSE runs the LSTM pipeline over LSTMRuns seeds and returns
-// the mean RMSE indexed [resource][horizon].
+// the mean RMSE indexed [resource][horizon]. The runs are independent (each
+// seeds its own LSTM initializer) and execute on the worker pool; the mean
+// is reduced in run order afterwards so the floating-point sum is identical
+// to the serial path.
 func (o Options) lstmAveragedRMSE(ds *trace.Dataset, simCfg sim.Config) (map[int]map[int]float64, error) {
-	out := make(map[int]map[int]float64)
 	runs := max(o.LSTMRuns, 1)
-	for run := 0; run < runs; run++ {
+	perRun, err := parallel.Map(o.Workers, runs, func(run int) (*sim.Result, error) {
 		seed := o.Seed + uint64(run)*1009
 		builder := func() forecast.Model {
 			return forecast.NewLSTM(forecast.LSTMConfig{
 				Epochs: o.LSTMEpochs, FitWindow: o.FitWindow, Seed: seed,
 			})
 		}
-		res, err := o.runPipeline(ds, 3, builder, simCfg)
-		if err != nil {
-			return nil, err
-		}
+		return o.runPipeline(ds, 3, builder, simCfg, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]map[int]float64)
+	for _, res := range perRun {
 		for r := 0; r < ds.NumResources(); r++ {
 			if out[r] == nil {
 				out[r] = make(map[int]float64)
@@ -277,7 +319,7 @@ func Fig10(o Options) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig10 %s: %w", p.Name, err)
 		}
-		prop, err := o.runPipeline(ds, 3, func() forecast.Model { return forecast.NewSampleAndHold() }, simCfg)
+		prop, err := o.runPipeline(ds, 3, func() forecast.Model { return forecast.NewSampleAndHold() }, simCfg, o.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig10 proposed: %w", err)
 		}
@@ -443,39 +485,34 @@ func Table3(o Options) (*Table, error) {
 		Title:  "Table III — RMSE for M × M′ (Google CPU, sample-and-hold)",
 		Header: []string{"h", "M", "M'=1", "M'=5", "M'=12", "M'=100"},
 	}
-	// results[h][mIdx][mpIdx]
-	results := make(map[int]map[int]map[int]float64)
-	for _, m := range values {
-		for _, mp := range values {
-			sys, err := core.NewSystem(core.Config{
-				Nodes: cpu.Nodes(), Resources: 1, K: 3,
-				M: m, MPrime: mp,
-				InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
-				Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("exp: tab3 M=%d M'=%d: %w", m, mp, err)
-			}
-			res, err := sim.Run(sys, cpu, sim.Config{Horizons: horizons, ForecastEvery: o.ForecastEvery})
-			if err != nil {
-				return nil, fmt.Errorf("exp: tab3 M=%d M'=%d: %w", m, mp, err)
-			}
-			for _, h := range horizons {
-				if results[h] == nil {
-					results[h] = map[int]map[int]float64{}
-				}
-				if results[h][m] == nil {
-					results[h][m] = map[int]float64{}
-				}
-				results[h][m][mp] = res.RMSEAt(0, h)
-			}
+	// The M × M′ grid cells are independent full-pipeline runs sharing only
+	// the read-only dataset; fan them out (each system serial) and emit rows
+	// in grid order after.
+	grid, err := parallel.Map(o.Workers, len(values)*len(values), func(idx int) (*sim.Result, error) {
+		m, mp := values[idx/len(values)], values[idx%len(values)]
+		sys, err := core.NewSystem(core.Config{
+			Nodes: cpu.Nodes(), Resources: 1, K: 3,
+			M: m, MPrime: mp,
+			InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
+			Seed: o.Seed, Workers: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: tab3 M=%d M'=%d: %w", m, mp, err)
 		}
+		res, err := sim.Run(sys, cpu, sim.Config{Horizons: horizons, ForecastEvery: o.ForecastEvery})
+		if err != nil {
+			return nil, fmt.Errorf("exp: tab3 M=%d M'=%d: %w", m, mp, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, h := range horizons {
-		for _, m := range values {
+		for mi, m := range values {
 			row := []string{itoa(h), itoa(m)}
-			for _, mp := range values {
-				row = append(row, f4(results[h][m][mp]))
+			for mpi := range values {
+				row = append(row, f4(grid[mi*len(values)+mpi].RMSEAt(0, h)))
 			}
 			tab.AddRow(row...)
 		}
@@ -492,31 +529,43 @@ func Fig11(o Options) (*Table, error) {
 		Header: []string{"dataset", "resource", "h", "proposed", "jaccard"},
 	}
 	simCfg := sim.Config{Horizons: paperHorizons, ForecastEvery: o.ForecastEvery}
-	for _, p := range clusterPresets() {
+	presets := clusterPresets()
+	datasets := make([]*trace.Dataset, len(presets))
+	for pi, p := range presets {
 		ds, err := o.dataset(p)
 		if err != nil {
 			return nil, fmt.Errorf("exp: fig11 %s: %w", p.Name, err)
 		}
-		run := func(simil cluster.Similarity) (*sim.Result, error) {
-			sys, err := core.NewSystem(core.Config{
-				Nodes: ds.Nodes(), Resources: ds.NumResources(), K: 3,
-				Similarity:        simil,
-				InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
-				Seed: o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			return sim.Run(sys, ds, simCfg)
-		}
-		prop, err := run(cluster.SimilarityProposed)
+		datasets[pi] = ds
+	}
+	// One independent pipeline run per (preset, similarity measure), each
+	// system serial so the sweep level owns the worker budget.
+	similarities := []cluster.Similarity{cluster.SimilarityProposed, cluster.SimilarityJaccard}
+	results, err := parallel.Map(o.Workers, len(presets)*len(similarities), func(idx int) (*sim.Result, error) {
+		pi, si := idx/len(similarities), idx%len(similarities)
+		ds := datasets[pi]
+		sys, err := core.NewSystem(core.Config{
+			Nodes: ds.Nodes(), Resources: ds.NumResources(), K: 3,
+			Similarity:        similarities[si],
+			InitialCollection: o.Warmup, RetrainEvery: retrainEvery,
+			Seed: o.Seed, Workers: 1,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: fig11 proposed: %w", err)
+			return nil, fmt.Errorf("exp: fig11 %s %v: %w", presets[pi].Name, similarities[si], err)
 		}
-		jac, err := run(cluster.SimilarityJaccard)
+		res, err := sim.Run(sys, ds, simCfg)
 		if err != nil {
-			return nil, fmt.Errorf("exp: fig11 jaccard: %w", err)
+			return nil, fmt.Errorf("exp: fig11 %s %v: %w", presets[pi].Name, similarities[si], err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range presets {
+		ds := datasets[pi]
+		prop := results[pi*len(similarities)]
+		jac := results[pi*len(similarities)+1]
 		for r := 0; r < ds.NumResources(); r++ {
 			for _, h := range paperHorizons {
 				tab.AddRow(p.Name, resourceLabel(ds, r), itoa(h),

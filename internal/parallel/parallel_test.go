@@ -1,0 +1,146 @@
+package parallel
+
+// Run this package's tests with the race detector enabled when touching the
+// pool: go test -race ./internal/parallel
+// (CI runs the same invocation; see the ci target in the Makefile.)
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolvesDefault(t *testing.T) {
+	t.Parallel()
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 1, 2, 16} {
+		const n = 257
+		var visits [n]atomic.Int32
+		err := ForEach(workers, n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if c := visits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	t.Parallel()
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -1, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	t.Parallel()
+	// Indices 3 and 9 fail; the serial path and every parallel width must
+	// report index 3 (items are claimed in order, so a lower failing index
+	// is always started before a higher one records).
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 12, func(i int) error {
+			if i == 3 || i == 9 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Fatalf("workers=%d: err = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterFailure(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("stop")
+	var ran atomic.Int32
+	err := ForEach(1, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("serial path ran %d items, want 5", got)
+	}
+}
+
+func TestMapReturnsOrderedResults(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 4} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if _, err := Map(4, 10, func(i int) (int, error) {
+		if i >= 2 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return i, nil
+	}); err == nil || err.Error() != "fail 2" {
+		t.Fatalf("err = %v, want fail 2", err)
+	}
+}
+
+func TestForEachWorkerIDsAreDistinctScratchSlots(t *testing.T) {
+	t.Parallel()
+	const workers = 4
+	// Per-worker scratch: each slot must only ever be touched by one
+	// goroutine at a time; -race verifies the absence of sharing.
+	scratch := make([][]int, workers)
+	for i := range scratch {
+		scratch[i] = make([]int, 1)
+	}
+	var total atomic.Int64
+	err := ForEachWorker(workers, 500, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d out of range", w)
+		}
+		scratch[w][0] = i // would race if worker ids were shared
+		total.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 500 {
+		t.Fatalf("ran %d items, want 500", total.Load())
+	}
+}

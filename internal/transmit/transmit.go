@@ -23,9 +23,11 @@ var ErrBadConfig = errors.New("transmit: invalid configuration")
 //
 // The time step t is 1-based, matching the paper. x is the node's current
 // measurement; z is the measurement currently stored at the central node for
-// this node (nil before the first transmission). Implementations may keep
-// internal state and are not safe for concurrent use; each node owns its own
-// Policy instance.
+// this node (nil before the first transmission). Both slices are only valid
+// for the duration of the call — the central store reuses their backing
+// arrays between steps — so implementations must copy any values they want
+// to keep. Implementations may keep internal state and are not safe for
+// concurrent use; each node owns its own Policy instance.
 type Policy interface {
 	// Decide returns true when the node should transmit at step t.
 	Decide(t int, x, z []float64) bool

@@ -148,11 +148,16 @@ func (s *Server) acceptLoop(l net.Listener) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return // listener closed
+			return // listener closed: the loop's only exit
 		}
 		if !s.track(conn) {
+			// The server was closed between Accept returning and track
+			// acquiring the lock. Drop the connection but keep looping: the
+			// closed listener makes the next Accept fail, so the loop always
+			// exits through the single path above instead of racing Close on
+			// two different exits.
 			_ = conn.Close()
-			return
+			continue
 		}
 		s.wg.Add(1)
 		go s.serveConn(conn)

@@ -280,3 +280,74 @@ func TestSendCopiesValues(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestServerCloseDuringConcurrentDials is the regression test for the
+// acceptLoop track-failure path: when Close lands between Accept returning a
+// connection and track acquiring the server lock, the connection must be
+// closed and the accept loop must still exit exactly once through the
+// Accept-error path — never hang and never leak handler goroutines (Close
+// waits on the server WaitGroup, so a leak would deadlock this test).
+//
+// The race window is timing-dependent, so the test brute-forces it: many
+// server instances, each closed concurrently with a burst of dials. Run it
+// with the race detector when touching the transport internals:
+//
+//	go test -race ./internal/transport
+//
+// (CI runs the same invocation; see the ci target in the Makefile.)
+func TestServerCloseDuringConcurrentDials(t *testing.T) {
+	t.Parallel()
+	const rounds = 30
+	const dialers = 8
+	for round := 0; round < rounds; round++ {
+		store := NewStore()
+		srv, err := NewServer(store, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for d := 0; d < dialers; d++ {
+			d := d
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				// Dials may fail (listener closed) or succeed and then be
+				// dropped (tracked conn closed, or track failure); both are
+				// correct during shutdown. What must not happen is a hang.
+				c, err := Dial(addr, d)
+				if err != nil {
+					return
+				}
+				_ = c.Send(1, []float64{0.5})
+				_ = c.Close()
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			<-start
+			_ = srv.Close()
+			close(closed)
+		}()
+		close(start)
+
+		select {
+		case <-closed:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: Close did not return (accept loop or handler leak)", round)
+		}
+		wg.Wait()
+
+		// After Close the listener is gone: a fresh dial must fail, proving
+		// the accept loop is not still running on a live listener.
+		if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+			t.Fatalf("round %d: listener still accepting after Close", round)
+		}
+	}
+}

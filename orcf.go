@@ -321,6 +321,21 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
+// WithWorkers bounds the worker pool used for per-resource clustering, model
+// (re)training, and per-node forecast reconstruction. Zero (the default)
+// means GOMAXPROCS; 1 forces the fully serial path. Forecasts, clusterings,
+// and every other output are bit-identical for any worker count — the knob
+// only trades wall-clock time for cores.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) error {
+		if n < 0 {
+			return fmt.Errorf("orcf: workers %d: %w", n, ErrBadOption)
+		}
+		c.Workers = n
+		return nil
+	}
+}
+
 // System is the public handle to the collection-and-forecasting pipeline.
 type System struct {
 	inner *core.System
