@@ -4,10 +4,10 @@
 
 GO ?= go
 
-# Packages that spawn goroutines (worker pools, TCP collection plane) — kept
-# in one place so the race pass and CI never drift apart.
+# Packages that spawn goroutines (worker pools, TCP collection plane, HTTP
+# query plane) — kept in one place so the race pass and CI never drift apart.
 RACE_PKGS = ./internal/parallel ./internal/core ./internal/forecast \
-            ./internal/transport ./internal/agent .
+            ./internal/transport ./internal/agent ./internal/serve .
 
 .PHONY: ci fmt vet build test race bench
 
@@ -31,3 +31,4 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .
+	$(GO) test -run xxx -bench ServeForecast -benchmem ./internal/serve

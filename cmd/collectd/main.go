@@ -1,7 +1,11 @@
 // Command collectd is the standalone central collector: it listens for node
 // agents over TCP, maintains the latest measurement per node, and
 // periodically prints the dynamic clustering summary (K centroids per
-// resource) built from whatever has been received so far.
+// resource) built from whatever has been received so far, plus the realized
+// per-node transmission frequency the store has accounted (eq. 5) — the
+// central-side check that the agents' adaptive policies hold their budgets.
+// For the full pipeline with forecasting and an HTTP query API, use
+// cmd/forecastd instead.
 //
 // Usage:
 //
@@ -14,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"os"
 	"os/signal"
@@ -27,6 +32,30 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// printFrequencies reports the realized per-node transmission frequency the
+// store has accounted (eq. 5: accepted updates over the node's local step
+// count), so the summary shows what the agents' budgets actually delivered
+// alongside the clustering. Per-node values are listed for small fleets and
+// summarized as mean/min/max for large ones.
+func printFrequencies(nodes []int, stats map[int]transport.NodeStat) {
+	mean, minF, maxF := 0.0, math.Inf(1), math.Inf(-1)
+	for _, id := range nodes {
+		f := stats[id].Frequency
+		mean += f
+		minF = math.Min(minF, f)
+		maxF = math.Max(maxF, f)
+	}
+	mean /= float64(len(nodes))
+	fmt.Printf("transmit | mean %.3f | min %.3f | max %.3f", mean, minF, maxF)
+	if len(nodes) <= 16 {
+		fmt.Print(" | per node:")
+		for _, id := range nodes {
+			fmt.Printf(" %d:%.2f", id, stats[id].Frequency)
+		}
+	}
+	fmt.Println()
 }
 
 func run() int {
@@ -81,13 +110,13 @@ func run() int {
 			fmt.Println("collectd: shutting down")
 			return 0
 		case <-ticker.C:
-			snap := store.Snapshot()
-			if len(snap) < *k {
-				fmt.Printf("collectd: %d/%d nodes reporting; waiting\n", len(snap), *k)
+			stats := store.Stats()
+			if len(stats) < *k {
+				fmt.Printf("collectd: %d/%d nodes reporting; waiting\n", len(stats), *k)
 				continue
 			}
-			nodes := make([]int, 0, len(snap))
-			for id := range snap {
+			nodes := make([]int, 0, len(stats))
+			for id := range stats {
 				nodes = append(nodes, id)
 			}
 			sort.Ints(nodes)
@@ -103,7 +132,7 @@ func run() int {
 				points := make([][]float64, len(nodes))
 				usable := true
 				for i, id := range nodes {
-					vals := snap[id].Values
+					vals := stats[id].Latest.Values
 					if r >= len(vals) {
 						usable = false
 						break
@@ -124,6 +153,7 @@ func run() int {
 				}
 				fmt.Println()
 			}
+			printFrequencies(nodes, stats)
 		}
 	}
 }

@@ -1,0 +1,167 @@
+// Command forecastd is the central node of the distributed deployment: it
+// ingests agent measurements over TCP (pair it with cmd/nodeagent), steps
+// the collection → clustering → forecasting pipeline at a fixed cadence, and
+// serves forecasts and cluster state over HTTP. Queries read atomically
+// swapped immutable snapshots, so any number of concurrent clients never
+// contend with ingest, and a single-flight cache keyed by (snapshot
+// generation, horizon) collapses identical concurrent forecast queries.
+//
+// Usage:
+//
+//	forecastd -nodes 8 -ingest 127.0.0.1:7777 -http 127.0.0.1:8080 \
+//	    -resources 2 -k 3 -interval 2s -horizon 48 -initial 50 -retrain 100
+//
+// Endpoints:
+//
+//	GET /v1/forecast?h=H[&node=I]  per-node forecasts for horizons 1..H
+//	GET /v1/nodes/{id}             latest measurement, memberships, frequency
+//	GET /v1/clusters               centroids per tracker
+//	GET /v1/stats                  pipeline + cache + request statistics
+//	GET /metrics                   Prometheus text format
+//
+// The pipeline starts stepping once every node in [0, nodes) has reported at
+// least one measurement; /v1/forecast serves 503 until the initial
+// collection phase (-initial steps) has trained the models.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"orcf/internal/core"
+	"orcf/internal/serve"
+	"orcf/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		ingest      = flag.String("ingest", "127.0.0.1:7777", "TCP address for node-agent ingest")
+		httpAddr    = flag.String("http", "127.0.0.1:8080", "HTTP address for the query API")
+		nodes       = flag.Int("nodes", 0, "number of monitored nodes (required)")
+		resources   = flag.Int("resources", 2, "measurement dimensionality d")
+		k           = flag.Int("k", 3, "number of clusters / forecasting models")
+		interval    = flag.Duration("interval", 2*time.Second, "pipeline step period")
+		horizon     = flag.Int("horizon", 48, "maximum servable forecast horizon")
+		initial     = flag.Int("initial", 50, "initial collection steps before first training")
+		retrain     = flag.Int("retrain", 100, "retraining period in steps")
+		seed        = flag.Uint64("seed", 1, "clustering seed")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		maxInFlight = flag.Int("max-inflight", 256, "max concurrently served HTTP requests")
+	)
+	flag.Parse()
+	if *nodes < 1 {
+		fmt.Fprintln(os.Stderr, "forecastd: -nodes must be ≥ 1")
+		return 2
+	}
+
+	store := transport.NewStore()
+	collector, err := transport.NewServer(store, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		return 1
+	}
+	ingestAddr, err := collector.Listen(*ingest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		return 1
+	}
+	defer collector.Close()
+
+	stepper, err := serve.NewStoreStepper(store, core.Config{
+		Nodes:             *nodes,
+		Resources:         *resources,
+		K:                 *k,
+		InitialCollection: *initial,
+		RetrainEvery:      *retrain,
+		Seed:              *seed,
+		Workers:           *workers,
+		SnapshotHorizon:   *horizon,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		return 1
+	}
+	query, err := serve.New(serve.Config{
+		Source:      stepper.System(),
+		Workers:     *workers,
+		MaxInFlight: *maxInFlight,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: query}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Printf("forecastd: ingest %s | http %s | N=%d d=%d K=%d horizon=%d interval=%s\n",
+		ingestAddr, ln.Addr(), *nodes, *resources, *k, *horizon, *interval)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	shutdown := func() int {
+		fmt.Println("forecastd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "forecastd: http shutdown:", err)
+		}
+		if err := collector.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "forecastd: collector close:", err)
+		}
+		return 0
+	}
+
+	sys := stepper.System()
+	wasReady := false
+	for {
+		select {
+		case <-stop:
+			return shutdown()
+		case err := <-httpDone:
+			fmt.Fprintln(os.Stderr, "forecastd: http server:", err)
+			return 1
+		case <-ticker.C:
+			res, ok, err := stepper.Tick()
+			if err != nil {
+				// A step error leaves the pipeline in an undefined state; the
+				// system must be discarded rather than stepped further.
+				fmt.Fprintln(os.Stderr, "forecastd:", err)
+				_ = shutdown()
+				return 1
+			}
+			if !ok {
+				fmt.Printf("forecastd: %d/%d nodes reporting; waiting\n", store.Len(), *nodes)
+				continue
+			}
+			if sys.Ready() && !wasReady {
+				wasReady = true
+				fmt.Printf("forecastd: models trained at step %d; /v1/forecast is live\n", res.T)
+			}
+			if res.T%25 == 0 {
+				st := query.Stats()
+				fmt.Printf("forecastd: step %d | ready=%v | mean freq %.3f | cache hit ratio %.2f | %d requests\n",
+					res.T, st.Ready, st.MeanFrequency, st.Cache.HitRatio, st.Requests.Total)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 	"time"
 
 	"orcf/internal/cluster"
@@ -87,6 +88,13 @@ type Config struct {
 	// other trackers progressed depends on scheduling, so the System must
 	// be discarded rather than stepped further.
 	Workers int
+	// SnapshotHorizon enables the read-only serving plane: when > 0, every
+	// successful Step publishes an immutable Snapshot (look-back window,
+	// latest z_t, memberships, transmit frequencies, and centroid forecasts
+	// up to this horizon) that concurrent readers access lock-free via
+	// System.Snapshot. Zero (the default) disables publishing, keeping the
+	// steady-state ingest path allocation-free.
+	SnapshotHorizon int
 	// DisableClamp turns off the [0,1] clamp applied to forecasts of
 	// normalized utilizations.
 	DisableClamp bool
@@ -150,9 +158,11 @@ type StepResult struct {
 	PerResource []ResourceStep
 }
 
-// snapshot is one slot of the look-back ring used by eq. (12). All backing
-// arrays are allocated once in NewSystem and overwritten in place.
-type snapshot struct {
+// ringSlot is one slot of the look-back ring used by eq. (12). All backing
+// arrays are allocated once in NewSystem and overwritten in place. (The
+// immutable per-step copies published for concurrent readers reuse the same
+// layout — see Snapshot.)
+type ringSlot struct {
 	z           [][]float64   // N×d stored measurements
 	assignments [][]int       // [tracker][node]
 	centroids   [][][]float64 // [tracker][cluster][dim]
@@ -174,11 +184,19 @@ type System struct {
 	// current step, ringLen the number of valid slots. stage is the spare
 	// slot the in-flight step writes into; it is swapped with the oldest
 	// ring slot only when the whole step succeeds, so an errored step never
-	// leaves a half-written snapshot inside the look-back window.
-	ring    []snapshot
-	stage   snapshot
+	// leaves a half-written slot inside the look-back window.
+	ring    []ringSlot
+	stage   ringSlot
 	head    int
 	ringLen int
+
+	// Snapshot publishing (Config.SnapshotHorizon > 0): gen counts published
+	// generations, pubWin is the previous snapshot's immutable slot window
+	// (newest first), and snap holds the latest published Snapshot for
+	// lock-free concurrent readers.
+	gen    uint64
+	pubWin []*ringSlot
+	snap   atomic.Pointer[Snapshot]
 
 	// Reusable K-means input buffers for scalar clustering: pts[tr][i] is a
 	// length-1 view into ptsFlat[tr]. Joint clustering feeds z directly.
@@ -196,6 +214,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.K > cfg.Nodes {
 		return nil, fmt.Errorf("core: K=%d > %d nodes: %w", cfg.K, cfg.Nodes, ErrBadConfig)
+	}
+	if cfg.SnapshotHorizon < 0 {
+		return nil, fmt.Errorf("core: snapshot horizon %d < 0: %w", cfg.SnapshotHorizon, ErrBadConfig)
 	}
 	s := &System{cfg: cfg}
 	s.policies = make([]transmit.Policy, cfg.Nodes)
@@ -251,22 +272,11 @@ func NewSystem(cfg Config) (*System, error) {
 		s.ensembles = append(s.ensembles, ens)
 	}
 
-	newSnapshot := func() snapshot {
-		var snap snapshot
-		snap.z = newMatrix(cfg.Nodes, cfg.Resources)
-		snap.assignments = make([][]int, s.nTrackers)
-		snap.centroids = make([][][]float64, s.nTrackers)
-		for tr := range snap.assignments {
-			snap.assignments[tr] = make([]int, cfg.Nodes)
-			snap.centroids[tr] = newMatrix(cfg.K, s.dims)
-		}
-		return snap
-	}
-	s.ring = make([]snapshot, cfg.MPrime+1)
+	s.ring = make([]ringSlot, cfg.MPrime+1)
 	for si := range s.ring {
-		s.ring[si] = newSnapshot()
+		s.ring[si] = s.newRingSlot()
 	}
-	s.stage = newSnapshot()
+	s.stage = s.newRingSlot()
 
 	if !cfg.JointClustering {
 		s.ptsFlat = make([][]float64, s.nTrackers)
@@ -280,6 +290,19 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 	return s, nil
+}
+
+// newRingSlot allocates one empty look-back slot shaped for this system.
+func (s *System) newRingSlot() ringSlot {
+	var slot ringSlot
+	slot.z = newMatrix(s.cfg.Nodes, s.cfg.Resources)
+	slot.assignments = make([][]int, s.nTrackers)
+	slot.centroids = make([][][]float64, s.nTrackers)
+	for tr := range slot.assignments {
+		slot.assignments[tr] = make([]int, s.cfg.Nodes)
+		slot.centroids[tr] = newMatrix(s.cfg.K, s.dims)
+	}
+	return slot
 }
 
 // newMatrix allocates an n×d matrix whose rows share one backing array.
@@ -417,8 +440,8 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		}
 	}
 
-	// Record the store's state into the staging snapshot; it only enters
-	// the eq. (12) look-back ring when the whole step succeeds.
+	// Record the store's state into the staging slot; it only enters the
+	// eq. (12) look-back ring when the whole step succeeds.
 	snap := &s.stage
 	for i, zi := range s.z {
 		copy(snap.z[i], zi)
@@ -449,13 +472,29 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		return nil, err
 	}
 
-	// Commit: swap the staged snapshot with the oldest ring slot (slice
-	// headers only — no copying), making it the current look-back entry.
+	// Build the next published Snapshot (if enabled) before committing, so a
+	// failed publish leaves both the ring and the published view untouched.
+	var pub *Snapshot
+	if s.cfg.SnapshotHorizon > 0 {
+		pub, err = s.buildSnapshot()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Commit: swap the staged slot with the oldest ring slot (slice headers
+	// only — no copying), making it the current look-back entry.
 	s.head = (s.head + 1) % len(s.ring)
 	if s.ringLen < len(s.ring) {
 		s.ringLen++
 	}
 	s.ring[s.head], s.stage = s.stage, s.ring[s.head]
+
+	if pub != nil {
+		s.gen = pub.gen
+		s.pubWin = pub.slots
+		s.snap.Store(pub)
+	}
 	return res, nil
 }
 
@@ -476,9 +515,39 @@ func (s *System) trackerPoints(tr int) [][]float64 {
 
 // snapAt returns the ring slot from `ago` steps back (0 = current step);
 // ago must be < ringLen.
-func (s *System) snapAt(ago int) *snapshot {
+func (s *System) snapAt(ago int) *ringSlot {
 	n := len(s.ring)
 	return &s.ring[(s.head-ago+n)%n]
+}
+
+// reconEnv bundles everything the §V-C per-node reconstruction reads: the
+// look-back window (newest first) plus the shape and ablation parameters.
+// Both the live System (over its mutable ring) and a published Snapshot
+// (over its immutable slot window) reconstruct through the same env, which
+// is what keeps served forecasts bit-identical to System.Forecast.
+type reconEnv struct {
+	slotAt            func(ago int) *ringSlot
+	window            int // number of valid look-back slots
+	nodes, resources  int
+	k, dims, nTracker int
+	joint             bool
+	disableClamp      bool
+	disableAlphaClamp bool
+}
+
+func (s *System) reconEnv() *reconEnv {
+	return &reconEnv{
+		slotAt:            s.snapAt,
+		window:            s.ringLen,
+		nodes:             s.cfg.Nodes,
+		resources:         s.cfg.Resources,
+		k:                 s.cfg.K,
+		dims:              s.dims,
+		nTracker:          s.nTrackers,
+		joint:             s.cfg.JointClustering,
+		disableClamp:      s.cfg.DisableClamp,
+		disableAlphaClamp: s.cfg.DisableAlphaClamp,
+	}
 }
 
 // fcScratch is the per-worker scratch of Forecast: reused across the nodes
@@ -517,9 +586,17 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 		return nil, err
 	}
 
-	// The h×N×d result shares one flat backing and one row-header array
-	// instead of h·N small slices.
-	n, d := s.cfg.Nodes, s.cfg.Resources
+	return reconstruct(s.reconEnv(), centF, h, s.cfg.Workers)
+}
+
+// reconstruct applies §V-C over an env's look-back window: forecasted
+// centroid of each node's mode cluster plus the α-scaled offset of eq. (12).
+// centF is indexed [tracker][cluster][dim][hi] and must cover hi < h. The
+// h×N×d result shares one flat backing and one row-header array instead of
+// h·N small slices; nodes fan out on the worker pool and each node writes
+// only its own output rows, so the result is identical for any worker count.
+func reconstruct(env *reconEnv, centF [][][][]float64, h, workers int) ([][][]float64, error) {
+	n, d := env.nodes, env.resources
 	flat := make([]float64, h*n*d)
 	rows := make([][]float64, h*n)
 	out := make([][][]float64, h)
@@ -531,26 +608,26 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 		}
 	}
 
-	scratches := make([]fcScratch, parallel.Workers(s.cfg.Workers))
-	err := parallel.ForEachWorker(s.cfg.Workers, n, func(w, i int) error {
+	scratches := make([]fcScratch, parallel.Workers(workers))
+	err := parallel.ForEachWorker(workers, n, func(w, i int) error {
 		sc := &scratches[w]
 		if sc.counts == nil {
-			sc.counts = make([]int, s.cfg.K)
-			sc.offset = make([]float64, s.dims)
-			sc.zi = make([]float64, s.dims)
-			sc.delta = make([]float64, s.dims)
+			sc.counts = make([]int, env.k)
+			sc.offset = make([]float64, env.dims)
+			sc.zi = make([]float64, env.dims)
+			sc.delta = make([]float64, env.dims)
 		}
-		for tr := 0; tr < s.nTrackers; tr++ {
-			jStar := s.modeCluster(sc, tr, i)
-			offset := s.offset(sc, tr, i, jStar)
-			for d := 0; d < s.dims; d++ {
+		for tr := 0; tr < env.nTracker; tr++ {
+			jStar := env.modeCluster(sc, tr, i)
+			offset := env.offset(sc, tr, i, jStar)
+			for d := 0; d < env.dims; d++ {
 				resIdx := tr
-				if s.cfg.JointClustering {
+				if env.joint {
 					resIdx = d
 				}
 				for hi := 0; hi < h; hi++ {
 					v := centF[tr][jStar][d][hi] + offset[d]
-					if !s.cfg.DisableClamp {
+					if !env.disableClamp {
 						if v < 0 {
 							v = 0
 						}
@@ -574,15 +651,15 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 // look-back window [t−M′, t] for tracker tr (§V-C). Ties break toward the
 // current membership when it participates in the tie, and otherwise toward
 // the smaller cluster index, keeping the choice deterministic.
-func (s *System) modeCluster(sc *fcScratch, tr, node int) int {
+func (env *reconEnv) modeCluster(sc *fcScratch, tr, node int) int {
 	counts := sc.counts
 	for j := range counts {
 		counts[j] = 0
 	}
-	for ago := 0; ago < s.ringLen; ago++ {
-		counts[s.snapAt(ago).assignments[tr][node]]++
+	for ago := 0; ago < env.window; ago++ {
+		counts[env.slotAt(ago).assignments[tr][node]]++
 	}
-	best := s.snapAt(0).assignments[tr][node] // current membership
+	best := env.slotAt(0).assignments[tr][node] // current membership
 	bestCount := counts[best]
 	for j, c := range counts {
 		if c > bestCount {
@@ -598,33 +675,33 @@ func (s *System) modeCluster(sc *fcScratch, tr, node int) int {
 // just enough that centroid+α·deviation still falls in jStar's cell. The
 // returned slice is the scratch accumulator, valid until the next call with
 // the same scratch.
-func (s *System) offset(sc *fcScratch, tr, node, jStar int) []float64 {
-	out := sc.offset[:s.dims]
+func (env *reconEnv) offset(sc *fcScratch, tr, node, jStar int) []float64 {
+	out := sc.offset[:env.dims]
 	for d := range out {
 		out[d] = 0
 	}
-	if s.ringLen == 0 {
+	if env.window == 0 {
 		return out
 	}
-	for ago := 0; ago < s.ringLen; ago++ {
-		snap := s.snapAt(ago)
-		c := snap.centroids[tr][jStar]
+	for ago := 0; ago < env.window; ago++ {
+		slot := env.slotAt(ago)
+		c := slot.centroids[tr][jStar]
 		var zi []float64
-		if s.cfg.JointClustering {
-			zi = snap.z[node]
+		if env.joint {
+			zi = slot.z[node]
 		} else {
-			sc.zi[0] = snap.z[node][tr]
+			sc.zi[0] = slot.z[node][tr]
 			zi = sc.zi[:1]
 		}
 		alpha := 1.0
-		if !s.cfg.DisableAlphaClamp && snap.assignments[tr][node] != jStar {
-			alpha = maxAlphaInCell(zi, jStar, snap.centroids[tr], sc.delta)
+		if !env.disableAlphaClamp && slot.assignments[tr][node] != jStar {
+			alpha = maxAlphaInCell(zi, jStar, slot.centroids[tr], sc.delta)
 		}
-		for d := 0; d < s.dims; d++ {
+		for d := 0; d < env.dims; d++ {
 			out[d] += alpha * (zi[d] - c[d])
 		}
 	}
-	inv := 1 / float64(s.ringLen)
+	inv := 1 / float64(env.window)
 	for d := range out {
 		out[d] *= inv
 	}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"orcf/internal/parallel"
+)
+
+// Snapshot is an immutable, point-in-time view of the pipeline published at
+// the end of a successful Step when Config.SnapshotHorizon > 0. It carries
+// everything a query needs — the eq. (12) look-back window, the latest
+// stored measurements z_t, cluster memberships and centroids, realized
+// transmit frequencies, and per-tracker centroid forecasts precomputed up to
+// the snapshot horizon — so readers never touch the System's mutable state:
+// thousands of concurrent queries proceed lock-free while the ingest loop
+// keeps stepping.
+//
+// Forecasts are pure functions of a Snapshot: two calls with the same
+// horizon on the same Snapshot return identical values, and they are
+// bit-identical to calling System.Forecast(h) at the step the Snapshot was
+// published (both run the same reconstruction over the same window). That
+// purity is what makes (Generation, horizon) a sound cache key for the
+// serving plane.
+type Snapshot struct {
+	gen        uint64
+	t          int
+	ready      bool
+	maxHorizon int
+
+	// slots is the look-back window, newest first. Slots are immutable and
+	// shared across consecutive Snapshots: each publish deep-copies only the
+	// current step's slot and re-references the previous window's tail.
+	slots []*ringSlot
+
+	// centF holds per-tracker centroid forecasts [tracker][cluster][dim][hi]
+	// for hi < maxHorizon; nil until the models finish initial training.
+	centF [][][][]float64
+
+	freq      []float64
+	meanFreq  float64
+	trainTime time.Duration
+	trainRuns int
+
+	nodes, resources  int
+	k, dims, nTracker int
+	joint             bool
+	disableClamp      bool
+	disableAlphaClamp bool
+}
+
+// Snapshot returns the most recently published read-only view, or nil when
+// publishing is disabled (Config.SnapshotHorizon == 0) or no step has
+// completed yet. Safe to call concurrently with Step; the returned value
+// never changes after publication.
+func (s *System) Snapshot() *Snapshot { return s.snap.Load() }
+
+// buildSnapshot assembles the next Snapshot from the staged (not yet
+// committed) step state. It is called before the ring commit so a failed
+// centroid-forecast pass leaves both the ring and the published view
+// untouched.
+func (s *System) buildSnapshot() (*Snapshot, error) {
+	slot := s.newRingSlot()
+	for i := range s.stage.z {
+		copy(slot.z[i], s.stage.z[i])
+	}
+	for tr := range slot.assignments {
+		copy(slot.assignments[tr], s.stage.assignments[tr])
+		for j := range slot.centroids[tr] {
+			copy(slot.centroids[tr][j], s.stage.centroids[tr][j])
+		}
+	}
+
+	window := min(s.ringLen+1, len(s.ring))
+	slots := make([]*ringSlot, 0, window)
+	slots = append(slots, &slot)
+	if prev := s.pubWin; len(prev) > 0 {
+		slots = append(slots, prev[:min(len(prev), window-1)]...)
+	}
+
+	snap := &Snapshot{
+		gen:               s.gen + 1,
+		t:                 s.t,
+		ready:             s.Ready(),
+		maxHorizon:        s.cfg.SnapshotHorizon,
+		slots:             slots,
+		freq:              make([]float64, s.cfg.Nodes),
+		nodes:             s.cfg.Nodes,
+		resources:         s.cfg.Resources,
+		k:                 s.cfg.K,
+		dims:              s.dims,
+		nTracker:          s.nTrackers,
+		joint:             s.cfg.JointClustering,
+		disableClamp:      s.cfg.DisableClamp,
+		disableAlphaClamp: s.cfg.DisableAlphaClamp,
+	}
+	var sum float64
+	for i := range snap.freq {
+		snap.freq[i] = s.meters[i].Frequency()
+		sum += snap.freq[i]
+	}
+	snap.meanFreq = sum / float64(len(snap.freq))
+	snap.trainTime, snap.trainRuns = s.TrainingTime()
+
+	if snap.ready {
+		snap.centF = make([][][][]float64, s.nTrackers)
+		err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+			f, err := s.ensembles[tr].Forecast(s.cfg.SnapshotHorizon)
+			if err != nil {
+				return fmt.Errorf("core: tracker %d snapshot forecast: %w", tr, err)
+			}
+			snap.centF[tr] = f
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+// Generation is the snapshot's monotonically increasing publication counter
+// (one per successful Step). Forecasts are pure per generation, so it keys
+// the serving plane's forecast cache.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Steps is the number of steps the system had processed at publication.
+func (sn *Snapshot) Steps() int { return sn.t }
+
+// Ready reports whether forecasting models were trained at publication.
+func (sn *Snapshot) Ready() bool { return sn.ready }
+
+// MaxHorizon is the largest horizon this snapshot can serve.
+func (sn *Snapshot) MaxHorizon() int { return sn.maxHorizon }
+
+// Nodes returns the node count N.
+func (sn *Snapshot) Nodes() int { return sn.nodes }
+
+// Resources returns the measurement dimensionality d.
+func (sn *Snapshot) Resources() int { return sn.resources }
+
+// Trackers returns the number of cluster trackers (d for scalar clustering,
+// 1 for joint clustering).
+func (sn *Snapshot) Trackers() int { return sn.nTracker }
+
+// Clusters returns K.
+func (sn *Snapshot) Clusters() int { return sn.k }
+
+// Latest returns a copy of the central store's measurement for a node (z_t
+// row), or nil when the node is out of range.
+func (sn *Snapshot) Latest(node int) []float64 {
+	if node < 0 || node >= sn.nodes {
+		return nil
+	}
+	return append([]float64(nil), sn.slots[0].z[node]...)
+}
+
+// Assignment returns the node's cluster index under a tracker at the
+// snapshot's step, or -1 when out of range.
+func (sn *Snapshot) Assignment(tracker, node int) int {
+	if tracker < 0 || tracker >= sn.nTracker || node < 0 || node >= sn.nodes {
+		return -1
+	}
+	return sn.slots[0].assignments[tracker][node]
+}
+
+// Frequency returns the node's realized transmission frequency (eq. 5), or
+// 0 when out of range.
+func (sn *Snapshot) Frequency(node int) float64 {
+	if node < 0 || node >= len(sn.freq) {
+		return 0
+	}
+	return sn.freq[node]
+}
+
+// MeanFrequency returns the average realized transmission frequency.
+func (sn *Snapshot) MeanFrequency() float64 { return sn.meanFreq }
+
+// Centroids returns a copy of a tracker's K centroids at the snapshot's
+// step, or nil when the tracker is out of range.
+func (sn *Snapshot) Centroids(tracker int) [][]float64 {
+	if tracker < 0 || tracker >= sn.nTracker {
+		return nil
+	}
+	out := newMatrix(sn.k, sn.dims)
+	for j, c := range sn.slots[0].centroids[tracker] {
+		copy(out[j], c)
+	}
+	return out
+}
+
+// TrainingTime returns the cumulative (re)training wall time and round count
+// at publication.
+func (sn *Snapshot) TrainingTime() (time.Duration, int) {
+	return sn.trainTime, sn.trainRuns
+}
+
+// Forecast produces per-node forecasts for horizons 1..h from the snapshot
+// alone: result[hIdx][node][resource]. It reads only immutable data, so any
+// number of calls may run concurrently with each other and with the System's
+// ingest loop. workers bounds the per-node fan-out (0 = GOMAXPROCS, 1 =
+// serial); the result is identical for any value. It fails with ErrNotReady
+// before initial training and ErrBadInput when h exceeds MaxHorizon.
+func (sn *Snapshot) Forecast(h, workers int) ([][][]float64, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("core: horizon %d < 1: %w", h, ErrBadInput)
+	}
+	if h > sn.maxHorizon {
+		return nil, fmt.Errorf("core: horizon %d exceeds snapshot horizon %d: %w",
+			h, sn.maxHorizon, ErrBadInput)
+	}
+	if !sn.ready {
+		return nil, ErrNotReady
+	}
+	return reconstruct(sn.reconEnv(), sn.centF, h, workers)
+}
+
+func (sn *Snapshot) reconEnv() *reconEnv {
+	return &reconEnv{
+		slotAt:            func(ago int) *ringSlot { return sn.slots[ago] },
+		window:            len(sn.slots),
+		nodes:             sn.nodes,
+		resources:         sn.resources,
+		k:                 sn.k,
+		dims:              sn.dims,
+		nTracker:          sn.nTracker,
+		joint:             sn.joint,
+		disableClamp:      sn.disableClamp,
+		disableAlphaClamp: sn.disableAlphaClamp,
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"testing"
+)
+
+// BenchmarkServeForecast measures one forecast query through the serving
+// plane's cache: "cold" pays the full per-node reconstruction (a cache miss,
+// as after every newly published generation), "cached" is the steady-state
+// repeat query against an unchanged generation. The cached path must be
+// orders of magnitude faster — that gap is what the single-flight cache buys
+// under bursts of identical queries.
+func BenchmarkServeForecast(b *testing.B) {
+	const (
+		nodes   = 256
+		horizon = 16
+	)
+	sys, _ := readySystem(b, nodes, horizon, 25)
+	snap := sys.Snapshot()
+	if snap == nil || !snap.Ready() {
+		b.Fatal("system not ready")
+	}
+	compute := func() ([][][]float64, error) { return snap.Forecast(horizon, 0) }
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := newFlightCache()
+			if _, err := c.get(snap.Generation(), horizon, compute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		c := newFlightCache()
+		if _, err := c.get(snap.Generation(), horizon, compute); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.get(snap.Generation(), horizon, compute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

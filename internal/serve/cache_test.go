@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheSingleFlightCoalesces(t *testing.T) {
+	t.Parallel()
+	c := newFlightCache()
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func() ([][][]float64, error) {
+		computes.Add(1)
+		<-release
+		return [][][]float64{{{0.5}}}, nil
+	}
+
+	const readers = 32
+	var wg sync.WaitGroup
+	results := make([][][][]float64, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.get(1, 4, compute)
+			if err != nil {
+				t.Errorf("reader %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computations for one (gen, h) key, want 1", got)
+	}
+	for i, v := range results {
+		if &v[0][0][0] != &results[0][0][0][0] {
+			t.Fatalf("reader %d got a different result instance", i)
+		}
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Hits != readers-1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d/1", st.Hits, st.Misses, readers-1)
+	}
+	if st.HitRatio <= 0.9 {
+		t.Fatalf("hit ratio %v too low", st.HitRatio)
+	}
+}
+
+func TestCacheDistinctHorizonsComputeSeparately(t *testing.T) {
+	t.Parallel()
+	c := newFlightCache()
+	var computes atomic.Int64
+	compute := func() ([][][]float64, error) {
+		computes.Add(1)
+		return nil, nil
+	}
+	for _, h := range []int{1, 2, 3, 1, 2, 3} {
+		if _, err := c.get(7, h, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := computes.Load(); got != 3 {
+		t.Fatalf("%d computations, want 3 (one per horizon)", got)
+	}
+}
+
+func TestCacheNewGenerationInvalidates(t *testing.T) {
+	t.Parallel()
+	c := newFlightCache()
+	var computes atomic.Int64
+	compute := func() ([][][]float64, error) {
+		computes.Add(1)
+		return nil, nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.get(1, 5, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.get(2, 5, compute); err != nil {
+		t.Fatal(err)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("%d computations, want 2 (generation bump recomputes)", got)
+	}
+}
+
+func TestCacheGenerationRestartKeepsCaching(t *testing.T) {
+	t.Parallel()
+	c := newFlightCache()
+	var computes atomic.Int64
+	compute := func() ([][][]float64, error) {
+		computes.Add(1)
+		return nil, nil
+	}
+	if _, err := c.get(500, 2, compute); err != nil {
+		t.Fatal(err)
+	}
+	// The Source was replaced (e.g. failover to a rebuilt System): its
+	// generations restart at 1. The cache must keep working, not fall into
+	// a permanent compute-always path.
+	for i := 0; i < 4; i++ {
+		if _, err := c.get(1, 2, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("%d computations, want 2 (restarted generation must cache again)", got)
+	}
+	if hits := c.hits.Load(); hits != 3 {
+		t.Fatalf("%d hits after restart, want 3", hits)
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	t.Parallel()
+	c := newFlightCache()
+	boom := errors.New("boom")
+	calls := 0
+	compute := func() ([][][]float64, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return [][][]float64{}, nil
+	}
+	if _, err := c.get(1, 1, compute); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, err := c.get(1, 1, compute); err != nil {
+		t.Fatalf("retry after failed compute: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d calls, want 2 (error retracted, success recomputed)", calls)
+	}
+}

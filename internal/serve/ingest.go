@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+
+	"orcf/internal/core"
+	"orcf/internal/transmit"
+	"orcf/internal/transport"
+)
+
+// StoreStepper bridges the TCP collection plane into the pipeline: it drives
+// a core.System from a transport.Store. Agents make the transmission
+// decisions on their side (§V-A runs at the edge), so the central system
+// must not re-filter — each Tick feeds the store's latest values through a
+// policy that mirrors actual arrivals: a node "transmitted" in a tick iff a
+// new measurement arrived since the previous tick. That keeps the system's
+// z_t and per-node frequency accounting (eq. 5) faithful to what the network
+// actually delivered.
+//
+// Tick must be called from a single goroutine (it steps the System); the
+// published snapshots make the results readable concurrently.
+type StoreStepper struct {
+	sys      *core.System
+	store    *transport.Store
+	nodes    int
+	dims     int
+	lastStep []int
+	arrived  []bool
+	x        [][]float64
+}
+
+// NewStoreStepper builds the system with an arrival-mirroring transmission
+// policy and wires it to the store. cfg.Policy must be unset — the stepper
+// owns the policy layer.
+func NewStoreStepper(store *transport.Store, cfg core.Config) (*StoreStepper, error) {
+	if store == nil {
+		return nil, fmt.Errorf("serve: nil store: %w", ErrBadConfig)
+	}
+	if cfg.Policy != nil {
+		return nil, fmt.Errorf("serve: store stepper owns the policy layer: %w", ErrBadConfig)
+	}
+	dims := cfg.Resources
+	if dims == 0 {
+		dims = 1
+	}
+	st := &StoreStepper{
+		store:    store,
+		nodes:    cfg.Nodes,
+		dims:     dims,
+		lastStep: make([]int, cfg.Nodes),
+		arrived:  make([]bool, cfg.Nodes),
+		x:        make([][]float64, cfg.Nodes),
+	}
+	for i := range st.lastStep {
+		st.lastStep[i] = -1
+		st.x[i] = make([]float64, dims)
+	}
+	cfg.Policy = func(node int) (transmit.Policy, error) {
+		return arrivalMirror{stepper: st, node: node}, nil
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.sys = sys
+	return st, nil
+}
+
+// arrivalMirror reports a node as transmitting exactly when the stepper saw
+// a new measurement for it this tick.
+type arrivalMirror struct {
+	stepper *StoreStepper
+	node    int
+}
+
+// Decide implements transmit.Policy.
+func (p arrivalMirror) Decide(t int, x, z []float64) bool {
+	return p.stepper.arrived[p.node] || z == nil
+}
+
+// System returns the driven pipeline (hand it to serve.Config.Source).
+func (st *StoreStepper) System() *core.System { return st.sys }
+
+// Tick ingests the store's current state as one pipeline step. It returns
+// ok=false without stepping while any node in [0, Nodes) has not yet
+// reported its first measurement. A measurement with a mismatched
+// dimensionality fails the tick.
+func (st *StoreStepper) Tick() (*core.StepResult, bool, error) {
+	for i := 0; i < st.nodes; i++ {
+		m, ok := st.store.Latest(i)
+		if !ok {
+			return nil, false, nil
+		}
+		if len(m.Values) != st.dims {
+			return nil, false, fmt.Errorf("serve: node %d sent %d values, want %d: %w",
+				i, len(m.Values), st.dims, core.ErrBadInput)
+		}
+		st.arrived[i] = m.Step > st.lastStep[i]
+		if st.arrived[i] {
+			st.lastStep[i] = m.Step
+		}
+		copy(st.x[i], m.Values)
+	}
+	res, err := st.sys.Step(st.x)
+	if err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}

@@ -1,0 +1,357 @@
+// Package serve is the forecast query-serving plane: an HTTP/JSON API over a
+// live core.System. It reads exclusively through the system's published
+// snapshots (core.Snapshot — immutable, swapped atomically once per step), so
+// any number of concurrent queries proceed without contending with the
+// ingest/step hot path, and a single-flight cache keyed by (snapshot
+// generation, horizon) collapses identical concurrent forecast queries into
+// one computation.
+//
+// Endpoints:
+//
+//	GET /v1/forecast?h=H[&node=I]  per-node forecasts for horizons 1..H
+//	GET /v1/nodes/{id}             latest measurement, memberships, frequency
+//	GET /v1/clusters               centroids per tracker
+//	GET /v1/stats                  pipeline + cache + request statistics
+//	GET /metrics                   Prometheus text format
+//
+// cmd/forecastd composes this with the TCP collection plane into a runnable
+// central node.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"orcf/internal/core"
+)
+
+// ErrBadConfig reports an invalid server configuration.
+var ErrBadConfig = errors.New("serve: invalid configuration")
+
+// Source provides the snapshots the server reads. *core.System satisfies it.
+type Source interface {
+	Snapshot() *core.Snapshot
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() *core.Snapshot
+
+// Snapshot implements Source.
+func (f SourceFunc) Snapshot() *core.Snapshot { return f() }
+
+// Config assembles a Server.
+type Config struct {
+	// Source supplies snapshots; required. Its Snapshot method must be safe
+	// for concurrent use (core.System's is).
+	Source Source
+	// Workers bounds the per-node fan-out of one forecast computation
+	// (reusing the internal/parallel pool). Zero means GOMAXPROCS.
+	Workers int
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// rejected immediately with 503. Zero means 256.
+	MaxInFlight int
+	// MaxHorizon additionally caps the ?h parameter. Zero means the
+	// snapshot's own horizon is the only cap.
+	MaxHorizon int
+}
+
+// Server is the query plane. It implements http.Handler and is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	cache *flightCache
+
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// New validates the configuration and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: nil source: %w", ErrBadConfig)
+	}
+	if cfg.MaxInFlight < 0 || cfg.MaxHorizon < 0 || cfg.Workers < 0 {
+		return nil, fmt.Errorf("serve: negative limit: %w", ErrBadConfig)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 256
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cache: newFlightCache(),
+	}
+	s.mux.HandleFunc("GET /v1/forecast", s.handleForecast)
+	s.mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
+	s.mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP dispatches one request under the concurrency limit: requests
+// beyond MaxInFlight are rejected immediately with 503 + Retry-After rather
+// than queued, keeping tail latency bounded under overload.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+		s.mux.ServeHTTP(w, r)
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "concurrency limit reached")
+	}
+}
+
+// ForecastResponse is the /v1/forecast payload. Forecast is indexed
+// [horizon][node][resource]; with ?node= it holds exactly one node entry per
+// horizon and Node records which one.
+type ForecastResponse struct {
+	Generation uint64        `json:"generation"`
+	Step       int           `json:"step"`
+	Horizon    int           `json:"horizon"`
+	Node       *int          `json:"node,omitempty"`
+	Forecast   [][][]float64 `json:"forecast"`
+}
+
+// NodeResponse is the /v1/nodes/{id} payload. Clusters holds the node's
+// current cluster index per tracker.
+type NodeResponse struct {
+	Generation  uint64    `json:"generation"`
+	Step        int       `json:"step"`
+	Node        int       `json:"node"`
+	Measurement []float64 `json:"measurement"`
+	Clusters    []int     `json:"clusters"`
+	Frequency   float64   `json:"frequency"`
+}
+
+// TrackerClusters is one tracker's centroid set.
+type TrackerClusters struct {
+	Tracker   int         `json:"tracker"`
+	Centroids [][]float64 `json:"centroids"`
+}
+
+// ClustersResponse is the /v1/clusters payload.
+type ClustersResponse struct {
+	Generation uint64            `json:"generation"`
+	Step       int               `json:"step"`
+	Trackers   []TrackerClusters `json:"trackers"`
+}
+
+// RequestStats reports cumulative request accounting.
+type RequestStats struct {
+	Total    int64 `json:"total"`
+	Rejected int64 `json:"rejected"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Generation      uint64       `json:"generation"`
+	Step            int          `json:"step"`
+	Ready           bool         `json:"ready"`
+	Nodes           int          `json:"nodes"`
+	Resources       int          `json:"resources"`
+	Clusters        int          `json:"clusters"`
+	MaxHorizon      int          `json:"max_horizon"`
+	MeanFrequency   float64      `json:"mean_frequency"`
+	TrainingRuns    int          `json:"training_runs"`
+	TrainingSeconds float64      `json:"training_seconds"`
+	Cache           CacheStats   `json:"cache"`
+	Requests        RequestStats `json:"requests"`
+}
+
+// Stats assembles the current statistics (what /v1/stats serves).
+func (s *Server) Stats() StatsResponse {
+	st := StatsResponse{
+		Cache:    s.cache.stats(),
+		Requests: RequestStats{Total: s.requests.Load(), Rejected: s.rejected.Load()},
+	}
+	if snap := s.cfg.Source.Snapshot(); snap != nil {
+		st.Generation = snap.Generation()
+		st.Step = snap.Steps()
+		st.Ready = snap.Ready()
+		st.Nodes = snap.Nodes()
+		st.Resources = snap.Resources()
+		st.Clusters = snap.Clusters()
+		st.MaxHorizon = s.horizonCap(snap)
+		st.MeanFrequency = snap.MeanFrequency()
+		d, runs := snap.TrainingTime()
+		st.TrainingRuns = runs
+		st.TrainingSeconds = d.Seconds()
+	}
+	return st
+}
+
+// horizonCap is the largest horizon this server accepts for a snapshot.
+func (s *Server) horizonCap(snap *core.Snapshot) int {
+	h := snap.MaxHorizon()
+	if s.cfg.MaxHorizon > 0 && s.cfg.MaxHorizon < h {
+		h = s.cfg.MaxHorizon
+	}
+	return h
+}
+
+// snapshotOr503 fetches the latest snapshot, writing a 503 when none has
+// been published yet.
+func (s *Server) snapshotOr503(w http.ResponseWriter) *core.Snapshot {
+	snap := s.cfg.Source.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+	}
+	return snap
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	h := 1
+	if q := r.URL.Query().Get("h"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "h must be an integer")
+			return
+		}
+		h = v
+	}
+	if maxH := s.horizonCap(snap); h < 1 || h > maxH {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("h must be in [1, %d]", maxH))
+		return
+	}
+	// Validate the node filter before touching the cache: a malformed or
+	// unknown node must not trigger (or wait on) a full-fleet computation.
+	node := -1
+	if q := r.URL.Query().Get("node"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "node must be an integer")
+			return
+		}
+		if v < 0 || v >= snap.Nodes() {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("node %d unknown", v))
+			return
+		}
+		node = v
+	}
+	if !snap.Ready() {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("models not trained yet (step %d)", snap.Steps()))
+		return
+	}
+
+	f, err := s.cache.get(snap.Generation(), h, func() ([][][]float64, error) {
+		return snap.Forecast(h, s.cfg.Workers)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := ForecastResponse{
+		Generation: snap.Generation(),
+		Step:       snap.Steps(),
+		Horizon:    h,
+		Forecast:   f,
+	}
+	if node >= 0 {
+		// Slice the cached full result down to one node; the cache entry
+		// itself is shared and must not be mutated.
+		one := make([][][]float64, h)
+		for hi := range one {
+			one[hi] = [][]float64{f[hi][node]}
+		}
+		resp.Node = &node
+		resp.Forecast = one
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	node, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || node < 0 || node >= snap.Nodes() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("node %q unknown", r.PathValue("id")))
+		return
+	}
+	clusters := make([]int, snap.Trackers())
+	for tr := range clusters {
+		clusters[tr] = snap.Assignment(tr, node)
+	}
+	writeJSON(w, NodeResponse{
+		Generation:  snap.Generation(),
+		Step:        snap.Steps(),
+		Node:        node,
+		Measurement: snap.Latest(node),
+		Clusters:    clusters,
+		Frequency:   snap.Frequency(node),
+	})
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	trackers := make([]TrackerClusters, snap.Trackers())
+	for tr := range trackers {
+		trackers[tr] = TrackerClusters{Tracker: tr, Centroids: snap.Centroids(tr)}
+	}
+	writeJSON(w, ClustersResponse{
+		Generation: snap.Generation(),
+		Step:       snap.Steps(),
+		Trackers:   trackers,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ready := 0
+	if st.Ready {
+		ready = 1
+	}
+	writeMetric(w, "orcf_steps_total", "counter", "Processed pipeline steps.", float64(st.Step))
+	writeMetric(w, "orcf_snapshot_generation", "gauge", "Latest published snapshot generation.", float64(st.Generation))
+	writeMetric(w, "orcf_ready", "gauge", "1 once forecasting models are trained.", float64(ready))
+	writeMetric(w, "orcf_nodes", "gauge", "Monitored node count.", float64(st.Nodes))
+	writeMetric(w, "orcf_mean_transmit_frequency", "gauge", "Mean realized transmission frequency (eq. 5).", st.MeanFrequency)
+	writeMetric(w, "orcf_training_runs_total", "counter", "Completed (re)training rounds.", float64(st.TrainingRuns))
+	writeMetric(w, "orcf_training_seconds_total", "counter", "Cumulative (re)training wall time.", st.TrainingSeconds)
+	writeMetric(w, "orcf_forecast_cache_hits_total", "counter", "Forecast cache hits (incl. coalesced in-flight waits).", float64(st.Cache.Hits))
+	writeMetric(w, "orcf_forecast_cache_misses_total", "counter", "Forecast cache misses.", float64(st.Cache.Misses))
+	writeMetric(w, "orcf_http_requests_total", "counter", "HTTP requests received.", float64(st.Requests.Total))
+	writeMetric(w, "orcf_http_requests_rejected_total", "counter", "Requests rejected at the concurrency limit.", float64(st.Requests.Rejected))
+}
+
+func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, kind, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -14,8 +15,12 @@ import (
 // transmissions repair staleness.
 //
 // Send attempts one redial per call when the connection is down, with a
-// capped exponential backoff between redial attempts so a dead collector is
-// not hammered.
+// capped, jittered exponential backoff between redial attempts: the backoff
+// ceiling doubles per consecutive failure, and the actual wait is drawn
+// uniformly from [ceiling/2, ceiling]. Without the jitter a collector
+// restart would make every agent redial in lockstep (they all failed at the
+// same moment and double deterministically), hammering the recovering
+// collector with synchronized waves.
 type ReconnectingClient struct {
 	addr string
 	node int
@@ -25,6 +30,7 @@ type ReconnectingClient struct {
 	closed      bool
 	nextAttempt time.Time
 	backoff     time.Duration
+	rng         *rand.Rand
 
 	minBackoff time.Duration
 	maxBackoff time.Duration
@@ -41,6 +47,7 @@ func NewReconnectingClient(addr string, node int) *ReconnectingClient {
 	return &ReconnectingClient{
 		addr:       addr,
 		node:       node,
+		rng:        rand.New(rand.NewPCG(rand.Uint64(), uint64(node))),
 		minBackoff: 50 * time.Millisecond,
 		maxBackoff: 5 * time.Second,
 	}
@@ -106,13 +113,21 @@ func (r *ReconnectingClient) redialLocked() error {
 				r.backoff = r.maxBackoff
 			}
 		}
-		r.nextAttempt = now.Add(r.backoff)
+		r.nextAttempt = now.Add(r.jitterLocked(r.backoff))
 		return fmt.Errorf("transport: redial %s: %w", r.addr, err)
 	}
 	r.client = c
 	r.backoff = 0
 	r.nextAttempt = time.Time{}
 	return nil
+}
+
+// jitterLocked draws the actual redial wait uniformly from [b/2, b] ("equal
+// jitter"), desynchronizing agents whose connections died simultaneously.
+// The caller holds r.mu.
+func (r *ReconnectingClient) jitterLocked(b time.Duration) time.Duration {
+	half := b / 2
+	return half + time.Duration(r.rng.Int64N(int64(half)+1))
 }
 
 // Connected reports whether a live connection is currently held.

@@ -49,18 +49,22 @@ type Envelope struct {
 }
 
 // Store holds the most recent measurement of every node, i.e. the central
-// node's z_t. It is safe for concurrent use.
+// node's z_t, plus per-node ingest accounting. It is safe for concurrent
+// use.
 type Store struct {
-	mu     sync.RWMutex
-	latest map[int]Measurement
+	mu      sync.RWMutex
+	latest  map[int]Measurement
+	updates map[int]int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{latest: make(map[int]Measurement)}
+	return &Store{latest: make(map[int]Measurement), updates: make(map[int]int)}
 }
 
 // Apply records a measurement, keeping only the newest step per node.
+// Accepted measurements count toward the node's update total; stale
+// duplicates do not.
 func (s *Store) Apply(m Measurement) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -68,6 +72,7 @@ func (s *Store) Apply(m Measurement) {
 		return
 	}
 	s.latest[m.Node] = m
+	s.updates[m.Node]++
 }
 
 // Latest returns the most recent measurement of a node.
@@ -94,6 +99,36 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.latest)
+}
+
+// NodeStat is one node's ingest accounting.
+type NodeStat struct {
+	// Latest is the newest stored measurement.
+	Latest Measurement
+	// Updates counts accepted (newer-step) measurements since the store was
+	// created.
+	Updates int
+	// Frequency is the realized transmission frequency per eq. (5): accepted
+	// updates over the node's local step count (its latest reported step).
+	// Zero when the step count is unknown (non-positive steps).
+	Frequency float64
+}
+
+// Stats returns the ingest accounting of every node that has reported,
+// including the per-node realized transmit frequency — the central-side view
+// of eq. (5) that the agents' adaptive policies are budgeting against.
+func (s *Store) Stats() map[int]NodeStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int]NodeStat, len(s.latest))
+	for node, m := range s.latest {
+		st := NodeStat{Latest: m, Updates: s.updates[node]}
+		if m.Step > 0 {
+			st.Frequency = float64(st.Updates) / float64(m.Step)
+		}
+		out[node] = st
+	}
+	return out
 }
 
 // Server is the central collector endpoint.

@@ -351,3 +351,45 @@ func TestServerCloseDuringConcurrentDials(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreStatsAccountsFrequency(t *testing.T) {
+	t.Parallel()
+	s := NewStore()
+	// Node 1: transmits at local steps 2, 5, 10 → 3 updates over 10 steps.
+	s.Apply(Measurement{Node: 1, Step: 2, Values: []float64{0.2}})
+	s.Apply(Measurement{Node: 1, Step: 5, Values: []float64{0.5}})
+	s.Apply(Measurement{Node: 1, Step: 5, Values: []float64{0.5}}) // duplicate: dropped
+	s.Apply(Measurement{Node: 1, Step: 4, Values: []float64{0.4}}) // stale: dropped
+	s.Apply(Measurement{Node: 1, Step: 10, Values: []float64{1.0}})
+	// Node 2: a single transmission at step 4.
+	s.Apply(Measurement{Node: 2, Step: 4, Values: []float64{0.4}})
+
+	stats := s.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("%d nodes in stats, want 2", len(stats))
+	}
+	n1 := stats[1]
+	if n1.Updates != 3 || n1.Latest.Step != 10 {
+		t.Fatalf("node 1 stats %+v, want 3 updates at step 10", n1)
+	}
+	if n1.Frequency != 0.3 {
+		t.Fatalf("node 1 frequency %v, want 0.3 (eq. 5: 3 transmissions / 10 steps)", n1.Frequency)
+	}
+	if f := stats[2].Frequency; f != 0.25 {
+		t.Fatalf("node 2 frequency %v, want 0.25", f)
+	}
+	// The returned map is a copy.
+	delete(stats, 1)
+	if len(s.Stats()) != 2 {
+		t.Fatal("Stats deletion affected store")
+	}
+}
+
+func TestStoreStatsUnknownStepCount(t *testing.T) {
+	t.Parallel()
+	s := NewStore()
+	s.Apply(Measurement{Node: 3, Step: 0, Values: []float64{0.1}})
+	if f := s.Stats()[3].Frequency; f != 0 {
+		t.Fatalf("frequency %v for non-positive step count, want 0", f)
+	}
+}

@@ -50,6 +50,9 @@ type (
 	StepResult = core.StepResult
 	// ResourceStep is the clustering outcome for one resource tracker.
 	ResourceStep = core.ResourceStep
+	// Snapshot is the immutable read-only view published per step when
+	// snapshots are enabled (WithSnapshotHorizon); see System.Snapshot.
+	Snapshot = core.Snapshot
 	// Dataset is a dense Steps × Nodes × Resources measurement tensor.
 	Dataset = trace.Dataset
 	// GeneratorConfig parameterizes synthetic trace generation.
@@ -336,6 +339,23 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithSnapshotHorizon enables the concurrent read plane: after every
+// successful Step the system publishes an immutable Snapshot (look-back
+// window, latest measurements, memberships, transmit frequencies, and
+// centroid forecasts up to horizon h) that any number of readers may query
+// lock-free while stepping continues — the substrate of the internal/serve
+// query plane and cmd/forecastd. Zero (the default) disables publishing and
+// keeps the ingest path allocation-free.
+func WithSnapshotHorizon(h int) Option {
+	return func(c *core.Config) error {
+		if h < 0 {
+			return fmt.Errorf("orcf: snapshot horizon %d: %w", h, ErrBadOption)
+		}
+		c.SnapshotHorizon = h
+		return nil
+	}
+}
+
 // System is the public handle to the collection-and-forecasting pipeline.
 type System struct {
 	inner *core.System
@@ -372,6 +392,11 @@ func (s *System) Forecast(h int) ([][][]float64, error) { return s.inner.Forecas
 
 // Stored returns the central node's current measurement copies (z_t).
 func (s *System) Stored() [][]float64 { return s.inner.Stored() }
+
+// Snapshot returns the latest published read-only view, or nil when
+// snapshots are disabled (see WithSnapshotHorizon) or no step has completed.
+// Safe to call concurrently with Step.
+func (s *System) Snapshot() *Snapshot { return s.inner.Snapshot() }
 
 // Frequency returns the realized transmission frequency of one node.
 func (s *System) Frequency(node int) float64 { return s.inner.Frequency(node) }
