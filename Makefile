@@ -5,13 +5,15 @@
 GO ?= go
 
 # Packages that spawn goroutines (worker pools, TCP collection plane, HTTP
-# query plane) — kept in one place so the race pass and CI never drift apart.
+# query plane, background checkpointing) — kept in one place so the race
+# pass and CI never drift apart.
 RACE_PKGS = ./internal/parallel ./internal/core ./internal/forecast \
-            ./internal/transport ./internal/agent ./internal/serve .
+            ./internal/transport ./internal/agent ./internal/serve \
+            ./internal/persist .
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race docs bench
 
-ci: fmt vet build test race
+ci: fmt vet build test race docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -28,6 +30,11 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Docs gate: markdown links in README/docs must resolve, and exported
+# identifiers in the gated packages must carry doc comments.
+docs:
+	$(GO) run ./internal/tools/docscheck
 
 bench:
 	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .

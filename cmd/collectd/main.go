@@ -13,26 +13,51 @@
 //
 // Pair it with cmd/nodeagent instances feeding a trace through the adaptive
 // transmission policy.
+//
+// With -state-dir the clustering state (assignment history, centroid
+// series, and the K-means RNG position) is checkpointed periodically and on
+// SIGTERM, and restored on boot when the fleet size matches — so cluster
+// identities survive a collector restart instead of being re-learned from
+// scratch.
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"math"
 	"math/rand/v2"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
 
 	"orcf/internal/cluster"
+	"orcf/internal/persist"
 	"orcf/internal/transport"
 )
 
 func main() {
 	os.Exit(run())
 }
+
+// trackerState is the durable clustering state of collectd: one tracker and
+// RNG per resource, valid only for the recorded fleet shape and seed.
+type trackerState struct {
+	K, Resources int
+	Seed         uint64
+	TrackedNodes int
+	RNGs         [][]byte
+	Trackers     []*cluster.State
+}
+
+// saveInterval is how many reporting ticks pass between state saves.
+const saveInterval = 15
 
 // printFrequencies reports the realized per-node transmission frequency the
 // store has accounted (eq. 5: accepted updates over the node's local step
@@ -65,8 +90,33 @@ func run() int {
 		resources = flag.Int("resources", 2, "measurement dimensionality")
 		interval  = flag.Duration("interval", 2*time.Second, "clustering/reporting period")
 		seed      = flag.Uint64("seed", 1, "clustering seed")
+		stateDir  = flag.String("state-dir", "", "directory for durable clustering state (empty = in-memory only)")
 	)
 	flag.Parse()
+
+	var saved *trackerState
+	statePath := ""
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "collectd:", err)
+			return 1
+		}
+		statePath = filepath.Join(*stateDir, "collectd-trackers.state")
+		payload, err := persist.ReadBlob(statePath, persist.KindAux)
+		switch {
+		case err == nil:
+			st := new(trackerState)
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
+				fmt.Fprintln(os.Stderr, "collectd: ignoring undecodable state:", err)
+			} else {
+				saved = st
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh state dir.
+		default:
+			fmt.Fprintln(os.Stderr, "collectd: ignoring unreadable state:", err)
+		}
+	}
 
 	store := transport.NewStore()
 	srv, err := transport.NewServer(store, nil)
@@ -83,20 +133,69 @@ func run() int {
 	fmt.Printf("collectd listening on %s (K=%d)\n", addr, *k)
 
 	// The dynamic tracker requires a fixed node population; when agents join
-	// or leave, the trackers are rebuilt (cluster identities restart).
+	// or leave, the trackers are rebuilt (cluster identities restart). A
+	// rebuild for the fleet size the saved state was taken at restores that
+	// state instead of starting over.
 	var trackers []*cluster.Tracker
+	var pcgs []*rand.PCG
 	trackedNodes := -1
-	rebuild := func() error {
+	rebuild := func(nodes int) error {
 		trackers = make([]*cluster.Tracker, *resources)
+		pcgs = make([]*rand.PCG, *resources)
 		for r := range trackers {
-			tr, err := cluster.NewTracker(cluster.Config{K: *k},
-				rand.New(rand.NewPCG(*seed, uint64(r))))
+			pcgs[r] = rand.NewPCG(*seed, uint64(r))
+			tr, err := cluster.NewTracker(cluster.Config{K: *k}, rand.New(pcgs[r]))
 			if err != nil {
 				return err
 			}
 			trackers[r] = tr
 		}
+		if saved == nil || saved.K != *k || saved.Resources != *resources ||
+			saved.Seed != *seed || saved.TrackedNodes != nodes {
+			return nil
+		}
+		for r := range trackers {
+			if err := trackers[r].RestoreState(saved.Trackers[r]); err != nil {
+				return fmt.Errorf("restoring tracker %d: %w", r, err)
+			}
+			if err := pcgs[r].UnmarshalBinary(saved.RNGs[r]); err != nil {
+				return fmt.Errorf("restoring rng %d: %w", r, err)
+			}
+		}
+		fmt.Printf("collectd: resumed clustering at step %d from %s\n",
+			trackers[0].Steps(), statePath)
+		// One-shot: a later fleet-size flap must rebuild fresh, not rewind
+		// to this boot-time state (disk already holds newer saves by then).
+		saved = nil
 		return nil
+	}
+
+	save := func() {
+		if statePath == "" || trackers == nil {
+			return
+		}
+		st := &trackerState{
+			K: *k, Resources: *resources, Seed: *seed, TrackedNodes: trackedNodes,
+			RNGs:     make([][]byte, len(trackers)),
+			Trackers: make([]*cluster.State, len(trackers)),
+		}
+		for r, tr := range trackers {
+			rng, err := pcgs[r].MarshalBinary()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "collectd: state save:", err)
+				return
+			}
+			st.RNGs[r] = rng
+			st.Trackers[r] = tr.ExportState()
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			fmt.Fprintln(os.Stderr, "collectd: state save:", err)
+			return
+		}
+		if err := persist.WriteBlobAtomic(statePath, persist.KindAux, buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "collectd: state save:", err)
+		}
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -104,10 +203,12 @@ func run() int {
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
 
+	ticks := 0
 	for {
 		select {
 		case <-stop:
 			fmt.Println("collectd: shutting down")
+			save()
 			return 0
 		case <-ticker.C:
 			stats := store.Stats()
@@ -121,12 +222,16 @@ func run() int {
 			}
 			sort.Ints(nodes)
 			if len(nodes) != trackedNodes {
-				if err := rebuild(); err != nil {
+				if err := rebuild(len(nodes)); err != nil {
 					fmt.Fprintln(os.Stderr, "collectd:", err)
 					return 1
 				}
 				trackedNodes = len(nodes)
-				fmt.Printf("collectd: tracking %d nodes (clusters reset)\n", trackedNodes)
+				fmt.Printf("collectd: tracking %d nodes\n", trackedNodes)
+			}
+			ticks++
+			if ticks%saveInterval == 0 {
+				save()
 			}
 			for r := 0; r < *resources; r++ {
 				points := make([][]float64, len(nodes))

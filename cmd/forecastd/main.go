@@ -22,6 +22,14 @@
 // The pipeline starts stepping once every node in [0, nodes) has reported at
 // least one measurement; /v1/forecast serves 503 until the initial
 // collection phase (-initial steps) has trained the models.
+//
+// With -state-dir the pipeline is durable: every step is appended to a
+// write-ahead log, the full state is checkpointed in the background every
+// -checkpoint-every steps (and on SIGTERM), and on boot the newest valid
+// checkpoint is restored and the WAL tail replayed, so a restarted
+// collector resumes exactly where it stopped — models, look-back window,
+// and per-node frequency accounting intact. See docs/OPERATIONS.md for the
+// recovery runbook.
 package main
 
 import (
@@ -36,12 +44,33 @@ import (
 	"time"
 
 	"orcf/internal/core"
+	"orcf/internal/persist"
 	"orcf/internal/serve"
 	"orcf/internal/transport"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// persistStats adapts persist.Manager accounting to the serving plane's
+// report shape.
+func persistStats(mgr *persist.Manager) serve.PersistStats {
+	st := mgr.Stats()
+	age := -1.0
+	if !st.LastCheckpointTime.IsZero() {
+		age = time.Since(st.LastCheckpointTime).Seconds()
+	}
+	return serve.PersistStats{
+		LastCheckpointStep:       st.LastCheckpointStep,
+		LastCheckpointAgeSeconds: age,
+		Checkpoints:              st.Checkpoints,
+		CheckpointErrors:         st.CheckpointErrors,
+		WALRecords:               st.WALRecords,
+		WALBytes:                 st.WALBytes,
+		RecoveredStep:            st.RecoveredStep,
+		ReplayedSteps:            st.ReplayedSteps,
+	}
 }
 
 func run() int {
@@ -58,6 +87,9 @@ func run() int {
 		seed        = flag.Uint64("seed", 1, "clustering seed")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		maxInFlight = flag.Int("max-inflight", 256, "max concurrently served HTTP requests")
+		stateDir    = flag.String("state-dir", "", "directory for durable checkpoints + WAL (empty = in-memory only)")
+		ckptEvery   = flag.Int("checkpoint-every", 64, "steps between background checkpoints (0 = persist default 256, negative = only on shutdown)")
+		fsyncWAL    = flag.Bool("fsync-wal", false, "fsync the WAL after every step (single-step durability)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -78,7 +110,7 @@ func run() int {
 	}
 	defer collector.Close()
 
-	stepper, err := serve.NewStoreStepper(store, core.Config{
+	cfg := core.Config{
 		Nodes:             *nodes,
 		Resources:         *resources,
 		K:                 *k,
@@ -87,16 +119,51 @@ func run() int {
 		Seed:              *seed,
 		Workers:           *workers,
 		SnapshotHorizon:   *horizon,
-	})
+	}
+	stepper, err := serve.NewStoreStepper(store, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "forecastd:", err)
 		return 1
 	}
-	query, err := serve.New(serve.Config{
+
+	// Durable state: recover checkpoint + WAL tail before the first tick,
+	// then log every step through the stepper.
+	var mgr *persist.Manager
+	if *stateDir != "" {
+		mgr, err = persist.New(stepper.System(), cfg, persist.Options{
+			Dir:             *stateDir,
+			CheckpointEvery: *ckptEvery,
+			Fsync:           *fsyncWAL,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "forecastd:", err)
+			return 1
+		}
+		info, err := mgr.Recover(stepper.Replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "forecastd: recovery:", err)
+			return 1
+		}
+		defer mgr.Close()
+		stepper.SetLog(mgr)
+		switch {
+		case info.Steps == 0:
+			fmt.Printf("forecastd: state dir %s empty; starting fresh\n", *stateDir)
+		default:
+			fmt.Printf("forecastd: recovered to step %d (checkpoint %d + %d replayed WAL steps, torn tail: %v)\n",
+				info.Steps, info.CheckpointStep, info.ReplayedSteps, info.TornTail)
+		}
+	}
+
+	serveCfg := serve.Config{
 		Source:      stepper.System(),
 		Workers:     *workers,
 		MaxInFlight: *maxInFlight,
-	})
+	}
+	if mgr != nil {
+		serveCfg.PersistStats = func() serve.PersistStats { return persistStats(mgr) }
+	}
+	query, err := serve.New(serveCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "forecastd:", err)
 		return 1
@@ -118,8 +185,18 @@ func run() int {
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
 
-	shutdown := func() int {
+	// checkpoint=false on a step error: the pipeline state is undefined then
+	// and must not be made durable — the state dir keeps the last good
+	// checkpoint + WAL instead.
+	shutdown := func(checkpoint bool) int {
 		fmt.Println("forecastd: shutting down")
+		if mgr != nil && checkpoint {
+			if err := mgr.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "forecastd: final checkpoint:", err)
+			} else {
+				fmt.Printf("forecastd: checkpointed at step %d\n", stepper.System().Steps())
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -136,7 +213,7 @@ func run() int {
 	for {
 		select {
 		case <-stop:
-			return shutdown()
+			return shutdown(true)
 		case err := <-httpDone:
 			fmt.Fprintln(os.Stderr, "forecastd: http server:", err)
 			return 1
@@ -146,7 +223,7 @@ func run() int {
 				// A step error leaves the pipeline in an undefined state; the
 				// system must be discarded rather than stepped further.
 				fmt.Fprintln(os.Stderr, "forecastd:", err)
-				_ = shutdown()
+				_ = shutdown(false)
 				return 1
 			}
 			if !ok {

@@ -1,0 +1,107 @@
+package cluster
+
+import "fmt"
+
+// State is the complete serializable state of a Tracker (everything that
+// evolves across Update calls). It does not include the K-means RNG: the
+// Tracker borrows its *rand.Rand from the caller, so the caller that wants
+// deterministic resumption must capture and restore the underlying source
+// alongside this State (core.System does exactly that for its trackers).
+type State struct {
+	// T is the number of processed updates.
+	T int
+	// Dim and N pin the point shape seen at the first update (0 until then).
+	Dim, N int
+	// Hist is the assignment ring, most recent first.
+	Hist [][]int
+	// CentroidSeries is the full centroid history, indexed [cluster][dim][t].
+	CentroidSeries [][][]float64
+}
+
+// ExportState deep-copies the tracker's mutable state. The returned State
+// shares no memory with the tracker, so it may be serialized concurrently
+// with further updates to the live tracker.
+func (tr *Tracker) ExportState() *State {
+	st := &State{T: tr.t, Dim: tr.dim, N: tr.n}
+	st.Hist = make([][]int, len(tr.hist))
+	for i, h := range tr.hist {
+		st.Hist[i] = append([]int(nil), h...)
+	}
+	if tr.centroidSeries != nil {
+		st.CentroidSeries = make([][][]float64, len(tr.centroidSeries))
+		for j, byDim := range tr.centroidSeries {
+			st.CentroidSeries[j] = make([][]float64, len(byDim))
+			for d, series := range byDim {
+				st.CentroidSeries[j][d] = append([]float64(nil), series...)
+			}
+		}
+	}
+	return st
+}
+
+// RestoreState replaces a freshly constructed tracker's state with an
+// exported one. The tracker must not have processed any update yet, and the
+// state must match the tracker's configuration (K, history depth bounds,
+// assignment ranges). The State is deep-copied; the caller keeps ownership.
+func (tr *Tracker) RestoreState(st *State) error {
+	if tr.t != 0 {
+		return fmt.Errorf("cluster: restore into tracker with %d steps: %w", tr.t, ErrBadInput)
+	}
+	if st == nil {
+		return fmt.Errorf("cluster: nil state: %w", ErrBadInput)
+	}
+	if st.T < 0 || st.Dim < 0 || st.N < 0 {
+		return fmt.Errorf("cluster: negative state counters: %w", ErrBadInput)
+	}
+	if st.T == 0 {
+		if len(st.Hist) != 0 || st.CentroidSeries != nil {
+			return fmt.Errorf("cluster: zero-step state carries history: %w", ErrBadInput)
+		}
+		return nil
+	}
+	if len(st.Hist) == 0 || len(st.Hist) > tr.cfg.HistoryDepth || len(st.Hist) > st.T {
+		return fmt.Errorf("cluster: history length %d (depth %d, %d steps): %w",
+			len(st.Hist), tr.cfg.HistoryDepth, st.T, ErrBadInput)
+	}
+	for _, h := range st.Hist {
+		if len(h) != st.N {
+			return fmt.Errorf("cluster: assignment vector length %d, want %d: %w", len(h), st.N, ErrBadInput)
+		}
+		for _, j := range h {
+			if j < 0 || j >= tr.cfg.K {
+				return fmt.Errorf("cluster: assignment %d outside [0,%d): %w", j, tr.cfg.K, ErrBadInput)
+			}
+		}
+	}
+	if len(st.CentroidSeries) != tr.cfg.K {
+		return fmt.Errorf("cluster: %d centroid series, want K=%d: %w",
+			len(st.CentroidSeries), tr.cfg.K, ErrBadInput)
+	}
+	for j, byDim := range st.CentroidSeries {
+		if len(byDim) != st.Dim {
+			return fmt.Errorf("cluster: cluster %d has %d dims, want %d: %w", j, len(byDim), st.Dim, ErrBadInput)
+		}
+		for d, series := range byDim {
+			if len(series) != st.T {
+				return fmt.Errorf("cluster: series (%d,%d) has %d values, want %d: %w",
+					j, d, len(series), st.T, ErrBadInput)
+			}
+		}
+	}
+
+	tr.t = st.T
+	tr.dim = st.Dim
+	tr.n = st.N
+	tr.hist = make([][]int, len(st.Hist))
+	for i, h := range st.Hist {
+		tr.hist[i] = append([]int(nil), h...)
+	}
+	tr.centroidSeries = make([][][]float64, len(st.CentroidSeries))
+	for j, byDim := range st.CentroidSeries {
+		tr.centroidSeries[j] = make([][]float64, len(byDim))
+		for d, series := range byDim {
+			tr.centroidSeries[j][d] = append([]float64(nil), series...)
+		}
+	}
+	return nil
+}

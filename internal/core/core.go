@@ -178,6 +178,7 @@ type System struct {
 	z         [][]float64 // rows into zback once a node first transmits
 	zback     []float64   // N×d flat backing for z
 	trackers  []*cluster.Tracker
+	pcgs      []*rand.PCG // per-tracker K-means RNG sources (for state export)
 	ensembles []*forecast.Ensemble
 
 	// ring is the eq. (12) look-back of depth M′+1; ring[head] is the
@@ -246,13 +247,15 @@ func NewSystem(cfg Config) (*System, error) {
 	// concurrency bounded by Workers instead of multiplying with it.
 	ensembleWorkers := max(1, parallel.Workers(cfg.Workers)/s.nTrackers)
 	for tr := 0; tr < s.nTrackers; tr++ {
+		pcg := rand.NewPCG(cfg.Seed, uint64(tr)+0x1234)
+		s.pcgs = append(s.pcgs, pcg)
 		tracker, err := cluster.NewTracker(cluster.Config{
 			K:               cfg.K,
 			M:               cfg.M,
 			Similarity:      cfg.Similarity,
 			HistoryDepth:    histDepth,
 			DisableMatching: cfg.DisableMatching,
-		}, rand.New(rand.NewPCG(cfg.Seed, uint64(tr)+0x1234)))
+		}, rand.New(pcg))
 		if err != nil {
 			return nil, fmt.Errorf("core: tracker %d: %w", tr, err)
 		}
@@ -303,6 +306,20 @@ func (s *System) newRingSlot() ringSlot {
 		slot.centroids[tr] = newMatrix(s.cfg.K, s.dims)
 	}
 	return slot
+}
+
+// copyFrom overwrites the slot's contents with src's. Both slots must be
+// shaped by the same system (newRingSlot).
+func (slot *ringSlot) copyFrom(src *ringSlot) {
+	for i, zi := range src.z {
+		copy(slot.z[i], zi)
+	}
+	for tr := range src.assignments {
+		copy(slot.assignments[tr], src.assignments[tr])
+		for j, c := range src.centroids[tr] {
+			copy(slot.centroids[tr][j], c)
+		}
+	}
 }
 
 // newMatrix allocates an n×d matrix whose rows share one backing array.

@@ -61,15 +61,7 @@ func (s *System) Snapshot() *Snapshot { return s.snap.Load() }
 // untouched.
 func (s *System) buildSnapshot() (*Snapshot, error) {
 	slot := s.newRingSlot()
-	for i := range s.stage.z {
-		copy(slot.z[i], s.stage.z[i])
-	}
-	for tr := range slot.assignments {
-		copy(slot.assignments[tr], s.stage.assignments[tr])
-		for j := range slot.centroids[tr] {
-			copy(slot.centroids[tr][j], s.stage.centroids[tr][j])
-		}
-	}
+	slot.copyFrom(&s.stage)
 
 	window := min(s.ringLen+1, len(s.ring))
 	slots := make([]*ringSlot, 0, window)

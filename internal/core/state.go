@@ -1,0 +1,421 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"orcf/internal/cluster"
+	"orcf/internal/forecast"
+	"orcf/internal/parallel"
+	"orcf/internal/transmit"
+)
+
+// StateVersion identifies the State layout; persisted states with a
+// different version are rejected on restore.
+const StateVersion = 1
+
+// ErrNotPersistent reports a transmission policy that does not implement
+// transmit.Persistent, so the system's state cannot be exported.
+var ErrNotPersistent = errors.New("core: policy does not support state export")
+
+// ErrBadState reports a State that cannot restore this system (version,
+// fingerprint, or shape mismatch).
+var ErrBadState = errors.New("core: invalid state")
+
+// State is the complete serializable state of a System: everything Step and
+// Forecast read that evolves over time. A fresh System built from the same
+// Config and restored from a State continues bit-identically to the run that
+// exported it — step N, export, restore, step N+1 equals an uninterrupted
+// run (the crash-consistency property internal/persist builds on).
+//
+// Model weights are deliberately absent: forecasting models are
+// reconstructed by deterministic refit on the persisted centroid series
+// (see forecast.EnsembleState), which keeps the format independent of the
+// configured model family.
+type State struct {
+	// Version is the State layout version (StateVersion).
+	Version int
+	// Fingerprint guards against restoring under a different configuration;
+	// see Config.Fingerprint.
+	Fingerprint uint64
+	// T is the number of processed steps.
+	T int
+	// Gen is the published snapshot generation (0 when publishing was
+	// disabled or no step had completed).
+	Gen uint64
+	// ZSet flags the nodes whose measurement is held in the central store.
+	ZSet []bool
+	// Z holds the central store z_t, one row per node (nil when unset).
+	Z [][]float64
+	// Window is the eq. (12) look-back, newest first (at most M'+1 slots).
+	Window []SlotState
+	// Meters carries the per-node eq. (5) frequency counters.
+	Meters []MeterState
+	// Policies holds each node policy's opaque mutable state.
+	Policies [][]byte
+	// TrackerRNGs holds each tracker's marshaled K-means PCG source.
+	TrackerRNGs [][]byte
+	// Trackers holds the per-tracker clustering state.
+	Trackers []*cluster.State
+	// Ensembles holds the per-tracker forecasting-ensemble state.
+	Ensembles []*forecast.EnsembleState
+}
+
+// SlotState is one serialized look-back slot: the stored measurements plus
+// the per-tracker assignments and centroids of that step.
+type SlotState struct {
+	// Z is the stored measurement matrix (Nodes × Resources).
+	Z [][]float64
+	// Assignments maps [tracker][node] to a stable cluster index.
+	Assignments [][]int
+	// Centroids holds [tracker][cluster][dim] centroid coordinates.
+	Centroids [][][]float64
+}
+
+// MeterState is a serialized transmit.Meter.
+type MeterState struct {
+	// Steps is the number of observed decisions.
+	Steps int
+	// Transmits is the number of observed transmissions.
+	Transmits int
+}
+
+// Fingerprint returns a stable hash of every configuration field that shapes
+// persisted state: topology (Nodes, Resources, K, M, M'), schedules, the
+// similarity measure, the clustering seed, and the ablation switches.
+// Runtime-only knobs (Workers, SnapshotHorizon) and the Policy/Model
+// factories are excluded — the factories cannot be hashed, so restoring
+// under a different policy or model family is the caller's responsibility
+// to avoid (the policy state bytes and the refit-from-series reconstruction
+// will generally fail loudly, but not provably always).
+func (c Config) Fingerprint() uint64 {
+	c = c.withDefaults()
+	if c.Similarity == 0 {
+		c.Similarity = cluster.SimilarityProposed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "orcf-state-v%d|N=%d|d=%d|K=%d|M=%d|Mp=%d|sim=%d|init=%d|retrain=%d|fitw=%d|joint=%t|seed=%d|noclamp=%t|noalpha=%t|nomatch=%t",
+		StateVersion, c.Nodes, c.Resources, c.K, c.M, c.MPrime, int(c.Similarity),
+		c.InitialCollection, c.RetrainEvery, c.FitWindow, c.JointClustering,
+		c.Seed, c.DisableClamp, c.DisableAlphaClamp, c.DisableMatching)
+	return h.Sum64()
+}
+
+// ExportState deep-copies the system's complete mutable state. The returned
+// State shares no memory with the system, so callers may serialize it on a
+// background goroutine while the system keeps stepping — that is how
+// internal/persist encodes checkpoints off the ingest hot path. ExportState
+// itself must be called from the stepping goroutine (between Steps); the
+// per-tracker copies fan out on the worker pool. It fails with
+// ErrNotPersistent when any node's policy does not implement
+// transmit.Persistent.
+func (s *System) ExportState() (*State, error) {
+	st := &State{
+		Version:     StateVersion,
+		Fingerprint: s.cfg.Fingerprint(),
+		T:           s.t,
+		Gen:         s.gen,
+	}
+
+	st.Policies = make([][]byte, len(s.policies))
+	for i, p := range s.policies {
+		pp, ok := p.(transmit.Persistent)
+		if !ok {
+			return nil, fmt.Errorf("core: node %d policy %T: %w", i, p, ErrNotPersistent)
+		}
+		b, err := pp.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d policy state: %w", i, err)
+		}
+		st.Policies[i] = b
+	}
+
+	st.Meters = make([]MeterState, len(s.meters))
+	for i := range s.meters {
+		st.Meters[i] = MeterState{Steps: s.meters[i].Steps(), Transmits: s.meters[i].Transmits()}
+	}
+
+	st.ZSet = make([]bool, len(s.z))
+	st.Z = make([][]float64, len(s.z))
+	for i, zi := range s.z {
+		if zi != nil {
+			st.ZSet[i] = true
+			st.Z[i] = append([]float64(nil), zi...)
+		}
+	}
+
+	st.Window = make([]SlotState, s.ringLen)
+	for ago := 0; ago < s.ringLen; ago++ {
+		st.Window[ago] = exportSlot(s.snapAt(ago))
+	}
+
+	st.Trackers = make([]*cluster.State, s.nTrackers)
+	st.Ensembles = make([]*forecast.EnsembleState, s.nTrackers)
+	st.TrackerRNGs = make([][]byte, s.nTrackers)
+	err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+		st.Trackers[tr] = s.trackers[tr].ExportState()
+		st.Ensembles[tr] = s.ensembles[tr].ExportState()
+		rng, err := s.pcgs[tr].MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("core: tracker %d rng: %w", tr, err)
+		}
+		st.TrackerRNGs[tr] = rng
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// exportSlot deep-copies one look-back slot.
+func exportSlot(slot *ringSlot) SlotState {
+	out := SlotState{
+		Z:           make([][]float64, len(slot.z)),
+		Assignments: make([][]int, len(slot.assignments)),
+		Centroids:   make([][][]float64, len(slot.centroids)),
+	}
+	for i, zi := range slot.z {
+		out.Z[i] = append([]float64(nil), zi...)
+	}
+	for tr := range slot.assignments {
+		out.Assignments[tr] = append([]int(nil), slot.assignments[tr]...)
+		out.Centroids[tr] = make([][]float64, len(slot.centroids[tr]))
+		for j, c := range slot.centroids[tr] {
+			out.Centroids[tr][j] = append([]float64(nil), c...)
+		}
+	}
+	return out
+}
+
+// RestoreState loads an exported State into a freshly constructed System
+// (no steps processed). The system must have been built from the same
+// Config that produced the State (checked via Fingerprint; Workers and
+// SnapshotHorizon may differ). After a successful restore the system
+// continues bit-identically to the exporting run; on error the system is
+// unchanged only for validation failures — a mid-restore failure (e.g. a
+// policy rejecting its state bytes) leaves it unusable.
+//
+// When snapshot publishing is enabled, restore also republishes the
+// snapshot for generation State.Gen, so the serving plane is warm
+// immediately after recovery instead of waiting for the next step.
+func (s *System) RestoreState(st *State) error {
+	if err := s.validateState(st); err != nil {
+		return err
+	}
+
+	for i, b := range st.Policies {
+		pp := s.policies[i].(transmit.Persistent) // checked in validateState
+		if err := pp.UnmarshalState(b); err != nil {
+			return fmt.Errorf("core: node %d policy state: %w", i, err)
+		}
+	}
+	for i, m := range st.Meters {
+		if err := s.meters[i].Restore(m.Steps, m.Transmits); err != nil {
+			return fmt.Errorf("core: node %d meter: %w", i, err)
+		}
+	}
+
+	d := s.cfg.Resources
+	for i := range st.ZSet {
+		if !st.ZSet[i] {
+			continue
+		}
+		s.z[i] = s.zback[i*d : (i+1)*d : (i+1)*d]
+		copy(s.z[i], st.Z[i])
+	}
+
+	s.ringLen = len(st.Window)
+	if s.ringLen > 0 {
+		s.head = s.ringLen - 1
+		for ago := range st.Window {
+			restoreSlot(&s.ring[s.ringLen-1-ago], &st.Window[ago])
+		}
+	}
+
+	err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+		if err := s.trackers[tr].RestoreState(st.Trackers[tr]); err != nil {
+			return fmt.Errorf("core: tracker %d: %w", tr, err)
+		}
+		if err := s.pcgs[tr].UnmarshalBinary(st.TrackerRNGs[tr]); err != nil {
+			return fmt.Errorf("core: tracker %d rng: %w", tr, err)
+		}
+		if err := s.ensembles[tr].RestoreState(st.Ensembles[tr]); err != nil {
+			return fmt.Errorf("core: ensemble %d: %w", tr, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	s.t = st.T
+	s.gen = st.Gen
+	if s.cfg.SnapshotHorizon > 0 && s.ringLen > 0 {
+		if err := s.republish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateState checks version, fingerprint, and every shape before
+// RestoreState mutates anything.
+func (s *System) validateState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("core: nil state: %w", ErrBadState)
+	}
+	if s.t != 0 {
+		return fmt.Errorf("core: restore into system with %d steps: %w", s.t, ErrBadState)
+	}
+	if st.Version != StateVersion {
+		return fmt.Errorf("core: state version %d, want %d: %w", st.Version, StateVersion, ErrBadState)
+	}
+	if fp := s.cfg.Fingerprint(); st.Fingerprint != fp {
+		return fmt.Errorf("core: state fingerprint %#x does not match configuration %#x: %w",
+			st.Fingerprint, fp, ErrBadState)
+	}
+	if st.T < 0 {
+		return fmt.Errorf("core: state step count %d: %w", st.T, ErrBadState)
+	}
+	n, d := s.cfg.Nodes, s.cfg.Resources
+	if len(st.ZSet) != n || len(st.Z) != n || len(st.Meters) != n || len(st.Policies) != n {
+		return fmt.Errorf("core: state sized for %d/%d/%d/%d nodes, want %d: %w",
+			len(st.ZSet), len(st.Z), len(st.Meters), len(st.Policies), n, ErrBadState)
+	}
+	for i, p := range s.policies {
+		if _, ok := p.(transmit.Persistent); !ok {
+			return fmt.Errorf("core: node %d policy %T: %w", i, p, ErrNotPersistent)
+		}
+	}
+	for i, set := range st.ZSet {
+		if set != (st.Z[i] != nil) || (set && len(st.Z[i]) != d) {
+			return fmt.Errorf("core: node %d store row inconsistent: %w", i, ErrBadState)
+		}
+	}
+	if len(st.Window) > len(s.ring) || (st.T > 0) != (len(st.Window) > 0) || len(st.Window) > st.T {
+		return fmt.Errorf("core: %d window slots for %d steps (ring %d): %w",
+			len(st.Window), st.T, len(s.ring), ErrBadState)
+	}
+	for w := range st.Window {
+		if err := s.validateSlot(&st.Window[w]); err != nil {
+			return fmt.Errorf("core: window slot %d: %w", w, err)
+		}
+	}
+	if len(st.Trackers) != s.nTrackers || len(st.Ensembles) != s.nTrackers ||
+		len(st.TrackerRNGs) != s.nTrackers {
+		return fmt.Errorf("core: state sized for %d/%d/%d trackers, want %d: %w",
+			len(st.Trackers), len(st.Ensembles), len(st.TrackerRNGs), s.nTrackers, ErrBadState)
+	}
+	return nil
+}
+
+func (s *System) validateSlot(slot *SlotState) error {
+	n, d := s.cfg.Nodes, s.cfg.Resources
+	if len(slot.Z) != n {
+		return fmt.Errorf("core: %d store rows, want %d: %w", len(slot.Z), n, ErrBadState)
+	}
+	for _, zi := range slot.Z {
+		if len(zi) != d {
+			return fmt.Errorf("core: store row dim %d, want %d: %w", len(zi), d, ErrBadState)
+		}
+	}
+	if len(slot.Assignments) != s.nTrackers || len(slot.Centroids) != s.nTrackers {
+		return fmt.Errorf("core: %d/%d tracker entries, want %d: %w",
+			len(slot.Assignments), len(slot.Centroids), s.nTrackers, ErrBadState)
+	}
+	for tr := range slot.Assignments {
+		if len(slot.Assignments[tr]) != n {
+			return fmt.Errorf("core: tracker %d assignments %d, want %d: %w",
+				tr, len(slot.Assignments[tr]), n, ErrBadState)
+		}
+		for _, j := range slot.Assignments[tr] {
+			if j < 0 || j >= s.cfg.K {
+				return fmt.Errorf("core: assignment %d outside [0,%d): %w", j, s.cfg.K, ErrBadState)
+			}
+		}
+		if len(slot.Centroids[tr]) != s.cfg.K {
+			return fmt.Errorf("core: tracker %d has %d centroids, want %d: %w",
+				tr, len(slot.Centroids[tr]), s.cfg.K, ErrBadState)
+		}
+		for _, c := range slot.Centroids[tr] {
+			if len(c) != s.dims {
+				return fmt.Errorf("core: centroid dim %d, want %d: %w", len(c), s.dims, ErrBadState)
+			}
+		}
+	}
+	return nil
+}
+
+// restoreSlot copies a serialized slot into a live ring slot.
+func restoreSlot(dst *ringSlot, src *SlotState) {
+	for i := range src.Z {
+		copy(dst.z[i], src.Z[i])
+	}
+	for tr := range src.Assignments {
+		copy(dst.assignments[tr], src.Assignments[tr])
+		for j, c := range src.Centroids[tr] {
+			copy(dst.centroids[tr][j], c)
+		}
+	}
+}
+
+// republish rebuilds the snapshot plane after a restore: the previous
+// publication window is reconstructed from the restored ring (immutable
+// deep copies, newest first) so the next Step's publish shares slots
+// exactly as an uninterrupted run would, and — when a generation had been
+// published — the Snapshot for it is rebuilt and stored so readers see the
+// pre-crash view immediately.
+func (s *System) republish() error {
+	win := make([]*ringSlot, s.ringLen)
+	for ago := 0; ago < s.ringLen; ago++ {
+		slot := s.newRingSlot()
+		slot.copyFrom(s.snapAt(ago))
+		win[ago] = &slot
+	}
+	s.pubWin = win
+	if s.gen == 0 {
+		return nil
+	}
+
+	snap := &Snapshot{
+		gen:               s.gen,
+		t:                 s.t,
+		ready:             s.Ready(),
+		maxHorizon:        s.cfg.SnapshotHorizon,
+		slots:             win,
+		freq:              make([]float64, s.cfg.Nodes),
+		nodes:             s.cfg.Nodes,
+		resources:         s.cfg.Resources,
+		k:                 s.cfg.K,
+		dims:              s.dims,
+		nTracker:          s.nTrackers,
+		joint:             s.cfg.JointClustering,
+		disableClamp:      s.cfg.DisableClamp,
+		disableAlphaClamp: s.cfg.DisableAlphaClamp,
+	}
+	var sum float64
+	for i := range snap.freq {
+		snap.freq[i] = s.meters[i].Frequency()
+		sum += snap.freq[i]
+	}
+	snap.meanFreq = sum / float64(len(snap.freq))
+	snap.trainTime, snap.trainRuns = s.TrainingTime()
+	if snap.ready {
+		snap.centF = make([][][][]float64, s.nTrackers)
+		err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+			f, err := s.ensembles[tr].Forecast(s.cfg.SnapshotHorizon)
+			if err != nil {
+				return fmt.Errorf("core: tracker %d republish forecast: %w", tr, err)
+			}
+			snap.centF[tr] = f
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	s.snap.Store(snap)
+	return nil
+}

@@ -1,0 +1,120 @@
+package forecast
+
+import (
+	"fmt"
+	"time"
+
+	"orcf/internal/parallel"
+)
+
+// EnsembleState is the serializable state of an Ensemble. It deliberately
+// carries no model weights: every Model's Fit is a pure function of the
+// series it is given (the LSTM rebuilds its network from its seed on each
+// Fit), so the models are reconstructed bit-identically on restore by
+// refitting on the history up to the last (re)training step and replaying
+// the per-step Updates that followed it. That keeps the format independent
+// of which model family is configured — persisting an ARIMA ensemble and an
+// LSTM ensemble takes the same bytes-per-step.
+type EnsembleState struct {
+	// T is the number of observed steps.
+	T int
+	// Ready records whether initial training had completed.
+	Ready bool
+	// LastRefit is the step index of the most recent (re)training.
+	LastRefit int
+	// Series is the accumulated centroid history, indexed [cluster][dim][t].
+	Series [][][]float64
+	// TrainTime and TrainRuns carry the cumulative training accounting.
+	TrainTime time.Duration
+	// TrainRuns is the number of completed (re)training rounds.
+	TrainRuns int
+}
+
+// ExportState deep-copies the ensemble's mutable state; the result shares no
+// memory with the live ensemble.
+func (e *Ensemble) ExportState() *EnsembleState {
+	st := &EnsembleState{
+		T:         e.t,
+		Ready:     e.ready,
+		LastRefit: e.lastrefits,
+		TrainTime: e.trainTime,
+		TrainRuns: e.trainRuns,
+	}
+	st.Series = make([][][]float64, len(e.series))
+	for j, byDim := range e.series {
+		st.Series[j] = make([][]float64, len(byDim))
+		for d, series := range byDim {
+			st.Series[j][d] = append([]float64(nil), series...)
+		}
+	}
+	return st
+}
+
+// RestoreState replaces a freshly constructed ensemble's state with an
+// exported one and reconstructs every model deterministically: each model is
+// refit on its series truncated to the last training step (honoring
+// FitWindow exactly as the live refit did), then fed the observations that
+// arrived after it via Update. The ensemble must not have observed any step
+// yet. Fits run on the configured worker pool; the refit does not count
+// toward the restored TrainTime/TrainRuns accounting.
+func (e *Ensemble) RestoreState(st *EnsembleState) error {
+	if e.t != 0 {
+		return fmt.Errorf("forecast: restore into ensemble with %d steps: %w", e.t, ErrBadInput)
+	}
+	if st == nil {
+		return fmt.Errorf("forecast: nil ensemble state: %w", ErrBadInput)
+	}
+	if st.T < 0 || st.LastRefit < 0 || st.LastRefit > st.T || st.TrainRuns < 0 {
+		return fmt.Errorf("forecast: state counters T=%d lastRefit=%d runs=%d: %w",
+			st.T, st.LastRefit, st.TrainRuns, ErrBadInput)
+	}
+	if st.Ready && st.LastRefit == 0 {
+		return fmt.Errorf("forecast: ready state without a training step: %w", ErrBadInput)
+	}
+	if len(st.Series) != e.cfg.Clusters {
+		return fmt.Errorf("forecast: %d series, want %d clusters: %w",
+			len(st.Series), e.cfg.Clusters, ErrBadInput)
+	}
+	for j, byDim := range st.Series {
+		if len(byDim) != e.cfg.Dims {
+			return fmt.Errorf("forecast: cluster %d has %d dims, want %d: %w",
+				j, len(byDim), e.cfg.Dims, ErrBadInput)
+		}
+		for d, series := range byDim {
+			if len(series) != st.T {
+				return fmt.Errorf("forecast: series (%d,%d) has %d values, want %d: %w",
+					j, d, len(series), st.T, ErrBadInput)
+			}
+		}
+	}
+
+	for j, byDim := range st.Series {
+		for d, series := range byDim {
+			e.series[j][d] = append([]float64(nil), series...)
+		}
+	}
+	e.t = st.T
+	e.ready = st.Ready
+	e.lastrefits = st.LastRefit
+	e.trainTime = st.TrainTime
+	e.trainRuns = st.TrainRuns
+
+	if !st.Ready {
+		return nil
+	}
+	dims := e.cfg.Dims
+	return parallel.ForEach(e.cfg.Workers, e.cfg.Clusters*dims, func(i int) error {
+		j, d := i/dims, i%dims
+		s := e.series[j][d][:st.LastRefit]
+		if e.cfg.FitWindow > 0 && len(s) > e.cfg.FitWindow {
+			s = s[len(s)-e.cfg.FitWindow:]
+		}
+		if err := e.models[j][d].Fit(s); err != nil {
+			return fmt.Errorf("forecast: restoring cluster %d dim %d: %w", j, d, err)
+		}
+		for _, v := range e.series[j][d][st.LastRefit:] {
+			e.models[j][d].Update(v)
+		}
+		return nil
+	})
+}

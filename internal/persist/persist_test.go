@@ -1,0 +1,428 @@
+package persist
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"orcf/internal/core"
+	"orcf/internal/forecast"
+)
+
+// testInput is the deterministic waveform shared by all persistence tests:
+// a crashed run regenerates exactly the measurements an uninterrupted run
+// saw.
+func testInput(nodes, resources, t int) [][]float64 {
+	x := make([][]float64, nodes)
+	for i := range x {
+		x[i] = make([]float64, resources)
+		for d := range x[i] {
+			phase := float64(i*5+d*3) * 0.7
+			v := 0.5 + 0.4*math.Sin(float64(t)*0.17+phase)
+			x[i][d] = math.Min(1, math.Max(0, v))
+		}
+	}
+	return x
+}
+
+func testConfig() core.Config {
+	return core.Config{
+		Nodes:             8,
+		Resources:         2,
+		K:                 3,
+		MPrime:            3,
+		InitialCollection: 15,
+		RetrainEvery:      10,
+		Seed:              5,
+		SnapshotHorizon:   4,
+		Model: func() forecast.Model {
+			m, err := forecast.NewSES(0.3)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		},
+	}
+}
+
+func newManager(t *testing.T, dir string, opts Options) *Manager {
+	t.Helper()
+	cfg := testConfig()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	opts.Dir = dir
+	m, err := New(sys, cfg, opts)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	return m
+}
+
+// runTo steps the managed system up to (and including) step `to`, waiting
+// out each background checkpoint so every interval checkpoint lands
+// deterministically (the production skip-if-busy behaviour would let a fast
+// synthetic loop outrun the fsyncs; TestCheckpointDoesNotBlockStepping
+// exercises the overlapping path).
+func runTo(t *testing.T, m *Manager, to int) {
+	t.Helper()
+	cfg := testConfig()
+	for step := m.System().Steps() + 1; step <= to; step++ {
+		if _, err := m.Step(testInput(cfg.Nodes, cfg.Resources, step)); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		m.wg.Wait()
+	}
+}
+
+// referenceForecast runs an uninterrupted system to `to` and forecasts.
+func referenceForecast(t *testing.T, to, h int) [][][]float64 {
+	t.Helper()
+	cfg := testConfig()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("ref system: %v", err)
+	}
+	for step := 1; step <= to; step++ {
+		if _, err := sys.Step(testInput(cfg.Nodes, cfg.Resources, step)); err != nil {
+			t.Fatalf("ref step %d: %v", step, err)
+		}
+	}
+	f, err := sys.Forecast(h)
+	if err != nil {
+		t.Fatalf("ref forecast: %v", err)
+	}
+	return f
+}
+
+// mustForecastEqualReference asserts the managed system at its current step
+// forecasts bit-identically to an uninterrupted run of the same length.
+func mustForecastEqualReference(t *testing.T, m *Manager, h int) {
+	t.Helper()
+	got, err := m.System().Forecast(h)
+	if err != nil {
+		t.Fatalf("forecast at step %d: %v", m.System().Steps(), err)
+	}
+	want := referenceForecast(t, m.System().Steps(), h)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("step %d: recovered forecast diverges from uninterrupted run", m.System().Steps())
+	}
+}
+
+func TestRecoverFreshDirectory(t *testing.T) {
+	t.Parallel()
+	m := newManager(t, t.TempDir(), Options{})
+	info, err := m.Recover(nil)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if info.CheckpointStep != -1 || info.ReplayedSteps != 0 || info.Steps != 0 {
+		t.Fatalf("fresh recovery info = %+v", info)
+	}
+	runTo(t, m, 3)
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestRecoverCheckpointPlusWAL is the end-to-end durability property: kill
+// the manager (no clean shutdown) at an arbitrary step, reopen, and the
+// recovered system must forecast bit-identically to an uninterrupted run.
+func TestRecoverCheckpointPlusWAL(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(3, 9))
+	crashes := map[int]bool{1: true, 12: true, 20: true, 41: true}
+	for len(crashes) < 7 {
+		crashes[1+rng.IntN(44)] = true
+	}
+	for crash := range crashes {
+		dir := t.TempDir()
+		m := newManager(t, dir, Options{CheckpointEvery: 10})
+		if _, err := m.Recover(nil); err != nil {
+			t.Fatalf("crash %d: initial recover: %v", crash, err)
+		}
+		runTo(t, m, crash)
+		// Simulated kill -9: wait out any background checkpoint, then drop
+		// the manager without Close/Checkpoint. The OS file state at this
+		// point is what a real crash would leave behind.
+		m.wg.Wait()
+
+		re := newManager(t, dir, Options{CheckpointEvery: 10})
+		info, err := re.Recover(nil)
+		if err != nil {
+			t.Fatalf("crash %d: recover: %v", crash, err)
+		}
+		if info.Steps != crash {
+			t.Fatalf("crash %d: recovered to step %d (info %+v)", crash, info.Steps, info)
+		}
+		runTo(t, re, 50)
+		mustForecastEqualReference(t, re, 3)
+		if err := re.Close(); err != nil {
+			t.Fatalf("crash %d: close: %v", crash, err)
+		}
+	}
+}
+
+// TestRecoverAfterCleanShutdown exercises the SIGTERM path: Checkpoint +
+// Close, then reopen with zero replay.
+func TestRecoverAfterCleanShutdown(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	m := newManager(t, dir, Options{CheckpointEvery: -1})
+	if _, err := m.Recover(nil); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	runTo(t, m, 23)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re := newManager(t, dir, Options{})
+	info, err := re.Recover(nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if info.CheckpointStep != 23 || info.ReplayedSteps != 0 || info.Steps != 23 {
+		t.Fatalf("clean-shutdown recovery info = %+v", info)
+	}
+	runTo(t, re, 30)
+	mustForecastEqualReference(t, re, 3)
+	if err := re.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestTornWrites is the crash-corruption property: truncating the newest
+// checkpoint or the WAL at arbitrary byte offsets must never panic or fail
+// recovery — it falls back to the previous checkpoint and the intact WAL
+// prefix, and the recovered system still matches the uninterrupted run at
+// whatever step it recovered to.
+func TestTornWrites(t *testing.T) {
+	t.Parallel()
+	seed := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		m := newManager(t, dir, Options{CheckpointEvery: 10})
+		if _, err := m.Recover(nil); err != nil {
+			t.Fatalf("seed recover: %v", err)
+		}
+		runTo(t, m, 37) // checkpoints at 10/20/30 (retain 2 → 20, 30), WAL to 37
+		m.wg.Wait()
+		return dir
+	}
+
+	truncate := func(t *testing.T, path string, keep int64) {
+		t.Helper()
+		if err := os.Truncate(path, keep); err != nil {
+			t.Fatalf("truncate %s: %v", path, err)
+		}
+	}
+
+	recoverAndVerify := func(t *testing.T, dir string, minStep int) {
+		t.Helper()
+		re := newManager(t, dir, Options{})
+		info, err := re.Recover(nil)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if info.Steps < minStep {
+			t.Fatalf("recovered to %d, want ≥ %d (info %+v)", info.Steps, minStep, info)
+		}
+		// Continue past initial training so forecasts are comparable.
+		runTo(t, re, max(info.Steps+5, 20))
+		mustForecastEqualReference(t, re, 3)
+		if err := re.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+
+	t.Run("torn newest checkpoint", func(t *testing.T) {
+		t.Parallel()
+		rng := rand.New(rand.NewPCG(7, 1))
+		for trial := 0; trial < 4; trial++ {
+			dir := seed(t)
+			path := filepath.Join(dir, checkpointName(30))
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("stat: %v", err)
+			}
+			truncate(t, path, rng.Int64N(fi.Size()))
+			// Checkpoint 20 + WAL chain still reach step 37.
+			recoverAndVerify(t, dir, 37)
+		}
+	})
+
+	t.Run("torn wal tail", func(t *testing.T) {
+		t.Parallel()
+		rng := rand.New(rand.NewPCG(7, 2))
+		for trial := 0; trial < 4; trial++ {
+			dir := seed(t)
+			path := filepath.Join(dir, walName(30))
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatalf("stat: %v", err)
+			}
+			truncate(t, path, rng.Int64N(fi.Size()))
+			// At worst the whole 30-epoch WAL is gone; checkpoint 30 holds.
+			recoverAndVerify(t, dir, 30)
+		}
+	})
+
+	t.Run("flipped wal byte", func(t *testing.T) {
+		t.Parallel()
+		dir := seed(t)
+		path := filepath.Join(dir, walName(30))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		recoverAndVerify(t, dir, 30)
+	})
+
+	t.Run("everything torn", func(t *testing.T) {
+		t.Parallel()
+		dir := seed(t)
+		for _, name := range []string{checkpointName(20), checkpointName(30), walName(20), walName(30)} {
+			truncate(t, filepath.Join(dir, name), 3)
+		}
+		// Retention already pruned the pre-20 epochs, so with every
+		// remaining file torn the only consistent state left is a fresh
+		// start — recovery must land there cleanly, never panic.
+		recoverAndVerify(t, dir, 0)
+	})
+}
+
+func TestRetention(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	m := newManager(t, dir, Options{CheckpointEvery: 5, Retain: 2})
+	if _, err := m.Recover(nil); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	runTo(t, m, 31)
+	m.wg.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	ckpts, err := listSteps(dir, "ckpt-", ".ckpt")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !reflect.DeepEqual(ckpts, []int{25, 30}) {
+		t.Fatalf("retained checkpoints = %v, want [25 30]", ckpts)
+	}
+	wals, err := listSteps(dir, "wal-", ".wal")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, epoch := range wals {
+		if epoch < 25 {
+			t.Fatalf("stale WAL epoch %d survived pruning (%v)", epoch, wals)
+		}
+	}
+	st := m.Stats()
+	if st.Checkpoints < 2 || st.LastCheckpointStep != 30 || st.WALRecords != 31 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCheckpointDoesNotBlockStepping pins the hot-path guarantee: while a
+// background checkpoint encodes and fsyncs, the ingest loop keeps stepping
+// and concurrent snapshot readers keep forecasting. Run under -race this
+// also proves the exported state shares nothing with the live system.
+func TestCheckpointDoesNotBlockStepping(t *testing.T) {
+	t.Parallel()
+	m := newManager(t, t.TempDir(), Options{CheckpointEvery: 3})
+	if _, err := m.Recover(nil); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if snap := m.System().Snapshot(); snap != nil && snap.Ready() {
+				if _, err := snap.Forecast(2, 1); err != nil {
+					t.Errorf("concurrent snapshot forecast: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	// Step without waiting for the background checkpoints, so encoding and
+	// stepping genuinely overlap.
+	cfg := testConfig()
+	for step := 1; step <= 60; step++ {
+		if _, err := m.Step(testInput(cfg.Nodes, cfg.Resources, step)); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	close(stop)
+	<-done
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if st := m.Stats(); st.Checkpoints == 0 {
+		t.Fatal("no background checkpoint completed")
+	}
+}
+
+func TestLogStepBeforeRecover(t *testing.T) {
+	t.Parallel()
+	m := newManager(t, t.TempDir(), Options{})
+	cfg := testConfig()
+	if err := m.LogStep(1, testInput(cfg.Nodes, cfg.Resources, 1), make([]bool, cfg.Nodes)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("LogStep before Recover: %v, want ErrBadConfig", err)
+	}
+}
+
+func TestBlobRoundTripAndCorruption(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	payload := []byte("the quick brown fox")
+	if err := WriteBlobAtomic(path, KindAux, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadBlob(path, KindAux)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if _, err := ReadBlob(path, KindCheckpoint); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("wrong kind: %v, want ErrMismatch", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("raw read: %v", err)
+	}
+	data[len(data)-6] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("raw write: %v", err)
+	}
+	if _, err := ReadBlob(path, KindAux); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted payload: %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,190 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// walHeaderSize is the file header plus fingerprint + nodes + resources.
+const walHeaderSize = headerSize + 8 + 4 + 4
+
+// walRecordSize returns the fixed on-disk size of one record for an N×d
+// system: step, N·d float64 values, an N-bit arrival bitset, and a CRC.
+func walRecordSize(nodes, dims int) int {
+	return 8 + nodes*dims*8 + (nodes+7)/8 + 4
+}
+
+// walWriter appends fixed-size measurement records to one WAL epoch file.
+type walWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	buf   []byte // one-record scratch
+	nodes int
+	dims  int
+	fsync bool
+}
+
+// createWAL creates (truncating any previous file of the same name) the WAL
+// epoch file for records after the given step and writes its header.
+func createWAL(path string, fingerprint uint64, nodes, dims int, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	w := &walWriter{
+		f:     f,
+		w:     bufio.NewWriter(f),
+		buf:   make([]byte, walRecordSize(nodes, dims)),
+		nodes: nodes,
+		dims:  dims,
+		fsync: fsync,
+	}
+	hdr := make([]byte, walHeaderSize)
+	putHeader(hdr, KindWAL)
+	binary.LittleEndian.PutUint64(hdr[headerSize:], fingerprint)
+	binary.LittleEndian.PutUint32(hdr[headerSize+8:], uint32(nodes))
+	binary.LittleEndian.PutUint32(hdr[headerSize+12:], uint32(dims))
+	if _, err := w.w.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := w.flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// append writes one record. x must be nodes×dims; arrived (length nodes)
+// flags which nodes delivered a fresh measurement this step. The record is
+// flushed to the OS before append returns (and fsynced when the writer was
+// opened with fsync), so after a crash at any point the file ends in whole
+// records plus at most one torn one.
+func (w *walWriter) append(step int, x [][]float64, arrived []bool) error {
+	if len(x) != w.nodes || len(arrived) != w.nodes {
+		return fmt.Errorf("persist: record for %d/%d nodes, want %d: %w",
+			len(x), len(arrived), w.nodes, ErrMismatch)
+	}
+	buf := w.buf
+	binary.LittleEndian.PutUint64(buf, uint64(step))
+	off := 8
+	for i, xi := range x {
+		if len(xi) != w.dims {
+			return fmt.Errorf("persist: node %d has dim %d, want %d: %w",
+				i, len(xi), w.dims, ErrMismatch)
+		}
+		for _, v := range xi {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	bitset := buf[off : off+(w.nodes+7)/8]
+	clear(bitset)
+	for i, a := range arrived {
+		if a {
+			bitset[i/8] |= 1 << (i % 8)
+		}
+	}
+	off += len(bitset)
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], crcTable))
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return w.flush()
+}
+
+func (w *walWriter) flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// walRecord is one decoded WAL entry.
+type walRecord struct {
+	step    int
+	x       [][]float64
+	arrived []bool
+}
+
+// readWAL decodes one WAL file, stopping cleanly at the first torn or
+// corrupt record: it returns the intact prefix and torn=true when a partial
+// or checksum-failing suffix was discarded. Header-level corruption returns
+// ErrCorrupt; a fingerprint or shape mismatch returns ErrMismatch.
+func readWAL(path string, fingerprint uint64, nodes, dims int) (recs []walRecord, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	hdr := make([]byte, walHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, false, fmt.Errorf("persist: %s: %w: truncated header", path, ErrCorrupt)
+	}
+	if err := checkHeader(hdr, KindWAL); err != nil {
+		return nil, false, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	if fp := binary.LittleEndian.Uint64(hdr[headerSize:]); fp != fingerprint {
+		return nil, false, fmt.Errorf("persist: %s: fingerprint %#x, want %#x: %w",
+			path, fp, fingerprint, ErrMismatch)
+	}
+	if n, d := binary.LittleEndian.Uint32(hdr[headerSize+8:]), binary.LittleEndian.Uint32(hdr[headerSize+12:]); int(n) != nodes || int(d) != dims {
+		return nil, false, fmt.Errorf("persist: %s: shaped %d×%d, want %d×%d: %w",
+			path, n, d, nodes, dims, ErrMismatch)
+	}
+
+	buf := make([]byte, walRecordSize(nodes, dims))
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			// io.EOF means the file ends exactly on a record boundary;
+			// anything else is a record cut mid-write.
+			return recs, err != io.EOF, nil
+		}
+		crcOff := len(buf) - 4
+		if crc32.Checksum(buf[:crcOff], crcTable) != binary.LittleEndian.Uint32(buf[crcOff:]) {
+			return recs, true, nil
+		}
+		rec := walRecord{
+			step:    int(binary.LittleEndian.Uint64(buf)),
+			x:       make([][]float64, nodes),
+			arrived: make([]bool, nodes),
+		}
+		off := 8
+		for i := range rec.x {
+			row := make([]float64, dims)
+			for d := range row {
+				row[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			rec.x[i] = row
+		}
+		bitset := buf[off:crcOff]
+		for i := range rec.arrived {
+			rec.arrived[i] = bitset[i/8]&(1<<(i%8)) != 0
+		}
+		recs = append(recs, rec)
+	}
+}

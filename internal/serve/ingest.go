@@ -22,11 +22,21 @@ import (
 type StoreStepper struct {
 	sys      *core.System
 	store    *transport.Store
+	log      StepLog
 	nodes    int
 	dims     int
 	lastStep []int
 	arrived  []bool
 	x        [][]float64
+}
+
+// StepLog records completed steps for durability. persist.Manager satisfies
+// it; the stepper calls LogStep after every successful Tick with the
+// measurements it fed to Step and the fresh-arrival flags — exactly what a
+// replay needs to reproduce the step (see SetLog and Replay).
+type StepLog interface {
+	// LogStep records one completed step.
+	LogStep(step int, x [][]float64, arrived []bool) error
 }
 
 // NewStoreStepper builds the system with an arrival-mirroring transmission
@@ -78,8 +88,41 @@ func (p arrivalMirror) Decide(t int, x, z []float64) bool {
 	return p.stepper.arrived[p.node] || z == nil
 }
 
+// MarshalState implements transmit.Persistent. The mirror itself carries no
+// state — the arrival flags it reads are recorded per step in the WAL and
+// fed back through Replay during recovery.
+func (p arrivalMirror) MarshalState() ([]byte, error) { return nil, nil }
+
+// UnmarshalState implements transmit.Persistent.
+func (p arrivalMirror) UnmarshalState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("serve: %d state bytes for arrival mirror, want 0: %w",
+			len(data), ErrBadConfig)
+	}
+	return nil
+}
+
 // System returns the driven pipeline (hand it to serve.Config.Source).
 func (st *StoreStepper) System() *core.System { return st.sys }
+
+// SetLog attaches a step log (typically a persist.Manager): every
+// subsequent successful Tick is recorded with its arrival flags. Attach it
+// after recovery, before the first Tick.
+func (st *StoreStepper) SetLog(log StepLog) { st.log = log }
+
+// Replay re-applies one recovered step: it installs the logged arrival
+// flags (so the arrival-mirroring policies decide exactly as they did
+// originally) and steps the system with the logged measurements. It has the
+// persist.ReplayFunc shape — hand it to persist.Manager.Recover.
+func (st *StoreStepper) Replay(step int, x [][]float64, arrived []bool) error {
+	if len(x) != st.nodes || len(arrived) != st.nodes {
+		return fmt.Errorf("serve: replay record for %d/%d nodes, want %d: %w",
+			len(x), len(arrived), st.nodes, core.ErrBadInput)
+	}
+	copy(st.arrived, arrived)
+	_, err := st.sys.Step(x)
+	return err
+}
 
 // Tick ingests the store's current state as one pipeline step. It returns
 // ok=false without stepping while any node in [0, Nodes) has not yet
@@ -104,6 +147,11 @@ func (st *StoreStepper) Tick() (*core.StepResult, bool, error) {
 	res, err := st.sys.Step(st.x)
 	if err != nil {
 		return nil, true, err
+	}
+	if st.log != nil {
+		if err := st.log.LogStep(res.T, st.x, st.arrived); err != nil {
+			return nil, true, fmt.Errorf("serve: logging step %d: %w", res.T, err)
+		}
 	}
 	return res, true, nil
 }

@@ -57,6 +57,37 @@ type Config struct {
 	// MaxHorizon additionally caps the ?h parameter. Zero means the
 	// snapshot's own horizon is the only cap.
 	MaxHorizon int
+	// PersistStats, when non-nil, supplies durability accounting (from
+	// persist.Manager.Stats via an adapter) that /v1/stats and /metrics
+	// report alongside the pipeline statistics. Must be safe for concurrent
+	// use. Nil means the deployment has no durable state.
+	PersistStats func() PersistStats
+}
+
+// PersistStats is the durability accounting the server reports when a
+// checkpoint/WAL plane is attached (see Config.PersistStats). It mirrors
+// persist.Stats without importing it, keeping the serving plane decoupled
+// from the storage layer.
+type PersistStats struct {
+	// LastCheckpointStep is the pipeline step of the newest durable
+	// checkpoint (0 before the first).
+	LastCheckpointStep int64 `json:"last_checkpoint_step"`
+	// LastCheckpointAgeSeconds is how long ago it completed (-1 before the
+	// first checkpoint of this process).
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
+	// Checkpoints counts durably completed checkpoints this process.
+	Checkpoints int64 `json:"checkpoints"`
+	// CheckpointErrors counts failed checkpoint attempts.
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// WALRecords counts step records appended this process.
+	WALRecords int64 `json:"wal_records"`
+	// WALBytes counts bytes appended to the WAL this process.
+	WALBytes int64 `json:"wal_bytes"`
+	// RecoveredStep is the step the pipeline resumed from at boot (0 for a
+	// fresh start).
+	RecoveredStep int64 `json:"recovered_step"`
+	// ReplayedSteps is how many WAL records boot recovery replayed.
+	ReplayedSteps int64 `json:"replayed_steps"`
 }
 
 // Server is the query plane. It implements http.Handler and is safe for
@@ -155,18 +186,19 @@ type RequestStats struct {
 
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
-	Generation      uint64       `json:"generation"`
-	Step            int          `json:"step"`
-	Ready           bool         `json:"ready"`
-	Nodes           int          `json:"nodes"`
-	Resources       int          `json:"resources"`
-	Clusters        int          `json:"clusters"`
-	MaxHorizon      int          `json:"max_horizon"`
-	MeanFrequency   float64      `json:"mean_frequency"`
-	TrainingRuns    int          `json:"training_runs"`
-	TrainingSeconds float64      `json:"training_seconds"`
-	Cache           CacheStats   `json:"cache"`
-	Requests        RequestStats `json:"requests"`
+	Generation      uint64        `json:"generation"`
+	Step            int           `json:"step"`
+	Ready           bool          `json:"ready"`
+	Nodes           int           `json:"nodes"`
+	Resources       int           `json:"resources"`
+	Clusters        int           `json:"clusters"`
+	MaxHorizon      int           `json:"max_horizon"`
+	MeanFrequency   float64       `json:"mean_frequency"`
+	TrainingRuns    int           `json:"training_runs"`
+	TrainingSeconds float64       `json:"training_seconds"`
+	Cache           CacheStats    `json:"cache"`
+	Requests        RequestStats  `json:"requests"`
+	Persist         *PersistStats `json:"persist,omitempty"`
 }
 
 // Stats assembles the current statistics (what /v1/stats serves).
@@ -174,6 +206,10 @@ func (s *Server) Stats() StatsResponse {
 	st := StatsResponse{
 		Cache:    s.cache.stats(),
 		Requests: RequestStats{Total: s.requests.Load(), Rejected: s.rejected.Load()},
+	}
+	if s.cfg.PersistStats != nil {
+		p := s.cfg.PersistStats()
+		st.Persist = &p
 	}
 	if snap := s.cfg.Source.Snapshot(); snap != nil {
 		st.Generation = snap.Generation()
@@ -338,6 +374,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "orcf_forecast_cache_misses_total", "counter", "Forecast cache misses.", float64(st.Cache.Misses))
 	writeMetric(w, "orcf_http_requests_total", "counter", "HTTP requests received.", float64(st.Requests.Total))
 	writeMetric(w, "orcf_http_requests_rejected_total", "counter", "Requests rejected at the concurrency limit.", float64(st.Requests.Rejected))
+	if p := st.Persist; p != nil {
+		writeMetric(w, "orcf_checkpoints_total", "counter", "Durably completed checkpoints.", float64(p.Checkpoints))
+		writeMetric(w, "orcf_checkpoint_errors_total", "counter", "Failed checkpoint attempts.", float64(p.CheckpointErrors))
+		writeMetric(w, "orcf_last_checkpoint_step", "gauge", "Pipeline step of the newest durable checkpoint.", float64(p.LastCheckpointStep))
+		writeMetric(w, "orcf_last_checkpoint_age_seconds", "gauge", "Seconds since the newest durable checkpoint (-1 before the first).", p.LastCheckpointAgeSeconds)
+		writeMetric(w, "orcf_wal_records_total", "counter", "Measurement records appended to the WAL.", float64(p.WALRecords))
+		writeMetric(w, "orcf_wal_bytes_total", "counter", "Bytes appended to the WAL.", float64(p.WALBytes))
+		writeMetric(w, "orcf_recovered_step", "gauge", "Step the pipeline resumed from at boot.", float64(p.RecoveredStep))
+		writeMetric(w, "orcf_replayed_steps", "gauge", "WAL records replayed by boot recovery.", float64(p.ReplayedSteps))
+	}
 }
 
 func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {

@@ -1,0 +1,180 @@
+// Command docscheck is the CI docs gate: it fails when documentation has
+// drifted from the code.
+//
+// It enforces two invariants:
+//
+//  1. Markdown hygiene — every relative link in README.md and docs/*.md
+//     resolves to an existing file or directory in the repository.
+//  2. Godoc coverage — every exported identifier (top-level consts, vars,
+//     types, funcs, and methods on exported types) in the gated packages
+//     (the root orcf package, internal/core, internal/serve,
+//     internal/persist, internal/transmit, internal/cluster) carries a doc
+//     comment.
+//
+// Run from the repository root: go run ./internal/tools/docscheck
+// (make ci and .github/workflows/ci.yml do). Exit status 1 lists every
+// violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// gatedDirs are the directories whose exported identifiers must be
+// documented. "." is the public orcf package.
+var gatedDirs = []string{".", "internal/core", "internal/serve", "internal/persist",
+	"internal/transmit", "internal/cluster"}
+
+// markdownFiles lists the documents whose links are checked, plus every
+// *.md under docs/.
+var markdownFiles = []string{"README.md"}
+
+func main() {
+	var problems []string
+	problems = append(problems, checkMarkdown()...)
+	problems = append(problems, checkGodoc()...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// linkRe matches inline markdown links [text](target).
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func checkMarkdown() []string {
+	files := append([]string(nil), markdownFiles...)
+	docs, err := filepath.Glob("docs/*.md")
+	if err == nil {
+		files = append(files, docs...)
+	}
+	if len(docs) == 0 {
+		return []string{"docscheck: no docs/*.md found (docs plane missing?)"}
+	}
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: %v", err))
+			continue
+		}
+		for _, match := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q (%s does not exist)", file, match[1], resolved))
+			}
+		}
+	}
+	return problems
+}
+
+func checkGodoc() []string {
+	var problems []string
+	for _, dir := range gatedDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: parsing %s: %v", dir, err))
+			continue
+		}
+		for _, pkg := range pkgs {
+			for file, f := range pkg.Files {
+				problems = append(problems, checkFile(fset, file, f)...)
+			}
+		}
+	}
+	return problems
+}
+
+// checkFile reports every exported top-level identifier and method in one
+// file that lacks a doc comment.
+func checkFile(fset *token.FileSet, file string, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			what := "function"
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				recv := receiverName(d.Recv.List[0].Type)
+				if recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				what = "method"
+				name = recv + "." + name
+			}
+			report(d.Pos(), what, name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A const/var block's grouping comment covers all its
+					// specs; otherwise each exported spec needs its own.
+					if d.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() && s.Doc == nil && s.Comment == nil {
+							what := "var"
+							if d.Tok == token.CONST {
+								what = "const"
+							}
+							report(n.Pos(), what, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverName unwraps a method receiver type expression to its type name.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	}
+	return ""
+}

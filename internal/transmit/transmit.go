@@ -10,14 +10,33 @@
 package transmit
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 )
 
+// ErrBadState reports state bytes that cannot restore a policy or meter.
+var ErrBadState = errors.New("transmit: invalid state")
+
 // ErrBadConfig is returned when a policy is constructed with invalid
 // parameters.
 var ErrBadConfig = errors.New("transmit: invalid configuration")
+
+// Persistent is a Policy whose mutable decision state can be exported and
+// restored, which is what lets a checkpointed pipeline resume with every
+// node's adaptive policy exactly where it left off instead of re-learning
+// its budget from scratch. MarshalState captures only the state that evolves
+// across Decide calls (configuration is reconstructed by the caller);
+// UnmarshalState replaces it. Restoring bytes produced by the same policy
+// type and configuration yields bit-identical future decisions.
+type Persistent interface {
+	Policy
+	// MarshalState returns the policy's mutable decision state.
+	MarshalState() ([]byte, error)
+	// UnmarshalState replaces the policy's mutable decision state.
+	UnmarshalState(data []byte) error
+}
 
 // Policy decides whether a node transmits at a given time step.
 //
@@ -116,6 +135,34 @@ func (a *Adaptive) Queue() float64 { return a.queue }
 // Budget returns the configured frequency budget B.
 func (a *Adaptive) Budget() float64 { return a.budget }
 
+// MarshalState implements Persistent: the only state that evolves across
+// decisions is the virtual queue Q.
+func (a *Adaptive) MarshalState() ([]byte, error) { return marshalFloat(a.queue), nil }
+
+// UnmarshalState implements Persistent.
+func (a *Adaptive) UnmarshalState(data []byte) error {
+	q, err := unmarshalFloat(data)
+	if err != nil {
+		return err
+	}
+	a.queue = q
+	return nil
+}
+
+// marshalFloat encodes one float64 as 8 little-endian IEEE-754 bytes.
+func marshalFloat(v float64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return buf[:]
+}
+
+func unmarshalFloat(data []byte) (float64, error) {
+	if len(data) != 8 {
+		return 0, fmt.Errorf("transmit: %d state bytes, want 8: %w", len(data), ErrBadState)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), nil
+}
+
 // staleness is the paper's penalty F_t(0) = (1/d)·‖z − x‖². Before the first
 // transmission the central node holds nothing, which we score as +Inf so any
 // sane policy transmits immediately.
@@ -165,6 +212,19 @@ func (u *Uniform) Decide(int, []float64, []float64) bool {
 	return false
 }
 
+// MarshalState implements Persistent: the accumulated credit.
+func (u *Uniform) MarshalState() ([]byte, error) { return marshalFloat(u.credit), nil }
+
+// UnmarshalState implements Persistent.
+func (u *Uniform) UnmarshalState(data []byte) error {
+	c, err := unmarshalFloat(data)
+	if err != nil {
+		return err
+	}
+	u.credit = c
+	return nil
+}
+
 // Always transmits every step (B = 1 upper bound).
 type Always struct{}
 
@@ -172,6 +232,17 @@ var _ Policy = Always{}
 
 // Decide implements Policy.
 func (Always) Decide(int, []float64, []float64) bool { return true }
+
+// MarshalState implements Persistent; Always carries no state.
+func (Always) MarshalState() ([]byte, error) { return nil, nil }
+
+// UnmarshalState implements Persistent.
+func (Always) UnmarshalState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("transmit: %d state bytes for Always, want 0: %w", len(data), ErrBadState)
+	}
+	return nil
+}
 
 // Never transmits only once, at the first opportunity, so the central node at
 // least holds an initial value; afterwards it never transmits again. It is a
@@ -187,6 +258,24 @@ func (n *Never) Decide(_ int, _, z []float64) bool {
 	}
 	n.sent = true
 	return true
+}
+
+// MarshalState implements Persistent: whether the single transmission has
+// been spent.
+func (n *Never) MarshalState() ([]byte, error) {
+	if n.sent {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+// UnmarshalState implements Persistent.
+func (n *Never) UnmarshalState(data []byte) error {
+	if len(data) != 1 || data[0] > 1 {
+		return fmt.Errorf("transmit: bad Never state: %w", ErrBadState)
+	}
+	n.sent = data[0] == 1
+	return nil
 }
 
 // Meter tracks the realized transmission frequency of a node, used to produce
@@ -218,3 +307,13 @@ func (m *Meter) Steps() int { return m.steps }
 
 // Transmits returns the number of observed transmissions.
 func (m *Meter) Transmits() int { return m.transmits }
+
+// Restore replaces the meter's counters, resuming eq. (5) frequency
+// accounting from a checkpoint.
+func (m *Meter) Restore(steps, transmits int) error {
+	if steps < 0 || transmits < 0 || transmits > steps {
+		return fmt.Errorf("transmit: meter counters %d/%d: %w", transmits, steps, ErrBadState)
+	}
+	m.steps, m.transmits = steps, transmits
+	return nil
+}
