@@ -39,3 +39,4 @@ docs:
 bench:
 	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .
 	$(GO) test -run xxx -bench ServeForecast -benchmem ./internal/serve
+	$(GO) test -run xxx -bench TransportIngest -benchmem ./internal/transport

@@ -91,6 +91,7 @@ func run() int {
 		interval  = flag.Duration("interval", 2*time.Second, "clustering/reporting period")
 		seed      = flag.Uint64("seed", 1, "clustering seed")
 		stateDir  = flag.String("state-dir", "", "directory for durable clustering state (empty = in-memory only)")
+		idleTmo   = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -124,6 +125,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "collectd:", err)
 		return 1
 	}
+	srv.SetIdleTimeout(*idleTmo)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "collectd:", err)
@@ -212,13 +214,19 @@ func run() int {
 			return 0
 		case <-ticker.C:
 			stats := store.Stats()
-			if len(stats) < *k {
-				fmt.Printf("collectd: %d/%d nodes reporting; waiting\n", len(stats), *k)
-				continue
-			}
+			// Cluster only nodes with at least one stored measurement; a
+			// node known solely through heartbeats (v2 clock carriage
+			// before its first accepted sample) has no value to cluster
+			// yet and must not stall the loop.
 			nodes := make([]int, 0, len(stats))
-			for id := range stats {
-				nodes = append(nodes, id)
+			for id, st := range stats {
+				if len(st.Latest.Values) > 0 {
+					nodes = append(nodes, id)
+				}
+			}
+			if len(nodes) < *k {
+				fmt.Printf("collectd: %d/%d nodes reporting; waiting\n", len(nodes), *k)
+				continue
 			}
 			sort.Ints(nodes)
 			if len(nodes) != trackedNodes {

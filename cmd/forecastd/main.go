@@ -90,6 +90,7 @@ func run() int {
 		stateDir    = flag.String("state-dir", "", "directory for durable checkpoints + WAL (empty = in-memory only)")
 		ckptEvery   = flag.Int("checkpoint-every", 64, "steps between background checkpoints (0 = persist default 256, negative = only on shutdown)")
 		fsyncWAL    = flag.Bool("fsync-wal", false, "fsync the WAL after every step (single-step durability)")
+		idleTmo     = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -103,6 +104,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "forecastd:", err)
 		return 1
 	}
+	collector.SetIdleTimeout(*idleTmo)
 	ingestAddr, err := collector.Listen(*ingest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "forecastd:", err)

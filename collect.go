@@ -25,6 +25,14 @@ type (
 	// ReconnectingAgentClient redials automatically across collector
 	// restarts (lossy, monitoring-grade semantics).
 	ReconnectingAgentClient = transport.ReconnectingClient
+	// BatchAgentClient is the v2 framed-protocol client: it coalesces
+	// measurements into CRC-checked batches, bounds its send queue
+	// (surfacing backpressure instead of blocking), and carries the node's
+	// local clock for exact central eq. 5 accounting.
+	BatchAgentClient = transport.BatchClient
+	// BatchOptions tunes a BatchAgentClient (batch size, linger,
+	// queue bound, write deadline, compression, multiplexing).
+	BatchOptions = transport.BatchOptions
 	// Agent is the node-side loop: sample → policy → send.
 	Agent = agent.Agent
 	// AgentConfig assembles an Agent.
@@ -44,9 +52,16 @@ func NewCollectorServer(store *MeasurementStore, onUpdate func(Measurement)) (*C
 	return transport.NewServer(store, onUpdate)
 }
 
-// DialCollector connects a node agent to a collector address.
+// DialCollector connects a node agent to a collector address with the v1
+// per-measurement protocol.
 func DialCollector(addr string, node int) (*AgentClient, error) {
 	return transport.Dial(addr, node)
+}
+
+// DialBatchCollector connects a node agent with the batched v2 framed
+// protocol; the zero BatchOptions selects sensible defaults.
+func DialBatchCollector(addr string, node int, opts BatchOptions) (*BatchAgentClient, error) {
+	return transport.DialBatch(addr, node, opts)
 }
 
 // NewReconnectingCollectorClient prepares a lazily-dialed, auto-redialing

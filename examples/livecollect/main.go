@@ -1,9 +1,13 @@
 // Livecollect: the collection plane running for real — a central TCP
 // collector and a fleet of in-process node agents, each filtering its
 // measurements through the adaptive transmission policy before sending.
-// The central side clusters whatever it has received and prints the evolving
-// centroids, demonstrating that the pipeline operates on genuinely
-// "intermittent" data as described in the paper.
+// The fleet is mixed-version on purpose: even-numbered nodes speak the
+// legacy v1 per-measurement gob stream, odd-numbered nodes the batched v2
+// framing (with local-clock carriage), and the collector serves both on one
+// port by peeking the first connection byte. The central side clusters
+// whatever it has received and prints the evolving centroids plus the
+// realized per-node frequencies the store accounted (eq. 5) — exact for v2
+// nodes, last-accepted-step approximations for v1 nodes.
 //
 // Run with:
 //
@@ -15,6 +19,7 @@ import (
 	"log"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"orcf"
 	"orcf/internal/cluster"
@@ -29,6 +34,12 @@ const (
 	k      = 3
 )
 
+// sender is the common surface of the v1 and v2 clients.
+type sender interface {
+	Send(step int, values []float64) error
+	Close() error
+}
+
 func main() {
 	ds, err := orcf.GenerateTrace(orcf.GeneratorConfig{
 		Name: "live", Nodes: nodes, Steps: steps, Seed: 21,
@@ -42,12 +53,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("creating server: %v", err)
 	}
+	server.SetIdleTimeout(time.Minute)
 	addr, err := server.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("listening: %v", err)
 	}
 	defer server.Close()
-	fmt.Printf("collector listening on %s\n", addr)
+	fmt.Printf("collector listening on %s (mixed v1 gob + v2 framed fleet)\n", addr)
 
 	// Node agents: each owns a TCP connection and an adaptive policy. A
 	// step barrier keeps the demo deterministic-ish: all agents process
@@ -62,10 +74,25 @@ func main() {
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			client, err := transport.Dial(addr, node)
-			if err != nil {
-				log.Printf("node %d: dial: %v", node, err)
-				return
+			var client sender
+			var clock interface{ Advance(int) }
+			if node%2 == 0 {
+				c, err := transport.Dial(addr, node)
+				if err != nil {
+					log.Printf("node %d: dial v1: %v", node, err)
+					return
+				}
+				c.SetWriteTimeout(5 * time.Second)
+				client = c
+			} else {
+				c, err := transport.DialBatch(addr, node, transport.BatchOptions{
+					BatchSize: 8, Linger: 2 * time.Millisecond,
+				})
+				if err != nil {
+					log.Printf("node %d: dial v2: %v", node, err)
+					return
+				}
+				client, clock = c, c
 			}
 			defer client.Close()
 			policy, err := transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: budget})
@@ -76,6 +103,9 @@ func main() {
 			var stored []float64
 			for t := range stepBarrier[node] {
 				x := ds.At(t, node)
+				if clock != nil {
+					clock.Advance(t + 1) // v2: suppressed steps advance eq. 5 too
+				}
 				if policy.Decide(t+1, x, stored) {
 					if err := client.Send(t+1, x); err != nil {
 						log.Printf("node %d: send: %v", node, err)
@@ -103,7 +133,8 @@ func main() {
 		}
 		// Central side: cluster the latest stored CPU values. Nodes that
 		// have not transmitted yet keep their previous value, which is the
-		// "intermittent measurements" property from the paper.
+		// "intermittent measurements" property from the paper. (v2 batches
+		// may still be in flight — also intermittency, by design.)
 		if store.Len() < nodes {
 			continue // first steps until everyone said hello+sent once
 		}
@@ -127,7 +158,7 @@ func main() {
 	for i := 0; i < nodes; i++ {
 		close(stepBarrier[i])
 	}
-	wg.Wait()
+	wg.Wait() // agents close their clients: v2 batches + final clocks flush
 
 	var tx int
 	for _, n := range totalTx {
@@ -135,4 +166,25 @@ func main() {
 	}
 	fmt.Printf("total transmissions: %d of %d possible (%.1f%%, budget %.0f%%)\n",
 		tx, nodes*steps, 100*float64(tx)/float64(nodes*steps), budget*100)
+
+	// eq. 5 as the collector accounted it: v2 nodes (odd) carry their local
+	// clock, so their central frequency denominator is the true step count.
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Stats()[1].LocalStep < steps && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stats := store.Stats()
+	var v1f, v2f float64
+	for i := 0; i < nodes; i++ {
+		if i%2 == 0 {
+			v1f += stats[i].Frequency
+		} else {
+			v2f += stats[i].Frequency
+		}
+	}
+	fmt.Printf("central eq. 5 mean frequency | v1 nodes %.3f (denominator: last accepted step) | v2 nodes %.3f (exact local clock)\n",
+		v1f/(nodes/2), v2f/(nodes/2))
+	if n := server.ProtocolErrors(); n != 0 {
+		log.Fatalf("%d protocol errors in a clean run", n)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"orcf/internal/transmit"
+	"orcf/internal/transport"
 )
 
 // ErrBadConfig reports invalid agent construction parameters.
@@ -25,10 +26,21 @@ var ErrBadConfig = errors.New("agent: invalid configuration")
 // agent's run cleanly.
 type Source func(step int) ([]float64, bool)
 
-// Sender ships one measurement to the collector. transport.Client satisfies
-// this interface.
+// Sender ships one measurement to the collector. transport.Client and
+// transport.BatchClient satisfy this interface.
+//
+// A Sender may additionally implement Clock and/or report backpressure by
+// returning transport.ErrBacklogged; see Agent.Run for how the loop reacts.
 type Sender interface {
 	Send(step int, values []float64) error
+}
+
+// Clock is optionally implemented by senders (transport.BatchClient) that
+// can carry the node's local step count to the collector independently of
+// measurements. The agent advances it on every sampled step, so the
+// central eq. 5 frequency accounting sees suppressed steps too.
+type Clock interface {
+	Advance(step int)
 }
 
 // Config assembles an Agent.
@@ -51,9 +63,11 @@ type Config struct {
 
 // Agent runs the per-node loop.
 type Agent struct {
-	cfg    Config
-	meter  transmit.Meter
-	stored []float64
+	cfg     Config
+	meter   transmit.Meter
+	stored  []float64
+	clock   Clock // cfg.Sender when it implements Clock, else nil
+	dropped int
 }
 
 // New validates the configuration.
@@ -70,7 +84,9 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Node < 0 {
 		return nil, fmt.Errorf("agent: node %d: %w", cfg.Node, ErrBadConfig)
 	}
-	return &Agent{cfg: cfg}, nil
+	a := &Agent{cfg: cfg}
+	a.clock, _ = cfg.Sender.(Clock)
+	return a, nil
 }
 
 // Frequency returns the realized transmission frequency so far.
@@ -79,9 +95,22 @@ func (a *Agent) Frequency() float64 { return a.meter.Frequency() }
 // Steps returns the number of processed steps.
 func (a *Agent) Steps() int { return a.meter.Steps() }
 
+// Dropped returns how many policy-approved transmissions the sender
+// rejected transiently — backpressure (transport.ErrBacklogged) or a
+// collector outage being ridden out (transport.ErrBackoff).
+func (a *Agent) Dropped() int { return a.dropped }
+
 // Run executes the loop until the context is cancelled, the source is
 // exhausted, MaxSteps is reached, or a send fails. It returns nil on clean
 // termination (including context cancellation).
+//
+// Backpressure is not a send failure: when the sender rejects a
+// policy-approved transmission with transport.ErrBacklogged (bounded send
+// queue full), the step is accounted as not transmitted — the meter records
+// a suppressed step and the stored value stays stale, so the adaptive
+// policy's drift term pushes it to retransmit once the queue drains. When
+// the sender also implements Clock, every sampled step advances the
+// collector-visible local clock regardless of the transmission decision.
 func (a *Agent) Run(ctx context.Context) error {
 	var ticker *time.Ticker
 	if a.cfg.Interval > 0 {
@@ -102,15 +131,25 @@ func (a *Agent) Run(ctx context.Context) error {
 		if !ok {
 			return nil
 		}
+		if a.clock != nil {
+			a.clock.Advance(step)
+		}
 		transmitNow := a.cfg.Policy.Decide(step, x, a.stored)
+		if transmitNow {
+			switch err := a.cfg.Sender.Send(step, x); {
+			case err == nil:
+				a.stored = append(a.stored[:0], x...)
+			case errors.Is(err, transport.ErrBacklogged), errors.Is(err, transport.ErrBackoff):
+				// Transient: the send queue is full, or the reconnecting
+				// client is riding out a collector outage. Either way the
+				// step counts as suppressed and the loop goes on.
+				transmitNow = false
+				a.dropped++
+			default:
+				return fmt.Errorf("agent: node %d step %d: %w", a.cfg.Node, step, err)
+			}
+		}
 		a.meter.Observe(transmitNow)
-		if !transmitNow {
-			continue
-		}
-		if err := a.cfg.Sender.Send(step, x); err != nil {
-			return fmt.Errorf("agent: node %d step %d: %w", a.cfg.Node, step, err)
-		}
-		a.stored = append(a.stored[:0], x...)
 	}
 	return nil
 }

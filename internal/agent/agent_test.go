@@ -289,3 +289,123 @@ func TestEndToEndOverTCP(t *testing.T) {
 		t.Fatalf("fleet frequency %v, want ≈ %v", freq, budget)
 	}
 }
+
+// backpressureSender rejects every Nth policy-approved send with
+// ErrBacklogged, like a BatchClient whose bounded queue is full.
+type backpressureSender struct {
+	recordingSender
+	n     int
+	calls int
+}
+
+func (b *backpressureSender) Send(step int, values []float64) error {
+	b.calls++
+	if b.n > 0 && b.calls%b.n == 0 {
+		return transport.ErrBacklogged
+	}
+	return b.recordingSender.Send(step, values)
+}
+
+// TestRunTreatsBackpressureAsSuppressed: a queue-full rejection must not
+// kill the agent; the step is accounted as not transmitted and the loop
+// keeps running.
+func TestRunTreatsBackpressureAsSuppressed(t *testing.T) {
+	t.Parallel()
+	snd := &backpressureSender{n: 4}
+	a, err := New(Config{
+		Policy:   transmit.Always{},
+		Source:   LoopSource(rows(5, func(int) float64 { return 0.5 })),
+		Sender:   snd,
+		MaxSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatalf("backpressure must not end the run: %v", err)
+	}
+	if a.Steps() != 100 {
+		t.Fatalf("steps %d, want 100", a.Steps())
+	}
+	if a.Dropped() != 25 {
+		t.Fatalf("dropped %d, want 25 (every 4th send rejected)", a.Dropped())
+	}
+	if snd.count() != 75 {
+		t.Fatalf("sent %d, want 75", snd.count())
+	}
+	// The meter must count rejected sends as suppressed steps (eq. 5 is
+	// about delivered transmissions, not attempted ones).
+	if f := a.Frequency(); f != 0.75 {
+		t.Fatalf("frequency %v, want 0.75", f)
+	}
+}
+
+// TestCentralFrequencyMatchesMeterUnderAdaptivePolicy is the eq. 5
+// accounting regression for the satellite bugfix: with a v2 batch client
+// carrying the local clock, the collector-side frequency must equal the
+// agent-side meter exactly, even though the adaptive policy suppresses most
+// samples (the old denominator — last *accepted* step — overestimated
+// whenever recent samples were suppressed).
+func TestCentralFrequencyMatchesMeterUnderAdaptivePolicy(t *testing.T) {
+	t.Parallel()
+	const (
+		node   = 4
+		steps  = 600
+		budget = 0.2
+	)
+	store := transport.NewStore()
+	srv, err := transport.NewServer(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := transport.DialBatch(addr, node, transport.BatchOptions{
+		BatchSize: 16, Linger: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{
+		Node:   node,
+		Policy: policy,
+		Source: LoopSource(rows(50, func(i int) float64 { return 0.3 + 0.3*math.Sin(float64(i)/7) })),
+		Sender: client,
+		// The trailing steps are usually suppressed under a 0.2 budget —
+		// exactly the case where the old accounting overestimated.
+		MaxSteps: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil { // flushes pending records + final clock
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Stats()[node].LocalStep < steps && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := store.Stats()[node]
+	if st.LocalStep != steps {
+		t.Fatalf("central clock %d, want %d (suppressed steps must advance it)", st.LocalStep, steps)
+	}
+	if st.Frequency != a.Frequency() {
+		t.Fatalf("central eq. 5 frequency %v != agent meter %v (updates %d over %d)",
+			st.Frequency, a.Frequency(), st.Updates, st.LocalStep)
+	}
+	if math.Abs(st.Frequency-budget) > 0.05 {
+		t.Fatalf("frequency %v far from budget %v", st.Frequency, budget)
+	}
+}

@@ -1,0 +1,132 @@
+package transport
+
+// Regression tests for the v1 client stall bugs: Send used to hold the
+// client mutex across a deadline-less network write, so a collector that
+// stopped draining wedged the agent loop and made Close hang behind it.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// fillUntilBlocked pumps large sends until one stops returning within
+// pollEvery, i.e. the kernel socket buffers are full and the write is
+// genuinely blocked. Returns the channel carrying that blocked Send's
+// eventual result.
+func fillUntilBlocked(t *testing.T, c *Client) chan error {
+	t.Helper()
+	big := make([]float64, 16384)
+	res := make(chan error, 1)
+	step := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		step++
+		done := make(chan error, 1)
+		go func(s int) { done <- c.Send(s, big) }(step)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("send %d failed before blocking: %v", step, err)
+			}
+		case <-time.After(250 * time.Millisecond):
+			go func() { res <- <-done }()
+			return res
+		}
+	}
+	t.Fatal("sends never blocked against a non-draining collector")
+	return nil
+}
+
+func TestClientCloseInterruptsBlockedSend(t *testing.T) {
+	t.Parallel()
+	addr := blackhole(t)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := fillUntilBlocked(t, c)
+
+	// The old implementation deadlocked here: Close waited on the mutex the
+	// blocked Send was holding. Now Close closes the connection, which
+	// unblocks the write.
+	closed := make(chan error, 1)
+	go func() { closed <- c.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked behind an in-flight Send")
+	}
+	select {
+	case err := <-blocked:
+		// ErrClosed when the write was genuinely blocked and interrupted;
+		// nil is possible on a loaded machine where the candidate send was
+		// merely slow and completed into the socket buffer before Close.
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("interrupted send: %v, want ErrClosed (or nil if it raced completion)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Send never returned after Close")
+	}
+	if err := c.Send(1, []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestClientWriteTimeoutFailsStalledSend(t *testing.T) {
+	t.Parallel()
+	addr := blackhole(t)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetWriteTimeout(200 * time.Millisecond)
+
+	big := make([]float64, 16384)
+	var sendErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for step := 1; time.Now().Before(deadline); step++ {
+		if err := c.Send(step, big); err != nil {
+			sendErr = err
+			break
+		}
+	}
+	var nerr net.Error
+	if sendErr == nil || !errors.As(sendErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a write-deadline timeout from Send, got %v", sendErr)
+	}
+}
+
+// TestBackoffErrorIsNotErrClosed is the sentinel regression: a redial
+// delayed by the backoff window used to be wrapped in ErrClosed, making
+// callers that check errors.Is(err, ErrClosed) declare a merely backing-off
+// client dead.
+func TestBackoffErrorIsNotErrClosed(t *testing.T) {
+	t.Parallel()
+	rc := NewReconnectingClient("127.0.0.1:1", 0) // nothing listens here
+	rc.SetBackoff(time.Second, 2*time.Second)
+	defer rc.Close()
+	if err := rc.Send(1, []float64{1}); err == nil {
+		t.Fatal("send to a dead address should fail")
+	}
+	err := rc.Send(2, []float64{1}) // within the backoff window
+	if !errors.Is(err, ErrBackoff) {
+		t.Fatalf("send during backoff: %v, want ErrBackoff", err)
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("backoff error must not match ErrClosed: %v", err)
+	}
+	// After Close the error really is ErrClosed — and not ErrBackoff.
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = rc.Send(3, []float64{1})
+	if !errors.Is(err, ErrClosed) || errors.Is(err, ErrBackoff) {
+		t.Fatalf("send after close: %v, want pure ErrClosed", err)
+	}
+}

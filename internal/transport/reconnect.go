@@ -1,11 +1,23 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ErrBackoff is returned by ReconnectingClient.Send while the collector is
+// unreachable and redialing is governed by the backoff window (both when a
+// dial just failed and while the next attempt is deliberately delayed). It
+// is a temporary condition — the client is alive and will retry — and is
+// distinct from ErrClosed, which is terminal. Callers polling with
+// errors.Is(err, ErrClosed) must not mistake a backing-off client for a
+// dead one; agent.Agent treats ErrBackoff like backpressure (the step is
+// accounted as suppressed and the loop continues).
+var ErrBackoff = errors.New("transport: redial backing off")
 
 // ReconnectingClient wraps Client with automatic redial. Monitoring
 // semantics make this simple: measurements are idempotent snapshots keyed by
@@ -25,9 +37,15 @@ type ReconnectingClient struct {
 	addr string
 	node int
 
+	// closed and active live outside mu so Close can interrupt a Send that
+	// is stalled inside the lock (e.g. blocked on a non-draining
+	// collector): it flags the client closed and closes the live
+	// connection without waiting for mu.
+	closed atomic.Bool
+	active atomic.Pointer[Client]
+
 	mu          sync.Mutex
 	client      *Client
-	closed      bool
 	nextAttempt time.Time
 	backoff     time.Duration
 	rng         *rand.Rand
@@ -65,13 +83,24 @@ func (r *ReconnectingClient) SetBackoff(minB, maxB time.Duration) {
 	}
 }
 
+// setClient updates the live connection under mu, mirroring it into the
+// atomic pointer Close reads.
+func (r *ReconnectingClient) setClient(c *Client) {
+	r.client = c
+	r.active.Store(c)
+}
+
 // Send transmits one measurement, redialing if necessary. It returns an
 // error when the measurement could not be delivered in this call; callers
-// may simply try again on their next sample.
+// may simply try again on their next sample. While the redial backoff
+// window is open the error matches ErrBackoff.
 func (r *ReconnectingClient) Send(step int, values []float64) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return ErrClosed
 	}
 	if r.client == nil {
@@ -82,13 +111,16 @@ func (r *ReconnectingClient) Send(step int, values []float64) error {
 	if err := r.client.Send(step, values); err != nil {
 		// Connection went bad: drop it and try one immediate redial.
 		_ = r.client.Close()
-		r.client = nil
+		r.setClient(nil)
+		if r.closed.Load() {
+			return ErrClosed
+		}
 		if err := r.redialLocked(); err != nil {
 			return fmt.Errorf("transport: send failed and redial pending: %w", err)
 		}
 		if err := r.client.Send(step, values); err != nil {
 			_ = r.client.Close()
-			r.client = nil
+			r.setClient(nil)
 			return fmt.Errorf("transport: send after redial: %w", err)
 		}
 	}
@@ -101,7 +133,7 @@ func (r *ReconnectingClient) redialLocked() error {
 	now := time.Now()
 	if now.Before(r.nextAttempt) {
 		return fmt.Errorf("transport: redial backoff until %s: %w",
-			r.nextAttempt.Format(time.RFC3339Nano), ErrClosed)
+			r.nextAttempt.Format(time.RFC3339Nano), ErrBackoff)
 	}
 	c, err := Dial(r.addr, r.node)
 	if err != nil {
@@ -114,11 +146,19 @@ func (r *ReconnectingClient) redialLocked() error {
 			}
 		}
 		r.nextAttempt = now.Add(r.jitterLocked(r.backoff))
-		return fmt.Errorf("transport: redial %s: %w", r.addr, err)
+		// The failed dial opens (or extends) the backoff window, so this
+		// too is the transient backing-off state, not a dead client.
+		return fmt.Errorf("transport: redial %s: %w: %w", r.addr, err, ErrBackoff)
 	}
-	r.client = c
+	r.setClient(c)
 	r.backoff = 0
 	r.nextAttempt = time.Time{}
+	if r.closed.Load() {
+		// Close raced the dial; don't leak the fresh connection.
+		_ = c.Close()
+		r.setClient(nil)
+		return ErrClosed
+	}
 	return nil
 }
 
@@ -132,23 +172,21 @@ func (r *ReconnectingClient) jitterLocked(b time.Duration) time.Duration {
 
 // Connected reports whether a live connection is currently held.
 func (r *ReconnectingClient) Connected() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.client != nil
+	if r.closed.Load() {
+		return false
+	}
+	return r.active.Load() != nil
 }
 
 // Close tears down the connection; subsequent Sends fail with ErrClosed.
+// It does not wait for an in-flight Send — it interrupts it by closing the
+// underlying connection (Client.Close is itself non-blocking).
 func (r *ReconnectingClient) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed.Swap(true) {
 		return nil
 	}
-	r.closed = true
-	if r.client != nil {
-		err := r.client.Close()
-		r.client = nil
-		return err
+	if c := r.active.Load(); c != nil {
+		return c.Close()
 	}
 	return nil
 }

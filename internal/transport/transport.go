@@ -1,21 +1,33 @@
 // Package transport implements the distributed collection plane: local node
 // agents stream their (adaptively filtered) measurements to the central
-// collector over TCP with gob encoding. The in-process simulator bypasses
-// this layer; the livecollect example and the cmd/collectd + cmd/nodeagent
-// binaries run it for real.
+// collector over TCP. The in-process simulator bypasses this layer; the
+// livecollect example and the cmd/collectd + cmd/nodeagent binaries run it
+// for real.
 //
-// Protocol: each connection carries a gob stream of Envelope values. The
-// first envelope from an agent must carry a Hello identifying the node; every
-// subsequent envelope carries a Measurement. The server applies measurements
-// to a Store and invokes an optional callback.
+// Two protocol generations share the listening port, negotiated by the
+// first byte of the connection:
+//
+//   - v1: a gob stream of Envelope values — the first envelope must carry a
+//     Hello identifying the node, every later one a Measurement. One
+//     envelope per measurement (Client).
+//   - v2: binary framing — length-prefixed, CRC-checked frames carrying
+//     varint-packed measurement batches, heartbeats, and the sender's local
+//     clock for exact eq. 5 accounting (BatchClient; format in
+//     protocol.go and docs/ARCHITECTURE.md).
+//
+// The server applies measurements to a Store and invokes an optional
+// callback.
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"encoding/gob"
 )
@@ -42,7 +54,7 @@ type Measurement struct {
 	Values []float64
 }
 
-// Envelope is the wire message. Exactly one field is non-nil.
+// Envelope is the v1 wire message. Exactly one field is non-nil.
 type Envelope struct {
 	Hello       *Hello
 	Measurement *Measurement
@@ -55,24 +67,46 @@ type Store struct {
 	mu      sync.RWMutex
 	latest  map[int]Measurement
 	updates map[int]int
+	clock   map[int]int // highest known local step per node (≥ latest.Step)
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{latest: make(map[int]Measurement), updates: make(map[int]int)}
+	return &Store{
+		latest:  make(map[int]Measurement),
+		updates: make(map[int]int),
+		clock:   make(map[int]int),
+	}
 }
 
 // Apply records a measurement, keeping only the newest step per node.
 // Accepted measurements count toward the node's update total; stale
-// duplicates do not.
+// duplicates do not. Any measurement advances the node's local clock.
 func (s *Store) Apply(m Measurement) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if m.Step > s.clock[m.Node] {
+		s.clock[m.Node] = m.Step
+	}
 	if prev, ok := s.latest[m.Node]; ok && prev.Step >= m.Step {
 		return
 	}
 	s.latest[m.Node] = m
 	s.updates[m.Node]++
+}
+
+// Advance moves a node's local clock forward without recording a
+// measurement. The v2 protocol calls this from batch headers and heartbeat
+// frames, so steps on which the adaptive policy suppressed transmission
+// still advance the eq. 5 denominator (a v1 stream only learns the clock
+// from accepted measurements and therefore overestimates the frequency of
+// a quiet node).
+func (s *Store) Advance(node, step int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if step > s.clock[node] {
+		s.clock[node] = step
+	}
 }
 
 // Latest returns the most recent measurement of a node.
@@ -108,33 +142,51 @@ type NodeStat struct {
 	// Updates counts accepted (newer-step) measurements since the store was
 	// created.
 	Updates int
-	// Frequency is the realized transmission frequency per eq. (5): accepted
-	// updates over the node's local step count (its latest reported step).
-	// Zero when the step count is unknown (non-positive steps).
+	// LocalStep is the node's local step count as far as the collector
+	// knows it: the newest measurement step, advanced further by v2 batch
+	// headers and heartbeats covering suppressed steps.
+	LocalStep int
+	// Frequency is the realized transmission frequency per eq. (5):
+	// accepted updates over LocalStep. Zero when the step count is unknown
+	// (non-positive steps).
 	Frequency float64
 }
 
-// Stats returns the ingest accounting of every node that has reported,
-// including the per-node realized transmit frequency — the central-side view
-// of eq. (5) that the agents' adaptive policies are budgeting against.
+// Stats returns the ingest accounting of every node the collector has
+// heard from — through measurements or only heartbeats (a node whose
+// policy has suppressed every sample so far reports frequency 0 over its
+// local step count, not absence) — including the per-node realized
+// transmit frequency: the central-side view of eq. (5) that the agents'
+// adaptive policies are budgeting against.
 func (s *Store) Stats() map[int]NodeStat {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make(map[int]NodeStat, len(s.latest))
-	for node, m := range s.latest {
-		st := NodeStat{Latest: m, Updates: s.updates[node]}
-		if m.Step > 0 {
-			st.Frequency = float64(st.Updates) / float64(m.Step)
+	out := make(map[int]NodeStat, len(s.clock))
+	for node, step := range s.clock {
+		st := NodeStat{Latest: s.latest[node], Updates: s.updates[node], LocalStep: step}
+		if st.LocalStep > 0 {
+			st.Frequency = float64(st.Updates) / float64(st.LocalStep)
 		}
 		out[node] = st
+	}
+	// Nodes whose only measurements carried non-positive steps have no
+	// clock entry but still belong in the accounting (frequency unknown).
+	for node, m := range s.latest {
+		if _, ok := out[node]; !ok {
+			out[node] = NodeStat{Latest: m, Updates: s.updates[node]}
+		}
 	}
 	return out
 }
 
-// Server is the central collector endpoint.
+// Server is the central collector endpoint. It speaks both protocol
+// generations, routing each connection by its first byte.
 type Server struct {
 	store    *Store
 	onUpdate func(Measurement)
+
+	idleTimeout time.Duration
+	protoErrs   atomic.Int64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -156,6 +208,25 @@ func NewServer(store *Store, onUpdate func(Measurement)) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
+
+// SetIdleTimeout arms a per-connection read deadline: a connection that
+// stays silent for this long is dropped, releasing its goroutine and file
+// descriptor even when the peer died without a FIN (half-open). Zero (the
+// default) never times out. Set it before Listen; it must exceed the
+// longest legitimate transmission gap — v2 agents heartbeat at the linger
+// cadence whenever their clock advances, so any comfortable multiple of
+// the sampling period works for them, while low-budget v1 agents can go
+// quiet for long stretches.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idleTimeout = d
+}
+
+// ProtocolErrors reports how many connections were dropped for protocol
+// violations (malformed frames, CRC mismatches, spoofed node ids, gob
+// decode failures) since the server started.
+func (s *Server) ProtocolErrors() int64 { return s.protoErrs.Load() }
 
 // Listen binds the given address ("127.0.0.1:0" for an ephemeral port) and
 // starts accepting agents. It returns the bound address.
@@ -215,28 +286,139 @@ func (s *Server) untrack(conn net.Conn) {
 	delete(s.conns, conn)
 }
 
+// armRead refreshes the idle read deadline, when one is configured.
+func (s *Server) armRead(conn net.Conn) {
+	if s.idleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
+}
+
+// serveConn negotiates the protocol generation by peeking the first byte —
+// 0x00 opens a v2 framed connection, anything else is the start of a v1 gob
+// stream — and runs the matching read loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	s.armRead(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == magicByte {
+		s.serveV2(conn, br)
+		return
+	}
+	s.serveV1(conn, br)
+}
+
+// isIOError reports whether err is a plain transport-level failure (peer
+// vanished, connection closed, idle deadline) as opposed to a decoded-but-
+// invalid message — only the latter counts as a protocol error.
+func isIOError(err error) bool {
+	var nerr net.Error
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || (errors.As(err, &nerr) && nerr.Timeout())
+}
+
+// serveV1 runs the per-measurement gob loop (protocol v1).
+func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	var hello Envelope
 	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
-		return // protocol violation: drop the connection
+		if err == nil || !isIOError(err) {
+			s.protoErrs.Add(1) // malformed stream or a non-hello first message
+		}
+		return // drop the connection either way
 	}
 	node := hello.Hello.Node
 	for {
+		s.armRead(conn)
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
-			return // EOF or closed
+			if !isIOError(err) {
+				s.protoErrs.Add(1) // corrupt gob mid-stream
+			}
+			return // EOF, closed, idle timeout, or a mangled stream
 		}
 		if env.Measurement == nil || env.Measurement.Node != node {
+			s.protoErrs.Add(1)
 			return // protocol violation
 		}
 		s.store.Apply(*env.Measurement)
 		if s.onUpdate != nil {
 			s.onUpdate(*env.Measurement)
+		}
+	}
+}
+
+// serveV2 runs the framed read loop (protocol v2).
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
+	var magic [len(magicV2)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return
+	}
+	if magic != magicV2 {
+		s.protoErrs.Add(1)
+		return // unknown version or mangled preamble
+	}
+	fr := frameReader{br: br}
+	s.armRead(conn)
+	typ, payload, err := fr.next()
+	if err != nil || typ != frameHello {
+		if errors.Is(err, errMalformed) || err == nil {
+			s.protoErrs.Add(1)
+		}
+		return
+	}
+	node, flags, err := parseHello(payload)
+	if err != nil {
+		s.protoErrs.Add(1)
+		return
+	}
+	mux := flags&helloFlagMux != 0
+	var dec batchDecoder
+	for {
+		s.armRead(conn)
+		typ, payload, err := fr.next()
+		if err != nil {
+			if errors.Is(err, errMalformed) {
+				s.protoErrs.Add(1)
+			}
+			return // EOF, closed, idle timeout, or a mangled frame
+		}
+		switch typ {
+		case frameBatch:
+			localStep, recs, err := dec.decode(payload)
+			if err != nil {
+				s.protoErrs.Add(1)
+				return
+			}
+			for _, m := range recs {
+				if !mux && m.Node != node {
+					s.protoErrs.Add(1)
+					return // spoofed node id
+				}
+				s.store.Apply(m)
+				if s.onUpdate != nil {
+					s.onUpdate(m)
+				}
+			}
+			if !mux && localStep > 0 {
+				s.store.Advance(node, localStep)
+			}
+		case frameHeartbeat:
+			hbNode, localStep, err := parseHeartbeat(payload)
+			if err != nil || (!mux && hbNode != node) {
+				s.protoErrs.Add(1)
+				return
+			}
+			s.store.Advance(hbNode, localStep)
+		default:
+			s.protoErrs.Add(1)
+			return
 		}
 	}
 }
@@ -261,13 +443,22 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client is a node agent's connection to the collector.
+// Client is a node agent's v1 (per-measurement gob) connection to the
+// collector. For batched, clock-carrying transport use BatchClient.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	node   int
-	closed bool
+	conn net.Conn
+	enc  *gob.Encoder
+	node int
+
+	// mu guards closed and writeTimeout only. The network write itself is
+	// serialized by writeMu, so Close never waits behind a stalled Send —
+	// it closes the connection, which in turn unblocks the writer.
+	mu           sync.Mutex
+	closed       bool
+	writeTimeout time.Duration
+
+	writeMu sync.Mutex
+	armed   bool // a write deadline is set on conn; guarded by writeMu
 }
 
 // Dial connects to the collector and sends the Hello for this node.
@@ -284,17 +475,45 @@ func Dial(addr string, node int) (*Client, error) {
 	return &Client{conn: conn, enc: enc, node: node}, nil
 }
 
-// Send transmits one measurement. The Node field is forced to the client's
-// registered identity.
-func (c *Client) Send(step int, values []float64) error {
+// SetWriteTimeout arms a per-Send write deadline: a collector that stops
+// draining fails the Send within this bound instead of blocking the caller
+// indefinitely. Zero (the default) means no deadline — but even then a
+// blocked Send is interruptible by Close.
+func (c *Client) SetWriteTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.writeTimeout = d
+}
+
+// Send transmits one measurement. The Node field is forced to the client's
+// registered identity. Send holds no lock that Close needs, so a Send
+// stalled on a dead or backlogged collector can always be interrupted by a
+// concurrent Close (it then returns ErrClosed).
+func (c *Client) Send(step int, values []float64) error {
+	m := Measurement{Node: c.node, Step: step, Values: append([]float64(nil), values...)}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
-	m := Measurement{Node: c.node, Step: step, Values: append([]float64(nil), values...)}
+	d := c.writeTimeout
+	c.mu.Unlock()
+	if d > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(d))
+		c.armed = true
+	} else if c.armed {
+		// The timeout was reset to 0 after a deadline had been armed; a
+		// stale absolute deadline would spuriously fail this send.
+		_ = c.conn.SetWriteDeadline(time.Time{})
+		c.armed = false
+	}
 	if err := c.enc.Encode(Envelope{Measurement: &m}); err != nil {
-		if errors.Is(err, io.ErrClosedPipe) {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 			return ErrClosed
 		}
 		return fmt.Errorf("transport: send: %w", err)
@@ -302,13 +521,15 @@ func (c *Client) Send(step int, values []float64) error {
 	return nil
 }
 
-// Close tears the connection down. Safe to call more than once.
+// Close tears the connection down, interrupting any in-flight Send. Safe to
+// call more than once.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	c.mu.Unlock()
 	return c.conn.Close()
 }
