@@ -11,9 +11,9 @@ RACE_PKGS = ./internal/parallel ./internal/core ./internal/forecast \
             ./internal/transport ./internal/agent ./internal/serve \
             ./internal/persist .
 
-.PHONY: ci fmt vet build test race docs bench
+.PHONY: ci fmt vet build test race docs churn-smoke bench
 
-ci: fmt vet build test race docs
+ci: fmt vet build test race docs churn-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,10 +31,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Docs gate: markdown links in README/docs must resolve, and exported
-# identifiers in the gated packages must carry doc comments.
+# Docs gate: markdown links in README/docs must resolve, exported
+# identifiers in the gated packages must carry doc comments, and every
+# cmd/* flag must stay documented in docs/OPERATIONS.md (and vice versa).
 docs:
 	$(GO) run ./internal/tools/docscheck
+
+# Churn smoke: a small elastic fleet with Poisson join/leave against a
+# live in-process collector, verified bit-for-bit (exit 1 on mismatch).
+churn-smoke:
+	$(GO) run ./cmd/loadgen -nodes 64 -conns 4 -steps 40 -churn 1.5
 
 bench:
 	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .

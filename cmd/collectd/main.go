@@ -14,11 +14,18 @@
 // Pair it with cmd/nodeagent instances feeding a trace through the adaptive
 // transmission policy.
 //
-// With -state-dir the clustering state (assignment history, centroid
-// series, and the K-means RNG position) is checkpointed periodically and on
-// SIGTERM, and restored on boot when the fleet size matches — so cluster
-// identities survive a collector restart instead of being re-learned from
-// scratch.
+// Fleet membership is elastic: each newly heard node joins the clustering
+// roster at the next tick without disturbing existing cluster identities
+// (its slot is masked until it has a value), and with -absence-ticks set, a
+// node that goes silent for that many ticks is evicted — its slot is
+// recycled and its history masked, so a later rejoin starts fresh.
+//
+// With -state-dir the clustering state (membership roster, assignment
+// history, centroid series, and the K-means RNG position) is checkpointed
+// periodically and on SIGTERM, and restored on boot with the roster
+// reconciled — cluster identities survive a collector restart even when the
+// fleet changed while it was down (nodes missing from the new fleet simply
+// age out; new ones join).
 package main
 
 import (
@@ -46,18 +53,76 @@ func main() {
 	os.Exit(run())
 }
 
-// trackerState is the durable clustering state of collectd: one tracker and
-// RNG per resource, valid only for the recorded fleet shape and seed.
+// trackerState is the durable clustering state of collectd: the membership
+// roster plus one tracker and RNG per resource, valid only for the recorded
+// K/resources/seed.
 type trackerState struct {
 	K, Resources int
 	Seed         uint64
-	TrackedNodes int
-	RNGs         [][]byte
-	Trackers     []*cluster.State
+	// Roster is the slot → node-ID binding; AliveSlots flags live members
+	// (tombstoned slots await reuse).
+	Roster     []int
+	AliveSlots []bool
+	RNGs       [][]byte
+	Trackers   []*cluster.State
 }
 
 // saveInterval is how many reporting ticks pass between state saves.
 const saveInterval = 15
+
+// fleet is collectd's membership bookkeeping: the dense slot layout the
+// trackers address, with joins, absence tracking, and eviction mirroring
+// what core.System does for the full pipeline.
+type fleet struct {
+	roster    []int
+	alive     []bool
+	slotOf    map[int]int
+	free      []int // ascending
+	silent    []int
+	lastClock map[int]int
+}
+
+func newFleet() *fleet {
+	return &fleet{slotOf: make(map[int]int), lastClock: make(map[int]int)}
+}
+
+// join binds a node ID to a slot (recycling the lowest tombstone first).
+func (f *fleet) join(id int) int {
+	var slot int
+	if len(f.free) > 0 {
+		slot = f.free[0]
+		f.free = f.free[1:]
+		f.roster[slot] = id
+		f.alive[slot] = true
+		f.silent[slot] = 0
+	} else {
+		slot = len(f.roster)
+		f.roster = append(f.roster, id)
+		f.alive = append(f.alive, true)
+		f.silent = append(f.silent, 0)
+	}
+	f.slotOf[id] = slot
+	return slot
+}
+
+// evict tombstones a live member's slot and returns it. The clock
+// watermark is dropped too: a rejoining agent that restarted its local
+// step counter must not be stuck under the old high-water mark.
+func (f *fleet) evict(id int) int {
+	slot := f.slotOf[id]
+	delete(f.slotOf, id)
+	delete(f.lastClock, id)
+	f.alive[slot] = false
+	f.silent[slot] = 0
+	at := len(f.free)
+	for at > 0 && f.free[at-1] > slot {
+		at--
+	}
+	f.free = append(f.free, 0)
+	copy(f.free[at+1:], f.free[at:])
+	f.free[at] = slot
+	return slot
+}
 
 // printFrequencies reports the realized per-node transmission frequency the
 // store has accounted (eq. 5: accepted updates over the node's local step
@@ -92,6 +157,7 @@ func run() int {
 		seed      = flag.Uint64("seed", 1, "clustering seed")
 		stateDir  = flag.String("state-dir", "", "directory for durable clustering state (empty = in-memory only)")
 		idleTmo   = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
+		absence   = flag.Int("absence-ticks", 0, "evict a node after this many silent ticks (0 = never)")
 	)
 	flag.Parse()
 
@@ -134,52 +200,89 @@ func run() int {
 	defer srv.Close()
 	fmt.Printf("collectd listening on %s (K=%d)\n", addr, *k)
 
-	// The dynamic tracker requires a fixed node population; when agents join
-	// or leave, the trackers are rebuilt (cluster identities restart). A
-	// rebuild for the fleet size the saved state was taken at restores that
-	// state instead of starting over.
-	var trackers []*cluster.Tracker
-	var pcgs []*rand.PCG
-	trackedNodes := -1
-	rebuild := func(nodes int) error {
-		trackers = make([]*cluster.Tracker, *resources)
-		pcgs = make([]*rand.PCG, *resources)
-		for r := range trackers {
-			pcgs[r] = rand.NewPCG(*seed, uint64(r))
-			tr, err := cluster.NewTracker(cluster.Config{K: *k}, rand.New(pcgs[r]))
-			if err != nil {
-				return err
-			}
-			trackers[r] = tr
+	trackers := make([]*cluster.Tracker, *resources)
+	pcgs := make([]*rand.PCG, *resources)
+	for r := range trackers {
+		pcgs[r] = rand.NewPCG(*seed, uint64(r))
+		tr, err := cluster.NewTracker(cluster.Config{K: *k}, rand.New(pcgs[r]))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collectd:", err)
+			return 1
 		}
-		if saved == nil || saved.K != *k || saved.Resources != *resources ||
-			saved.Seed != *seed || saved.TrackedNodes != nodes {
-			return nil
-		}
-		for r := range trackers {
-			if err := trackers[r].RestoreState(saved.Trackers[r]); err != nil {
-				return fmt.Errorf("restoring tracker %d: %w", r, err)
+		trackers[r] = tr
+	}
+
+	members := newFleet()
+	// Reconcile saved state: adopt the recorded roster (tombstones
+	// included) and restore the trackers over it, so cluster identities
+	// continue across the restart. Members of the old fleet that no longer
+	// report will age out through the absence timeout; anything new joins
+	// on top. A saved state for a different K/resources/seed is unusable
+	// and discarded with a log line instead of silently.
+	if saved != nil {
+		switch {
+		case saved.K != *k || saved.Resources != *resources || saved.Seed != *seed:
+			fmt.Printf("collectd: discarding saved state (K=%d d=%d seed=%d, want K=%d d=%d seed=%d)\n",
+				saved.K, saved.Resources, saved.Seed, *k, *resources, *seed)
+		case len(saved.Roster) != len(saved.AliveSlots) || len(saved.RNGs) != *resources ||
+			len(saved.Trackers) != *resources:
+			fmt.Println("collectd: discarding saved state (inconsistent shape)")
+		default:
+			restored := true
+			for r := range trackers {
+				if err := trackers[r].RestoreState(saved.Trackers[r]); err != nil {
+					fmt.Fprintln(os.Stderr, "collectd: discarding saved state:", err)
+					restored = false
+					break
+				}
+				if err := pcgs[r].UnmarshalBinary(saved.RNGs[r]); err != nil {
+					fmt.Fprintln(os.Stderr, "collectd: discarding saved state:", err)
+					restored = false
+					break
+				}
 			}
-			if err := pcgs[r].UnmarshalBinary(saved.RNGs[r]); err != nil {
-				return fmt.Errorf("restoring rng %d: %w", r, err)
+			if !restored {
+				// Rebuild clean trackers; the half-restored ones are unusable.
+				for r := range trackers {
+					pcgs[r] = rand.NewPCG(*seed, uint64(r))
+					tr, err := cluster.NewTracker(cluster.Config{K: *k}, rand.New(pcgs[r]))
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "collectd:", err)
+						return 1
+					}
+					trackers[r] = tr
+				}
+				break
 			}
+			kept, tombs := 0, 0
+			for slot, id := range saved.Roster {
+				members.roster = append(members.roster, id)
+				members.alive = append(members.alive, saved.AliveSlots[slot])
+				members.silent = append(members.silent, 0)
+				if saved.AliveSlots[slot] {
+					members.slotOf[id] = slot
+					kept++
+				} else {
+					members.free = append(members.free, slot)
+					tombs++
+				}
+			}
+			fmt.Printf("collectd: resumed clustering at step %d from %s — roster reconciled: kept %d members, %d reusable tombstones\n",
+				trackers[0].Steps(), statePath, kept, tombs)
 		}
-		fmt.Printf("collectd: resumed clustering at step %d from %s\n",
-			trackers[0].Steps(), statePath)
-		// One-shot: a later fleet-size flap must rebuild fresh, not rewind
-		// to this boot-time state (disk already holds newer saves by then).
 		saved = nil
-		return nil
 	}
 
 	save := func() {
-		if statePath == "" || trackers == nil {
+		if statePath == "" {
 			return
 		}
 		st := &trackerState{
-			K: *k, Resources: *resources, Seed: *seed, TrackedNodes: trackedNodes,
-			RNGs:     make([][]byte, len(trackers)),
-			Trackers: make([]*cluster.State, len(trackers)),
+			K: *k, Resources: *resources, Seed: *seed,
+			Roster:     append([]int(nil), members.roster...),
+			AliveSlots: append([]bool(nil), members.alive...),
+			RNGs:       make([][]byte, len(trackers)),
+			Trackers:   make([]*cluster.State, len(trackers)),
 		}
 		for r, tr := range trackers {
 			rng, err := pcgs[r].MarshalBinary()
@@ -214,13 +317,54 @@ func run() int {
 			return 0
 		case <-ticker.C:
 			stats := store.Stats()
-			// Cluster only nodes with at least one stored measurement; a
-			// node known solely through heartbeats (v2 clock carriage
-			// before its first accepted sample) has no value to cluster
-			// yet and must not stall the loop.
-			nodes := make([]int, 0, len(stats))
+			// Join newly heard nodes that have at least one stored
+			// measurement; a node known solely through heartbeats (v2 clock
+			// carriage before its first accepted sample) has no value to
+			// cluster yet. Sorted for deterministic slot binding.
+			var joiners []int
 			for id, st := range stats {
-				if len(st.Latest.Values) > 0 {
+				if _, known := members.slotOf[id]; !known && len(st.Latest.Values) > 0 {
+					joiners = append(joiners, id)
+				}
+			}
+			sort.Ints(joiners)
+			for _, id := range joiners {
+				slot := members.join(id)
+				for _, tr := range trackers {
+					tr.ForgetSlot(slot) // recycled slots must not inherit history
+				}
+				fmt.Printf("collectd: joined node %d (slot %d)\n", id, slot)
+			}
+
+			// Absence accounting: a member whose local clock stopped
+			// advancing takes a silent tick; at the timeout it is evicted
+			// and its store entry released.
+			if *absence > 0 {
+				for id, slot := range members.slotOf {
+					clock := stats[id].LocalStep
+					if clock > members.lastClock[id] {
+						members.lastClock[id] = clock
+						members.silent[slot] = 0
+						continue
+					}
+					members.silent[slot]++
+					if members.silent[slot] >= *absence {
+						freed := members.evict(id)
+						for _, tr := range trackers {
+							tr.ForgetSlot(freed)
+						}
+						store.Forget(id)
+						fmt.Printf("collectd: evicted node %d after %d silent ticks (slot %d recycled)\n",
+							id, *absence, freed)
+					}
+				}
+			}
+
+			present := make([]bool, len(members.roster))
+			nodes := make([]int, 0, len(members.slotOf))
+			for slot, id := range members.roster {
+				if members.alive[slot] && len(stats[id].Latest.Values) > 0 {
+					present[slot] = true
 					nodes = append(nodes, id)
 				}
 			}
@@ -229,38 +373,35 @@ func run() int {
 				continue
 			}
 			sort.Ints(nodes)
-			if len(nodes) != trackedNodes {
-				if err := rebuild(len(nodes)); err != nil {
-					fmt.Fprintln(os.Stderr, "collectd:", err)
-					return 1
-				}
-				trackedNodes = len(nodes)
-				fmt.Printf("collectd: tracking %d nodes\n", trackedNodes)
-			}
 			ticks++
 			if ticks%saveInterval == 0 {
 				save()
 			}
 			for r := 0; r < *resources; r++ {
-				points := make([][]float64, len(nodes))
-				usable := true
-				for i, id := range nodes {
+				points := make([][]float64, len(members.roster))
+				mask := append([]bool(nil), present...)
+				clustered := 0
+				for slot, id := range members.roster {
+					if !mask[slot] {
+						continue
+					}
 					vals := stats[id].Latest.Values
 					if r >= len(vals) {
-						usable = false
-						break
+						mask[slot] = false
+						continue
 					}
-					points[i] = []float64{vals[r]}
+					points[slot] = []float64{vals[r]}
+					clustered++
 				}
-				if !usable {
+				if clustered < *k {
 					continue
 				}
-				step, err := trackers[r].Update(points)
+				step, err := trackers[r].UpdateMasked(points, mask)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "collectd: clustering resource %d: %v\n", r, err)
 					continue
 				}
-				fmt.Printf("resource %d | %d nodes | centroids:", r, len(nodes))
+				fmt.Printf("resource %d | %d nodes | centroids:", r, clustered)
 				for _, c := range step.Centroids {
 					fmt.Printf(" %.3f", c[0])
 				}

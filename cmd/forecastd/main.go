@@ -19,9 +19,15 @@
 //	GET /v1/stats                  pipeline + cache + request statistics
 //	GET /metrics                   Prometheus text format
 //
-// The pipeline starts stepping once every node in [0, nodes) has reported at
-// least one measurement; /v1/forecast serves 503 until the initial
-// collection phase (-initial steps) has trained the models.
+// Fleet membership is elastic: -nodes N pre-registers node IDs 0..N-1 and
+// the pipeline starts stepping once all of them have reported (with
+// -nodes 0 it instead starts once K distinct nodes report). Any further
+// node ID heard afterwards joins the fleet online, warms up behind the
+// presence mask, and serves forecasts once its look-back window fills; with
+// -absence-ticks set, a member that goes silent (no measurements and no
+// heartbeats) for that many pipeline ticks is evicted and its ID may later
+// rejoin fresh. /v1/forecast serves 503 until the initial collection phase
+// (-initial steps) has trained the models.
 //
 // With -state-dir the pipeline is durable: every step is appended to a
 // write-ahead log, the full state is checkpointed in the background every
@@ -77,7 +83,7 @@ func run() int {
 	var (
 		ingest      = flag.String("ingest", "127.0.0.1:7777", "TCP address for node-agent ingest")
 		httpAddr    = flag.String("http", "127.0.0.1:8080", "HTTP address for the query API")
-		nodes       = flag.Int("nodes", 0, "number of monitored nodes (required)")
+		nodes       = flag.Int("nodes", 0, "pre-registered node IDs 0..N-1 gating the first step (0 = fully elastic: start once K nodes report)")
 		resources   = flag.Int("resources", 2, "measurement dimensionality d")
 		k           = flag.Int("k", 3, "number of clusters / forecasting models")
 		interval    = flag.Duration("interval", 2*time.Second, "pipeline step period")
@@ -91,10 +97,11 @@ func run() int {
 		ckptEvery   = flag.Int("checkpoint-every", 64, "steps between background checkpoints (0 = persist default 256, negative = only on shutdown)")
 		fsyncWAL    = flag.Bool("fsync-wal", false, "fsync the WAL after every step (single-step durability)")
 		idleTmo     = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
+		absence     = flag.Int("absence-ticks", 0, "evict a fleet member after this many silent pipeline ticks (0 = never)")
 	)
 	flag.Parse()
-	if *nodes < 1 {
-		fmt.Fprintln(os.Stderr, "forecastd: -nodes must be ≥ 1")
+	if *nodes < 0 {
+		fmt.Fprintln(os.Stderr, "forecastd: -nodes must be ≥ 0")
 		return 2
 	}
 
@@ -114,6 +121,7 @@ func run() int {
 
 	cfg := core.Config{
 		Nodes:             *nodes,
+		AbsenceTimeout:    *absence,
 		Resources:         *resources,
 		K:                 *k,
 		InitialCollection: *initial,
@@ -229,8 +237,11 @@ func run() int {
 				return 1
 			}
 			if !ok {
-				fmt.Printf("forecastd: %d/%d nodes reporting; waiting\n", store.Len(), *nodes)
+				fmt.Printf("forecastd: %d nodes reporting; waiting for the bootstrap gate\n", store.Len())
 				continue
+			}
+			for _, id := range res.Evicted {
+				fmt.Printf("forecastd: evicted node %d after %d silent ticks\n", id, *absence)
 			}
 			if sys.Ready() && !wasReady {
 				wasReady = true
@@ -238,8 +249,8 @@ func run() int {
 			}
 			if res.T%25 == 0 {
 				st := query.Stats()
-				fmt.Printf("forecastd: step %d | ready=%v | mean freq %.3f | cache hit ratio %.2f | %d requests\n",
-					res.T, st.Ready, st.MeanFrequency, st.Cache.HitRatio, st.Requests.Total)
+				fmt.Printf("forecastd: step %d | ready=%v | %d live nodes (%d evictions) | mean freq %.3f | cache hit ratio %.2f | %d requests\n",
+					res.T, st.Ready, st.Nodes, st.Evictions, st.MeanFrequency, st.Cache.HitRatio, st.Requests.Total)
 			}
 		}
 	}

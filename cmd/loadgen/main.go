@@ -12,15 +12,26 @@
 // present, accepted-update counts equal, latest steps and values identical,
 // and zero protocol errors. It prints delivered messages/second.
 //
+// With -churn λ the fleet is elastic: membership rolls with a Poisson
+// process — each step draws Poisson(λ) joins (fresh node IDs) and
+// Poisson(λ) leaves (random active members disconnect mid-run) — which is
+// the collection-plane shape of autoscaled fleets, rolling reprovisioning,
+// and spot instances. The churn schedule is precomputed deterministically
+// from -churn-seed, so the serial expectation (and the bit-for-bit store
+// verification) covers every node that ever lived, including ones long
+// departed by the end of the run.
+//
 // Usage:
 //
 //	loadgen -nodes 10000 -conns 64 -steps 30 -budget 0.3 -batch 64
+//	loadgen -nodes 10000 -conns 64 -steps 60 -churn 50
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"os"
 	"runtime"
 	"sync"
@@ -52,12 +63,49 @@ func run() int {
 		linger    = flag.Duration("linger", 5*time.Millisecond, "max batching delay")
 		compress  = flag.Bool("compress", false, "DEFLATE-compress batch bodies")
 		idle      = flag.Duration("idle-timeout", time.Minute, "collector idle read deadline")
+		churn     = flag.Float64("churn", 0, "expected Poisson joins (and leaves) per step — rolls fleet membership mid-run (0 = static fleet)")
+		churnSeed = flag.Uint64("churn-seed", 1, "seed of the deterministic churn schedule")
 	)
 	flag.Parse()
-	if *nodes < 1 || *conns < 1 || *conns > *nodes || *steps < 1 {
-		fmt.Fprintln(os.Stderr, "loadgen: need nodes ≥ conns ≥ 1 and steps ≥ 1")
+	if *nodes < 1 || *conns < 1 || *conns > *nodes || *steps < 1 || *churn < 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: need nodes ≥ conns ≥ 1, steps ≥ 1, churn ≥ 0")
 		return 2
 	}
+
+	// Node lifespans: node n is active at steps [birth[n], death[n]). A
+	// static fleet lives the whole run; with -churn the schedule is rolled
+	// in advance by a deterministic Poisson process, so workers need no
+	// coordination and the serial expectation stays exact.
+	birth := make([]int, *nodes)
+	death := make([]int, *nodes)
+	for n := range birth {
+		birth[n], death[n] = 1, *steps+1
+	}
+	joins, leaves := 0, 0
+	if *churn > 0 {
+		rng := rand.New(rand.NewPCG(*churnSeed, 0xC0FFEE))
+		active := make([]int, *nodes)
+		for n := range active {
+			active[n] = n
+		}
+		for step := 2; step <= *steps; step++ {
+			for j := poisson(rng, *churn); j > 0; j-- {
+				birth = append(birth, step)
+				death = append(death, *steps+1)
+				active = append(active, len(birth)-1)
+				joins++
+			}
+			for l := poisson(rng, *churn); l > 0 && len(active) > 0; l-- {
+				pick := rng.IntN(len(active))
+				n := active[pick]
+				active[pick] = active[len(active)-1]
+				active = active[:len(active)-1]
+				death[n] = step
+				leaves++
+			}
+		}
+	}
+	total := len(birth)
 
 	store := transport.NewStore()
 	srv, err := transport.NewServer(store, nil)
@@ -74,6 +122,10 @@ func run() int {
 	defer srv.Close()
 	fmt.Printf("loadgen: %d nodes over %d mux connections → %s | %d steps | budget %.2f | batch %d linger %s compress %v\n",
 		*nodes, *conns, addr, *steps, *budget, *batch, *linger, *compress)
+	if *churn > 0 {
+		fmt.Printf("loadgen: churn λ=%.2f → %d joins, %d leaves over the run (%d nodes ever lived)\n",
+			*churn, joins, leaves, total)
+	}
 
 	// The serial expectation: per-node transmission count and final
 	// transmitted (step, values). Steps increase monotonically per node, so
@@ -85,14 +137,14 @@ func run() int {
 		lastVals  []float64
 		localStep int
 	}
-	expected := make([]expectation, *nodes)
+	expected := make([]expectation, total)
 
 	var (
 		wg          sync.WaitGroup
 		sent        atomic.Int64
 		retries     atomic.Int64
 		fleetErr    atomic.Pointer[error]
-		perConn     = (*nodes + *conns - 1) / *conns
+		perConn     = (total + *conns - 1) / *conns
 		start       = time.Now()
 		workerExpMu sync.Mutex // guards expected during the fan-in below
 	)
@@ -102,8 +154,8 @@ func run() int {
 	for ci := 0; ci < *conns; ci++ {
 		lo := ci * perConn
 		hi := lo + perConn
-		if hi > *nodes {
-			hi = *nodes
+		if hi > total {
+			hi = total
 		}
 		if lo >= hi {
 			break
@@ -140,6 +192,9 @@ func run() int {
 			vals := make([]float64, *resources)
 			for step := 1; step <= *steps; step++ {
 				for n := lo; n < hi; n++ {
+					if step < birth[n] || step >= death[n] {
+						continue // not a fleet member at this step
+					}
 					i := n - lo
 					for r := 0; r < *resources; r++ {
 						vals[r] = value(n, step, r)
@@ -180,14 +235,14 @@ func run() int {
 
 	// All clients closed (final batches flushed); wait for the collector to
 	// drain the in-flight TCP streams.
-	total := sent.Load()
+	delivered := sent.Load()
 	deadline := time.Now().Add(2 * time.Minute)
 	for {
 		var got int
 		for _, st := range store.Stats() {
 			got += st.Updates
 		}
-		if int64(got) >= total || time.Now().After(deadline) {
+		if int64(got) >= delivered || time.Now().After(deadline) {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -197,7 +252,7 @@ func run() int {
 	// Verification against the serial expectation.
 	bad := 0
 	stats := store.Stats()
-	for n := 0; n < *nodes; n++ {
+	for n := 0; n < total; n++ {
 		exp := expected[n]
 		if exp.sends == 0 {
 			continue // node never transmitted; nothing for the store to hold
@@ -213,15 +268,35 @@ func run() int {
 		}
 	}
 	fmt.Printf("loadgen: delivered %d msgs in %s (%.0f msgs/s) | backpressure retries %d\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), retries.Load())
+		delivered, elapsed.Round(time.Millisecond), float64(delivered)/elapsed.Seconds(), retries.Load())
 	fmt.Printf("loadgen: verification vs serial expectation: %d/%d nodes mismatched | protocol errors %d\n",
-		bad, *nodes, srv.ProtocolErrors())
+		bad, total, srv.ProtocolErrors())
 	if bad != 0 || srv.ProtocolErrors() != 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: FAILED")
 		return 1
 	}
 	fmt.Println("loadgen: OK — store bit-identical to unbatched serial delivery, zero protocol errors")
 	return 0
+}
+
+// poisson draws from a Poisson(lambda) distribution (Knuth's method, split
+// for large λ so the e^-λ product never underflows).
+func poisson(rng *rand.Rand, lambda float64) int {
+	n := 0
+	for lambda > 0 {
+		step := math.Min(lambda, 500)
+		limit := math.Exp(-step)
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p < limit {
+				break
+			}
+			n++
+		}
+		lambda -= step
+	}
+	return n
 }
 
 // equalBits compares two float slices bit-for-bit.

@@ -1,0 +1,138 @@
+// Example churn demonstrates elastic fleet membership end to end: a running
+// pipeline absorbs node joins (warm-up behind the NaN presence mask, then
+// forecasts once the look-back window fills), evicts a member that goes
+// silent past the absence timeout, and lets the same stable ID rejoin later
+// with a completely fresh history — all without perturbing the surviving
+// nodes' cluster assignments or forecasts.
+//
+// Run it with: go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"orcf"
+)
+
+const (
+	resources      = 2
+	horizon        = 3
+	initialNodes   = 8
+	joinStep       = 60
+	silentFrom     = 90  // node 3 stops reporting here
+	absenceTimeout = 10  // ... and is evicted 10 silent steps later
+	rejoinStep     = 120 // the evicted ID comes back
+	lastStep       = 150
+)
+
+// measure synthesizes node utilization: three latent workload groups plus
+// per-node wobble, the shape the paper's clustering thrives on.
+func measure(id, step, r int) float64 {
+	group := float64(id % 3)
+	v := 0.25*group + 0.18*math.Sin(float64(step)/11+group) + 0.02*float64(r) +
+		0.01*math.Sin(float64(step)/3+float64(id))
+	return math.Max(0, math.Min(1, v))
+}
+
+func row(id, step int) []float64 {
+	x := make([]float64, resources)
+	for r := range x {
+		x[r] = measure(id, step, r)
+	}
+	return x
+}
+
+func main() {
+	sys, err := orcf.New(initialNodes, resources,
+		orcf.WithClusters(3),
+		orcf.WithTrainingSchedule(30, 25),
+		orcf.WithSES(0.3),
+		orcf.WithAbsenceTimeout(absenceTimeout),
+		orcf.WithSeed(7),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		os.Exit(1)
+	}
+
+	const joiner = 100 // stable ID of the node that joins mid-run
+	silentID := 3      // the member that will go dark and be evicted
+
+	forecastOf := func(id int) string {
+		if !sys.Ready() {
+			return "models not trained yet"
+		}
+		f, err := sys.Forecast(horizon)
+		if err != nil {
+			return err.Error()
+		}
+		roster := sys.Roster()
+		slot, ok := roster.SlotOf(id)
+		if !ok {
+			return "not a member"
+		}
+		v := f[horizon-1][slot]
+		if math.IsNaN(v[0]) {
+			return "warming up (NaN-masked: look-back window has no presence yet)"
+		}
+		return fmt.Sprintf("cpu %.3f mem %.3f (h=%d)", v[0], v[1], horizon)
+	}
+
+	for step := 1; step <= lastStep; step++ {
+		// Membership events.
+		switch step {
+		case joinStep:
+			if err := sys.AddNodes(joiner); err != nil {
+				fmt.Fprintln(os.Stderr, "churn: join:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("step %3d | node %d JOINED → %s\n", step, joiner, forecastOf(joiner))
+		case rejoinStep:
+			if err := sys.AddNodes(silentID); err != nil {
+				fmt.Fprintln(os.Stderr, "churn: rejoin:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("step %3d | node %d REJOINED (same stable ID, blank history) → %s\n",
+				step, silentID, forecastOf(silentID))
+		}
+
+		// Build this step's report, one row per slot; nil = no report.
+		roster := sys.Roster()
+		x := make([][]float64, roster.Slots())
+		for slot := 0; slot < roster.Slots(); slot++ {
+			id, live := roster.IDAt(slot)
+			if !live {
+				continue
+			}
+			if id == silentID && step >= silentFrom && step < rejoinStep {
+				continue // gone dark: nil row, counts toward the timeout
+			}
+			x[slot] = row(id, step)
+		}
+		res, err := sys.Step(x)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "churn: step:", err)
+			os.Exit(1)
+		}
+		for _, id := range res.Evicted {
+			fmt.Printf("step %3d | node %d EVICTED after %d silent steps (slot freed for reuse)\n",
+				step, id, absenceTimeout)
+		}
+
+		switch step {
+		case joinStep + 3:
+			fmt.Printf("step %3d | node %d warming: %s\n", step, joiner, forecastOf(joiner))
+		case joinStep + 8:
+			fmt.Printf("step %3d | node %d after window fill: %s\n", step, joiner, forecastOf(joiner))
+		case lastStep:
+			fmt.Printf("step %3d | final fleet: %d live members %v over %d slots\n",
+				step, roster.Live(), sys.Members(), sys.Roster().Slots())
+			fmt.Printf("         | node %d: %s\n", joiner, forecastOf(joiner))
+			fmt.Printf("         | node %d: %s\n", silentID, forecastOf(silentID))
+			fmt.Printf("         | node 0 (survivor, untouched by churn): %s\n", forecastOf(0))
+		}
+	}
+	fmt.Println("churn: OK — joins warmed up, eviction freed the slot, rejoin started fresh")
+}

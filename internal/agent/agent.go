@@ -6,6 +6,15 @@
 // The transport is abstracted behind the Sender interface so the same loop
 // runs over real TCP (transport.Client), in-process fakes in tests, or any
 // future transport.
+//
+// Fleet lifecycle: an agent needs no join or leave protocol. Its first
+// delivered measurement makes the collector add the node to the fleet
+// (warm-up behind the presence mask), and when the loop ends — source
+// exhausted, MaxSteps reached, or context cancelled — the agent simply
+// stops sampling, so its local clock stops advancing and the collector's
+// absence timeout eventually evicts the node. Restarting an agent under
+// the same node ID before the timeout resumes the same fleet member;
+// restarting after eviction rejoins it with a fresh history.
 package agent
 
 import (

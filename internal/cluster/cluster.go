@@ -118,16 +118,29 @@ type Step struct {
 }
 
 // Tracker maintains the evolving clustering.
+//
+// Slots vs nodes: the tracker addresses points positionally by "slot". A
+// fixed fleet uses slot == node index; an elastic fleet (core.System with
+// membership churn) keeps slots stable across joins and leaves by passing a
+// presence mask to UpdateMasked — absent slots carry assignment -1 and take
+// no part in K-means or the eq. (10) matching. The slot count may grow
+// between updates (new joiners are appended) but never shrink; departed
+// slots are masked out and their history erased with ForgetSlot.
 type Tracker struct {
 	cfg  Config
 	rng  *rand.Rand
 	t    int
 	dim  int
 	n    int
-	hist [][]int // ring of past assignments, hist[0] most recent
+	hist [][]int // ring of past assignments, hist[0] most recent; -1 = absent
 	// centroidSeries[j][dim] is the full centroid history for stable
 	// cluster j and one dimension; indexed [j][d][t].
 	centroidSeries [][][]float64
+
+	// Reusable packing buffers for masked updates: present points are
+	// compacted for K-means and the packed assignments scattered back.
+	packed  [][]float64
+	packIdx []int
 }
 
 // NewTracker builds a Tracker. The rng drives K-means seeding; passing the
@@ -150,13 +163,25 @@ func (tr *Tracker) K() int { return tr.cfg.K }
 func (tr *Tracker) Steps() int { return tr.t }
 
 // Update ingests the N current stored measurements (N×d, d ≥ 1) and returns
-// the re-indexed clustering for this step. The node count and dimension must
-// stay constant across updates, and N must be ≥ K.
+// the re-indexed clustering for this step. It is UpdateMasked with every
+// slot present: the slot count and dimension must stay constant across
+// updates, and N must be ≥ K.
 func (tr *Tracker) Update(points [][]float64) (*Step, error) {
-	if err := tr.checkPoints(points); err != nil {
+	return tr.UpdateMasked(points, nil)
+}
+
+// UpdateMasked is Update for an elastic fleet: present[i] marks the slots
+// that currently hold a live, stored measurement. Absent slots (and their
+// points, which may be nil) are excluded from K-means, the eq. (10)
+// matching, and the centroid means; they come back with assignment -1. The
+// present count must be ≥ K. A nil mask means all slots are present. The
+// slot count may grow between calls (joiners append) but never shrink.
+func (tr *Tracker) UpdateMasked(points [][]float64, present []bool) (*Step, error) {
+	if err := tr.checkPoints(points, present); err != nil {
 		return nil, err
 	}
-	res, err := kmeans.Run(points, kmeans.Config{
+	packed, packIdx := tr.pack(points, present)
+	res, err := kmeans.Run(packed, kmeans.Config{
 		K:             tr.cfg.K,
 		MaxIterations: tr.cfg.KMeansIterations,
 	}, tr.rng)
@@ -164,14 +189,28 @@ func (tr *Tracker) Update(points [][]float64) (*Step, error) {
 		return nil, fmt.Errorf("cluster: kmeans failed: %w", err)
 	}
 
-	stable := res.Assignments
+	// Scatter the packed assignments back onto the slot layout; absent
+	// slots stay -1.
+	raw := make([]int, len(points))
+	for i := range raw {
+		raw[i] = -1
+	}
+	for pi, slot := range packIdx {
+		raw[slot] = res.Assignments[pi]
+	}
+
+	stable := raw
 	if tr.t > 0 && !tr.cfg.DisableMatching {
-		mapping, err := tr.matchToHistory(res.Assignments)
+		mapping, err := tr.matchToHistory(raw)
 		if err != nil {
 			return nil, err
 		}
-		stable = make([]int, len(res.Assignments))
-		for i, k := range res.Assignments {
+		stable = make([]int, len(raw))
+		for i, k := range raw {
+			if k < 0 {
+				stable[i] = -1
+				continue
+			}
 			stable[i] = mapping[k]
 		}
 	}
@@ -186,45 +225,110 @@ func (tr *Tracker) Update(points [][]float64) (*Step, error) {
 	return &Step{T: tr.t, Assignments: assignCopy, Centroids: cents}, nil
 }
 
-func (tr *Tracker) checkPoints(points [][]float64) error {
+func (tr *Tracker) checkPoints(points [][]float64, present []bool) error {
 	if len(points) == 0 {
 		return fmt.Errorf("cluster: no points: %w", ErrBadInput)
 	}
-	if len(points) < tr.cfg.K {
-		return fmt.Errorf("cluster: %d points < K=%d: %w", len(points), tr.cfg.K, ErrBadInput)
+	if present != nil && len(present) != len(points) {
+		return fmt.Errorf("cluster: %d mask entries for %d points: %w",
+			len(present), len(points), ErrBadInput)
 	}
-	d := len(points[0])
-	if tr.t == 0 {
-		tr.dim = d
-		tr.n = len(points)
-	}
-	if len(points) != tr.n {
-		return fmt.Errorf("cluster: node count changed %d → %d: %w", tr.n, len(points), ErrBadInput)
-	}
+	n := 0
 	for i, p := range points {
+		if present != nil && !present[i] {
+			continue
+		}
+		n++
+		if p == nil {
+			return fmt.Errorf("cluster: present slot %d has nil point: %w", i, ErrBadInput)
+		}
+		if tr.dim == 0 {
+			tr.dim = len(p)
+		}
 		if len(p) != tr.dim {
 			return fmt.Errorf("cluster: point %d has dim %d, want %d: %w", i, len(p), tr.dim, ErrBadInput)
 		}
 	}
+	if n < tr.cfg.K {
+		return fmt.Errorf("cluster: %d present points < K=%d: %w", n, tr.cfg.K, ErrBadInput)
+	}
+	if len(points) < tr.n {
+		return fmt.Errorf("cluster: slot count shrank %d → %d: %w", tr.n, len(points), ErrBadInput)
+	}
+	tr.n = len(points)
 	return nil
+}
+
+// pack compacts the present points for K-means, reusing the tracker's
+// buffers; packIdx maps packed index → slot.
+func (tr *Tracker) pack(points [][]float64, present []bool) ([][]float64, []int) {
+	if present == nil {
+		return points, tr.identity(len(points))
+	}
+	tr.packed = tr.packed[:0]
+	tr.packIdx = tr.packIdx[:0]
+	for i, p := range points {
+		if present[i] {
+			tr.packed = append(tr.packed, p)
+			tr.packIdx = append(tr.packIdx, i)
+		}
+	}
+	return tr.packed, tr.packIdx
+}
+
+// identity returns the 0..n-1 slot mapping, reusing the pack buffer.
+func (tr *Tracker) identity(n int) []int {
+	tr.packIdx = tr.packIdx[:0]
+	for i := 0; i < n; i++ {
+		tr.packIdx = append(tr.packIdx, i)
+	}
+	return tr.packIdx
+}
+
+// histAt reads a past assignment for a slot, treating vectors that predate
+// the slot (recorded before the fleet grew to include it) as absent.
+func (tr *Tracker) histAt(ago, slot int) int {
+	h := tr.hist[ago]
+	if slot >= len(h) {
+		return -1
+	}
+	return h[slot]
+}
+
+// ForgetSlot erases a slot's retained assignment history, as if it had been
+// absent at every remembered step. core.System calls it when a fleet member
+// departs (and again when the slot is recycled for a new joiner), so a later
+// occupant of the slot never inherits the old node's cluster continuity in
+// the eq. (10) matching.
+func (tr *Tracker) ForgetSlot(slot int) {
+	if slot < 0 {
+		return
+	}
+	for m := range tr.hist {
+		if slot < len(tr.hist[m]) {
+			tr.hist[m][slot] = -1
+		}
+	}
 }
 
 // matchToHistory computes the similarity matrix between fresh K-means
 // clusters and stable clusters, then solves eq. (11) via maximum-weight
-// matching. It returns mapping[k] = stable index j.
+// matching. It returns mapping[k] = stable index j. Slots with raw
+// assignment -1 (absent this step) contribute nothing; a slot that was
+// absent at any of the last M steps has no core cluster, which realizes the
+// eq. (10) intersection over a churning fleet.
 func (tr *Tracker) matchToHistory(raw []int) ([]int, error) {
 	k := tr.cfg.K
 	lookback := min(tr.cfg.M, tr.t)
 
-	// core[i] = stable cluster that node i belonged to in *all* of the last
+	// core[i] = stable cluster that slot i belonged to in *all* of the last
 	// `lookback` steps, or −1. This realizes ⋂_{m=1..M} C_{j,t−m}.
-	core := make([]int, tr.n)
+	core := make([]int, len(raw))
 	for i := range core {
-		j := tr.hist[0][i]
-		for m := 1; m < lookback; m++ {
-			if tr.hist[m][i] != j {
+		j := tr.histAt(0, i)
+		for m := 1; m < lookback && j >= 0; m++ {
+			if tr.histAt(m, i) != j {
 				j = -1
-				break
 			}
 		}
 		core[i] = j
@@ -237,6 +341,9 @@ func (tr *Tracker) matchToHistory(raw []int) ([]int, error) {
 	rawSize := make([]float64, k)
 	coreSize := make([]float64, k)
 	for i, kk := range raw {
+		if kk < 0 {
+			continue // absent slot
+		}
 		rawSize[kk]++
 		if j := core[i]; j >= 0 {
 			coreSize[j]++
@@ -315,14 +422,21 @@ func (tr *Tracker) AssignmentsAgo(ago int) []int {
 func (tr *Tracker) HistoryLen() int { return len(tr.hist) }
 
 // CentroidsFor computes eq. (1): the mean of the member points of each of the
-// k clusters under the given assignment. A cluster with no members gets a
-// zero vector (callers using Tracker never observe this because K-means
-// repairs empty clusters).
+// k clusters under the given assignment. Slots assigned -1 (absent members
+// of an elastic fleet) are skipped. A cluster with no members gets a zero
+// vector (callers using Tracker never observe this because K-means repairs
+// empty clusters).
 func CentroidsFor(assign []int, k int, points [][]float64) [][]float64 {
 	if len(points) == 0 {
 		return nil
 	}
-	d := len(points[0])
+	d := 0
+	for _, p := range points {
+		if p != nil {
+			d = len(p)
+			break
+		}
+	}
 	cents := make([][]float64, k)
 	counts := make([]int, k)
 	for j := range cents {
@@ -330,6 +444,9 @@ func CentroidsFor(assign []int, k int, points [][]float64) [][]float64 {
 	}
 	for i, p := range points {
 		j := assign[i]
+		if j < 0 {
+			continue
+		}
 		counts[j]++
 		for t, v := range p {
 			cents[j][t] += v

@@ -10,9 +10,12 @@ import "fmt"
 type State struct {
 	// T is the number of processed updates.
 	T int
-	// Dim and N pin the point shape seen at the first update (0 until then).
+	// Dim pins the point dimensionality seen at the first update and N the
+	// current slot count (0 until then; N may have grown across updates).
 	Dim, N int
-	// Hist is the assignment ring, most recent first.
+	// Hist is the assignment ring, most recent first. -1 marks a slot that
+	// was absent at that step; vectors recorded before the fleet grew may be
+	// shorter than N, with missing entries reading as absent.
 	Hist [][]int
 	// CentroidSeries is the full centroid history, indexed [cluster][dim][t].
 	CentroidSeries [][][]float64
@@ -64,12 +67,14 @@ func (tr *Tracker) RestoreState(st *State) error {
 			len(st.Hist), tr.cfg.HistoryDepth, st.T, ErrBadInput)
 	}
 	for _, h := range st.Hist {
-		if len(h) != st.N {
-			return fmt.Errorf("cluster: assignment vector length %d, want %d: %w", len(h), st.N, ErrBadInput)
+		// Vectors recorded before the fleet grew are shorter than the current
+		// slot count; missing entries read as absent (-1).
+		if len(h) > st.N {
+			return fmt.Errorf("cluster: assignment vector length %d > %d slots: %w", len(h), st.N, ErrBadInput)
 		}
 		for _, j := range h {
-			if j < 0 || j >= tr.cfg.K {
-				return fmt.Errorf("cluster: assignment %d outside [0,%d): %w", j, tr.cfg.K, ErrBadInput)
+			if j < -1 || j >= tr.cfg.K {
+				return fmt.Errorf("cluster: assignment %d outside [-1,%d): %w", j, tr.cfg.K, ErrBadInput)
 			}
 		}
 	}

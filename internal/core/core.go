@@ -47,8 +47,15 @@ type PolicyFactory func(node int) (transmit.Policy, error)
 // Config assembles a System. Zero values select the paper's defaults from
 // §VI-A2 where one exists.
 type Config struct {
-	// Nodes is the number of local nodes N. Required.
+	// Nodes is the initial number of local nodes N; they receive the stable
+	// node IDs 0..Nodes-1. Zero builds an empty fleet that must grow through
+	// AddNodes before the first Step (an elastic deployment discovering its
+	// fleet at runtime); negative is invalid.
 	Nodes int
+	// AbsenceTimeout evicts a fleet member after this many consecutive steps
+	// without a report (a nil row in Step's input). Zero (the default) never
+	// auto-evicts; membership then changes only through AddNodes/RemoveNodes.
+	AbsenceTimeout int
 	// Resources is the measurement dimensionality d (e.g. 2 for CPU+mem).
 	// Zero means 1.
 	Resources int
@@ -140,7 +147,8 @@ func (c Config) withDefaults() Config {
 
 // ResourceStep is the per-tracker clustering outcome of one step.
 type ResourceStep struct {
-	// Assignments maps node → stable cluster index.
+	// Assignments maps slot → stable cluster index, or -1 for slots that
+	// were absent from clustering (dead, or alive but not yet stored).
 	Assignments []int
 	// Centroids holds the K centroids (dim 1 for scalar clustering, d for
 	// joint clustering).
@@ -151,24 +159,44 @@ type ResourceStep struct {
 type StepResult struct {
 	// T is the 1-based step index.
 	T int
-	// Transmitted flags which nodes uploaded this step.
+	// Transmitted flags which slots uploaded this step.
 	Transmitted []bool
+	// Present flags the slots that participated in clustering this step
+	// (live members with a stored measurement).
+	Present []bool
+	// Evicted lists the stable IDs of members evicted this step by the
+	// absence timeout (nil when none were).
+	Evicted []int
 	// PerResource holds one clustering outcome per tracker: Resources
 	// entries for scalar clustering, a single entry for joint clustering.
 	PerResource []ResourceStep
 }
 
 // ringSlot is one slot of the look-back ring used by eq. (12). All backing
-// arrays are allocated once in NewSystem and overwritten in place. (The
-// immutable per-step copies published for concurrent readers reuse the same
-// layout — see Snapshot.)
+// arrays are allocated in NewSystem and overwritten in place; they grow in
+// place when the fleet grows. (The immutable per-step copies published for
+// concurrent readers reuse the same layout but may be shorter than the
+// current fleet if it grew after their publication — see Snapshot and the
+// *At accessors.)
 type ringSlot struct {
 	z           [][]float64   // N×d stored measurements
-	assignments [][]int       // [tracker][node]
+	assignments [][]int       // [tracker][slot]; -1 = absent
 	centroids   [][][]float64 // [tracker][cluster][dim]
+	present     []bool        // slots clustered at this step
 }
 
-// System is the end-to-end pipeline.
+// presentAt reports slot i's presence, treating slots beyond the recorded
+// fleet size (the fleet grew after this slot was written) as absent.
+func (slot *ringSlot) presentAt(i int) bool {
+	return i < len(slot.present) && slot.present[i]
+}
+
+// System is the end-to-end pipeline. Fleet membership is elastic: per-node
+// state lives in dense "slots" addressed positionally by Step and Forecast,
+// while AddNodes/RemoveNodes (and the absence timeout) bind and unbind
+// stable node IDs to slots. Slots of departed members are tombstoned and
+// recycled for later joiners; surviving slots never move, so churn never
+// perturbs the remaining nodes' assignments, offsets, or forecasts.
 type System struct {
 	cfg       Config
 	nTrackers int // Resources trackers for scalar clustering, 1 for joint
@@ -180,6 +208,22 @@ type System struct {
 	trackers  []*cluster.Tracker
 	pcgs      []*rand.PCG // per-tracker K-means RNG sources (for state export)
 	ensembles []*forecast.Ensemble
+
+	// Fleet roster: ids[i] is the stable ID bound to slot i, alive[i]
+	// whether the slot holds a live member, absentFor[i] the member's
+	// consecutive report-less steps, free the dead slots available for
+	// reuse (ascending). byID indexes live members only. presentBuf is the
+	// per-step clustering mask (alive ∧ stored). rosterGen bumps on every
+	// membership change so snapshots can share an immutable roster copy.
+	ids        []int
+	byID       map[int]int
+	alive      []bool
+	absentFor  []int
+	free       []int
+	presentBuf []bool
+	evictions  uint64
+	rosterGen  uint64
+	pubRoster  *Roster // immutable copy shared by published snapshots
 
 	// ring is the eq. (12) look-back of depth M′+1; ring[head] is the
 	// current step, ringLen the number of valid slots. stage is the spare
@@ -198,6 +242,11 @@ type System struct {
 	gen    uint64
 	pubWin []*ringSlot
 	snap   atomic.Pointer[Snapshot]
+	// pubWinStale forces the next publish to rebuild its window from the
+	// live ring instead of sharing the previous window's tail: set when a
+	// tombstoned slot is recycled, because shared slots still show the
+	// previous occupant as present.
+	pubWinStale bool
 
 	// Reusable K-means input buffers for scalar clustering: pts[tr][i] is a
 	// length-1 view into ptsFlat[tr]. Joint clustering feeds z directly.
@@ -210,18 +259,25 @@ type System struct {
 // NewSystem validates the configuration and builds the pipeline.
 func NewSystem(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Nodes < 1 {
+	if cfg.Nodes < 0 {
 		return nil, fmt.Errorf("core: %d nodes: %w", cfg.Nodes, ErrBadConfig)
 	}
-	if cfg.K > cfg.Nodes {
+	if cfg.Nodes > 0 && cfg.K > cfg.Nodes {
 		return nil, fmt.Errorf("core: K=%d > %d nodes: %w", cfg.K, cfg.Nodes, ErrBadConfig)
+	}
+	if cfg.AbsenceTimeout < 0 {
+		return nil, fmt.Errorf("core: absence timeout %d < 0: %w", cfg.AbsenceTimeout, ErrBadConfig)
 	}
 	if cfg.SnapshotHorizon < 0 {
 		return nil, fmt.Errorf("core: snapshot horizon %d < 0: %w", cfg.SnapshotHorizon, ErrBadConfig)
 	}
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, byID: make(map[int]int)}
 	s.policies = make([]transmit.Policy, cfg.Nodes)
 	s.meters = make([]transmit.Meter, cfg.Nodes)
+	s.ids = make([]int, cfg.Nodes)
+	s.alive = make([]bool, cfg.Nodes)
+	s.absentFor = make([]int, cfg.Nodes)
+	s.presentBuf = make([]bool, cfg.Nodes)
 	for i := range s.policies {
 		p, err := cfg.Policy(i)
 		if err != nil {
@@ -231,6 +287,9 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: nil policy for node %d: %w", i, ErrBadConfig)
 		}
 		s.policies[i] = p
+		s.ids[i] = i
+		s.alive[i] = true
+		s.byID[i] = i
 	}
 	s.z = make([][]float64, cfg.Nodes)
 	s.zback = make([]float64, cfg.Nodes*cfg.Resources)
@@ -295,25 +354,59 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// newRingSlot allocates one empty look-back slot shaped for this system.
+// newRingSlot allocates one empty look-back slot shaped for the current
+// fleet size.
 func (s *System) newRingSlot() ringSlot {
 	var slot ringSlot
-	slot.z = newMatrix(s.cfg.Nodes, s.cfg.Resources)
+	n := len(s.ids)
+	slot.z = newMatrix(n, s.cfg.Resources)
 	slot.assignments = make([][]int, s.nTrackers)
 	slot.centroids = make([][][]float64, s.nTrackers)
+	slot.present = make([]bool, n)
 	for tr := range slot.assignments {
-		slot.assignments[tr] = make([]int, s.cfg.Nodes)
+		slot.assignments[tr] = make([]int, n)
+		for i := range slot.assignments[tr] {
+			slot.assignments[tr][i] = -1
+		}
 		slot.centroids[tr] = newMatrix(s.cfg.K, s.dims)
 	}
 	return slot
 }
 
+// maskSlot erases one node's trace from a live look-back slot: absent
+// presence and -1 assignments (its z values are unreachable once masked).
+// Never called on published snapshot slots, which stay immutable.
+func maskSlot(slot *ringSlot, i int) {
+	slot.present[i] = false
+	for tr := range slot.assignments {
+		slot.assignments[tr][i] = -1
+	}
+}
+
+// growSlot extends a slot's per-node arrays to n entries in place (new
+// entries are absent). Never called on published snapshot slots, which stay
+// immutable at the size they were written.
+func growSlot(slot *ringSlot, n, d, nTrackers int) {
+	for len(slot.z) < n {
+		slot.z = append(slot.z, make([]float64, d))
+	}
+	for len(slot.present) < n {
+		slot.present = append(slot.present, false)
+	}
+	for tr := 0; tr < nTrackers; tr++ {
+		for len(slot.assignments[tr]) < n {
+			slot.assignments[tr] = append(slot.assignments[tr], -1)
+		}
+	}
+}
+
 // copyFrom overwrites the slot's contents with src's. Both slots must be
-// shaped by the same system (newRingSlot).
+// shaped by the same system (newRingSlot) at the same fleet size.
 func (slot *ringSlot) copyFrom(src *ringSlot) {
 	for i, zi := range src.z {
 		copy(slot.z[i], zi)
 	}
+	copy(slot.present, src.present)
 	for tr := range src.assignments {
 		copy(slot.assignments[tr], src.assignments[tr])
 		for j, c := range src.centroids[tr] {
@@ -332,8 +425,332 @@ func newMatrix(n, d int) [][]float64 {
 	return rows
 }
 
+// Roster is an immutable point-in-time view of fleet membership: the slot →
+// stable-ID binding and per-slot liveness. Snapshots share one Roster until
+// the membership changes.
+type Roster struct {
+	gen   uint64
+	ids   []int
+	alive []bool
+	byID  map[int]int
+	live  int
+}
+
+// Slots returns the dense slot count (live members plus tombstones).
+func (r *Roster) Slots() int { return len(r.ids) }
+
+// Live returns the number of live members.
+func (r *Roster) Live() int { return r.live }
+
+// IDAt returns the stable ID bound to a slot and whether the slot holds a
+// live member. Retired slots report their last occupant's ID with ok=false.
+func (r *Roster) IDAt(slot int) (id int, ok bool) {
+	if slot < 0 || slot >= len(r.ids) {
+		return 0, false
+	}
+	return r.ids[slot], r.alive[slot]
+}
+
+// SlotOf returns the slot a live member occupies.
+func (r *Roster) SlotOf(id int) (slot int, ok bool) {
+	slot, ok = r.byID[id]
+	return slot, ok
+}
+
+// Members returns the live members' stable IDs in slot order (a fresh
+// slice).
+func (r *Roster) Members() []int {
+	out := make([]int, 0, r.live)
+	for i, id := range r.ids {
+		if r.alive[i] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// roster builds an immutable copy of the current membership, reusing the
+// previous copy while no membership change occurred.
+func (s *System) roster() *Roster {
+	if s.pubRoster != nil && s.pubRoster.gen == s.rosterGen {
+		return s.pubRoster
+	}
+	r := &Roster{
+		gen:   s.rosterGen,
+		ids:   append([]int(nil), s.ids...),
+		alive: append([]bool(nil), s.alive...),
+		byID:  make(map[int]int, len(s.byID)),
+	}
+	for id, slot := range s.byID {
+		r.byID[id] = slot
+	}
+	for _, a := range r.alive {
+		if a {
+			r.live++
+		}
+	}
+	s.pubRoster = r
+	return r
+}
+
+// Roster returns an immutable view of the current membership. Like Step it
+// must be called from the stepping goroutine; concurrent readers get theirs
+// from a Snapshot.
+func (s *System) Roster() *Roster { return s.roster() }
+
+// Members returns the live members' stable IDs in slot order.
+func (s *System) Members() []int { return s.roster().Members() }
+
+// Slots returns the dense slot count (live members plus tombstones). Step
+// input must have exactly this many rows.
+func (s *System) Slots() int { return len(s.ids) }
+
+// LiveNodes returns the number of live fleet members.
+func (s *System) LiveNodes() int { return len(s.byID) }
+
+// HasNode reports whether a stable ID is currently a live member.
+func (s *System) HasNode(id int) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// SlotOf returns the dense slot a live member occupies.
+func (s *System) SlotOf(id int) (slot int, ok bool) {
+	slot, ok = s.byID[id]
+	return slot, ok
+}
+
+// Evictions returns how many members have departed (absence timeout plus
+// explicit RemoveNodes) over the system's lifetime.
+func (s *System) Evictions() uint64 { return s.evictions }
+
+// AddNodes joins new members to the fleet, one per stable ID. Each joiner
+// gets a fresh policy and meter and an empty history: it is masked out of
+// clustering until its first stored measurement and out of eq. (12) windows
+// until presence accumulates, so existing members' assignments and
+// forecasts are unperturbed. Departed slots are recycled (lowest slot
+// first) before the fleet grows; a previously evicted ID may rejoin and
+// never inherits its old history. IDs must be non-negative and not already
+// live. Call it from the stepping goroutine, between Steps.
+func (s *System) AddNodes(ids ...int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("core: node ID %d < 0: %w", id, ErrBadConfig)
+		}
+		if _, live := s.byID[id]; live || seen[id] {
+			return fmt.Errorf("core: node %d already a member: %w", id, ErrBadConfig)
+		}
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if err := s.addSlot(id); err != nil {
+			return err
+		}
+	}
+	s.rosterGen++
+	return nil
+}
+
+// RemoveNodes departs live members immediately (the administrative
+// counterpart of the absence timeout): their slots are tombstoned, their
+// history masked, and their IDs retired until a future AddNodes rejoins
+// them fresh. Surviving members are unperturbed. Call it from the stepping
+// goroutine, between Steps.
+func (s *System) RemoveNodes(ids ...int) error {
+	for _, id := range ids {
+		if _, ok := s.byID[id]; !ok {
+			return fmt.Errorf("core: node %d is not a live member: %w", id, ErrBadConfig)
+		}
+	}
+	for _, id := range ids {
+		s.evictSlot(s.byID[id])
+	}
+	return nil
+}
+
+// ReconcileRoster aligns the system's slot → ID layout with a recorded
+// roster (typically a WAL record's, during recovery replay): members dead
+// in the record depart, members live in the record join into the exact
+// recorded slots, and a live slot bound to a different ID is a lineage
+// mismatch error. The slot count may only grow. Reproducing the recorded
+// layout slot-for-slot is what keeps replayed steps bit-identical to the
+// original run.
+func (s *System) ReconcileRoster(ids []int, alive []bool) error {
+	if len(ids) != len(alive) {
+		return fmt.Errorf("core: roster %d ids / %d alive flags: %w", len(ids), len(alive), ErrBadInput)
+	}
+	if len(ids) < len(s.ids) {
+		return fmt.Errorf("core: roster shrank %d → %d slots: %w", len(s.ids), len(ids), ErrBadInput)
+	}
+	changed := false
+	for i := 0; i < len(s.ids); i++ {
+		if !alive[i] && s.alive[i] {
+			s.evictSlot(i)
+			changed = true
+		}
+	}
+	for i, id := range ids {
+		if !alive[i] {
+			continue
+		}
+		if i < len(s.ids) && s.alive[i] {
+			if s.ids[i] != id {
+				return fmt.Errorf("core: slot %d bound to node %d, roster says %d: %w",
+					i, s.ids[i], id, ErrBadInput)
+			}
+			continue
+		}
+		if _, live := s.byID[id]; live {
+			return fmt.Errorf("core: node %d already live in another slot: %w", id, ErrBadInput)
+		}
+		if err := s.addSlotAt(i, id); err != nil {
+			return err
+		}
+		changed = true
+	}
+	if changed {
+		s.rosterGen++
+	}
+	return nil
+}
+
+// addSlot binds one new member to a slot: the lowest free (tombstoned) slot
+// when one exists, else a freshly appended one.
+func (s *System) addSlot(id int) error {
+	i := len(s.ids)
+	if len(s.free) > 0 {
+		i = s.free[0]
+	}
+	return s.addSlotAt(i, id)
+}
+
+// addSlotAt binds a new member to a specific slot — a tombstoned one or the
+// next append position (used by addSlot and by roster reconciliation during
+// WAL replay, which must reproduce the original slot layout exactly).
+func (s *System) addSlotAt(i, id int) error {
+	switch {
+	case i == len(s.ids):
+		s.ids = append(s.ids, 0)
+		s.alive = append(s.alive, false)
+		s.absentFor = append(s.absentFor, 0)
+		s.presentBuf = append(s.presentBuf, false)
+		s.policies = append(s.policies, nil)
+		s.meters = append(s.meters, transmit.Meter{})
+		s.z = append(s.z, nil)
+		s.growBacking()
+		n := len(s.ids)
+		for si := range s.ring {
+			growSlot(&s.ring[si], n, s.cfg.Resources, s.nTrackers)
+		}
+		growSlot(&s.stage, n, s.cfg.Resources, s.nTrackers)
+	default:
+		at := -1
+		for fi, f := range s.free {
+			if f == i {
+				at = fi
+				break
+			}
+		}
+		if at < 0 {
+			return fmt.Errorf("core: slot %d is not free: %w", i, ErrBadConfig)
+		}
+		s.free = append(s.free[:at], s.free[at+1:]...)
+		// The slot's ring history was masked at eviction; mask again
+		// defensively and drop published-window sharing — old published
+		// slots still show the previous occupant as present, so the next
+		// snapshot must rebuild its window from the live ring.
+		for si := range s.ring {
+			maskSlot(&s.ring[si], i)
+		}
+		maskSlot(&s.stage, i)
+		for _, tr := range s.trackers {
+			tr.ForgetSlot(i)
+		}
+		s.pubWinStale = true
+	}
+	p, err := s.cfg.Policy(i)
+	if err != nil {
+		return fmt.Errorf("core: policy for node %d (slot %d): %w", id, i, err)
+	}
+	if p == nil {
+		return fmt.Errorf("core: nil policy for node %d: %w", id, ErrBadConfig)
+	}
+	s.policies[i] = p
+	s.meters[i] = transmit.Meter{}
+	s.ids[i] = id
+	s.alive[i] = true
+	s.absentFor[i] = 0
+	s.z[i] = nil
+	s.byID[id] = i
+	return nil
+}
+
+// growBacking reallocates the flat z backing (and the scalar-clustering
+// point buffers) after the slot count grew, re-pointing the row views.
+func (s *System) growBacking() {
+	d := s.cfg.Resources
+	n := len(s.ids)
+	nb := make([]float64, n*d)
+	copy(nb, s.zback)
+	s.zback = nb
+	for i := range s.z {
+		if s.z[i] != nil {
+			s.z[i] = nb[i*d : (i+1)*d : (i+1)*d]
+		}
+	}
+	if !s.cfg.JointClustering {
+		for tr := range s.pts {
+			flat := make([]float64, n)
+			copy(flat, s.ptsFlat[tr])
+			s.ptsFlat[tr] = flat
+			rows := make([][]float64, n)
+			for i := range rows {
+				rows[i] = flat[i : i+1 : i+1]
+			}
+			s.pts[tr] = rows
+		}
+	}
+}
+
+// evictSlot departs the member occupying slot i: the stable ID is retired,
+// the slot tombstoned for reuse, and every trace of the member masked out
+// of the live look-back (so a later occupant of the slot starts blank and
+// the member itself forecasts as NaN immediately).
+func (s *System) evictSlot(i int) {
+	delete(s.byID, s.ids[i])
+	s.alive[i] = false
+	s.absentFor[i] = 0
+	s.z[i] = nil
+	s.policies[i] = nil
+	s.meters[i] = transmit.Meter{}
+	for si := range s.ring {
+		maskSlot(&s.ring[si], i)
+	}
+	maskSlot(&s.stage, i)
+	for _, tr := range s.trackers {
+		tr.ForgetSlot(i)
+	}
+	// Keep the free list ascending so slot reuse is deterministic.
+	at := len(s.free)
+	for at > 0 && s.free[at-1] > i {
+		at--
+	}
+	s.free = append(s.free, 0)
+	copy(s.free[at+1:], s.free[at:])
+	s.free[at] = i
+	s.evictions++
+	s.rosterGen++
+}
+
 // Steps returns the number of processed steps.
 func (s *System) Steps() int { return s.t }
+
+// Clusters returns the resolved cluster count K (defaults applied).
+func (s *System) Clusters() int { return s.cfg.K }
 
 // Ready reports whether forecasting models have completed initial training.
 func (s *System) Ready() bool {
@@ -345,24 +762,31 @@ func (s *System) Ready() bool {
 	return true
 }
 
-// Frequency returns the realized transmission frequency of a node.
+// Frequency returns the realized transmission frequency of the member in a
+// slot (0 for tombstoned or out-of-range slots).
 func (s *System) Frequency(node int) float64 {
-	if node < 0 || node >= len(s.meters) {
+	if node < 0 || node >= len(s.meters) || !s.alive[node] {
 		return 0
 	}
 	return s.meters[node].Frequency()
 }
 
-// MeanFrequency returns the average realized transmission frequency.
+// MeanFrequency returns the average realized transmission frequency over
+// the live members.
 func (s *System) MeanFrequency() float64 {
-	if len(s.meters) == 0 {
-		return 0
-	}
+	live := 0
 	var sum float64
 	for i := range s.meters {
+		if !s.alive[i] {
+			continue
+		}
+		live++
 		sum += s.meters[i].Frequency()
 	}
-	return sum / float64(len(s.meters))
+	if live == 0 {
+		return 0
+	}
+	return sum / float64(live)
 }
 
 // Stored returns a copy of the measurements currently held at the central
@@ -409,17 +833,29 @@ func (s *System) CentroidSeries(tracker, clusterIdx, dim int) []float64 {
 	return s.trackers[tracker].CentroidSeries(clusterIdx, dim)
 }
 
-// Step ingests the true measurements of all nodes for one time step:
-// x[i] is node i's d-dimensional measurement. It runs transmission decisions,
-// clustering, and model maintenance, and returns the step outcome. On error
-// the look-back ring is untouched, but trackers/ensembles may have advanced
-// unevenly (how far depends on the worker schedule) — discard the System
-// instead of stepping it further.
+// Step ingests the measurements of the fleet for one time step: x has one
+// row per slot (see Slots), where x[i] is slot i's d-dimensional measurement
+// and a nil row means "no report" — mandatory for tombstoned slots, and for
+// live members a silent step that counts toward the absence timeout (the
+// member's last stored value keeps representing it in clustering until it
+// is evicted; evictions that would shrink the clustered set below K are
+// deferred, in slot order, until replacements report). It runs transmission
+// decisions, clustering, and model maintenance, and returns the step
+// outcome. On error the look-back ring is
+// untouched, but trackers/ensembles may have advanced unevenly (how far
+// depends on the worker schedule) — discard the System instead of stepping
+// it further.
 func (s *System) Step(x [][]float64) (*StepResult, error) {
-	if len(x) != s.cfg.Nodes {
-		return nil, fmt.Errorf("core: %d nodes in step, want %d: %w", len(x), s.cfg.Nodes, ErrBadInput)
+	if len(x) != len(s.ids) {
+		return nil, fmt.Errorf("core: %d rows in step, want %d fleet slots: %w", len(x), len(s.ids), ErrBadInput)
 	}
 	for i, xi := range x {
+		if xi == nil {
+			continue
+		}
+		if !s.alive[i] {
+			return nil, fmt.Errorf("core: slot %d holds no live member but got a report: %w", i, ErrBadInput)
+		}
 		if len(xi) != s.cfg.Resources {
 			return nil, fmt.Errorf("core: node %d has dim %d, want %d: %w",
 				i, len(xi), s.cfg.Resources, ErrBadInput)
@@ -434,13 +870,30 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 	s.t++
 	res := &StepResult{
 		T:           s.t,
-		Transmitted: make([]bool, s.cfg.Nodes),
+		Transmitted: make([]bool, len(x)),
+		Present:     make([]bool, len(x)),
 		PerResource: make([]ResourceStep, s.nTrackers),
 	}
 
-	// Layer 1: transmission decisions update the central store in place.
+	// Layer 1: transmission decisions update the central store in place;
+	// silent live members accrue absence. Members at the timeout are only
+	// marked for eviction here — the roster mutation happens after the
+	// present-count check below, so a step that fails it has not half-
+	// departed anyone (and never loses its Evicted report).
 	d := s.cfg.Resources
+	var evict []int
 	for i, xi := range x {
+		if !s.alive[i] {
+			continue
+		}
+		if xi == nil {
+			s.absentFor[i]++
+			if s.cfg.AbsenceTimeout > 0 && s.absentFor[i] >= s.cfg.AbsenceTimeout {
+				evict = append(evict, i)
+			}
+			continue
+		}
+		s.absentFor[i] = 0
 		if s.policies[i].Decide(s.t, xi, s.z[i]) {
 			if s.z[i] == nil {
 				s.z[i] = s.zback[i*d : (i+1)*d : (i+1)*d]
@@ -450,25 +903,58 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		}
 		s.meters[i].Observe(res.Transmitted[i])
 	}
-	for i, zi := range s.z {
-		if zi == nil {
-			return nil, fmt.Errorf("core: node %d has no stored measurement after step 1 "+
-				"(its policy never transmitted): %w", i, ErrBadInput)
+
+	// Presence mask: live members with a stored measurement take part in
+	// clustering; joiners whose policies have not transmitted yet stay
+	// masked (warm-up), as do members departing this step.
+	present := s.presentBuf
+	nPresent := 0
+	for i := range present {
+		present[i] = s.alive[i] && s.z[i] != nil
+		if present[i] {
+			nPresent++
 		}
 	}
+	if nPresent < s.cfg.K {
+		// No eviction has happened yet, so the roster is untouched by a
+		// step that fails here (candidates are simply retried later).
+		return nil, fmt.Errorf("core: %d present members < K=%d — grow the fleet (AddNodes) "+
+			"or wait for first transmissions before stepping: %w", nPresent, s.cfg.K, ErrBadInput)
+	}
+	// Evictions never shrink the clustered set below K: when a mass outage
+	// would (e.g. every agent silent after a collector restart), the excess
+	// members are retained — still present with their last-known values —
+	// and retried next step, so the pipeline degrades to serving stale
+	// forecasts instead of failing. Deferral is by slot order
+	// (deterministic, so WAL replay reproduces it).
+	for _, i := range evict {
+		if present[i] {
+			if nPresent <= s.cfg.K {
+				continue // deferred: absentFor stays past the timeout
+			}
+			present[i] = false
+			nPresent--
+		}
+		res.Evicted = append(res.Evicted, s.ids[i])
+		s.evictSlot(i)
+	}
+	copy(res.Present, present)
 
 	// Record the store's state into the staging slot; it only enters the
 	// eq. (12) look-back ring when the whole step succeeds.
 	snap := &s.stage
 	for i, zi := range s.z {
-		copy(snap.z[i], zi)
+		if zi != nil {
+			copy(snap.z[i], zi)
+		}
 	}
+	copy(snap.present, present)
 
 	// Layers 2+3: per-tracker clustering and model maintenance. Trackers are
 	// independent — each owns its RNG, ensemble, and the tr-indexed slots
 	// written below — so the fan-out is deterministic.
 	err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
-		step, err := s.trackers[tr].Update(s.trackerPoints(tr))
+		step, err := s.trackers[tr].UpdateMasked(s.trackerPoints(tr), present)
 		if err != nil {
 			return fmt.Errorf("core: tracker %d: %w", tr, err)
 		}
@@ -510,6 +996,7 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 	if pub != nil {
 		s.gen = pub.gen
 		s.pubWin = pub.slots
+		s.pubWinStale = false
 		s.snap.Store(pub)
 	}
 	return res, nil
@@ -518,13 +1005,19 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 // trackerPoints projects the stored measurements into the point space of
 // tracker tr: scalars of resource tr (reusing the per-tracker buffer), or
 // the stored vectors themselves for joint clustering (the tracker reads the
-// points but never retains them).
+// points but never retains them). Rows of slots without a stored
+// measurement are zero/nil — the presence mask keeps them out of
+// clustering.
 func (s *System) trackerPoints(tr int) [][]float64 {
 	if s.cfg.JointClustering {
 		return s.z
 	}
 	flat := s.ptsFlat[tr]
 	for i, zi := range s.z {
+		if zi == nil {
+			flat[i] = 0
+			continue
+		}
 		flat[i] = zi[tr]
 	}
 	return s.pts[tr]
@@ -544,6 +1037,7 @@ func (s *System) snapAt(ago int) *ringSlot {
 // is what keeps served forecasts bit-identical to System.Forecast.
 type reconEnv struct {
 	slotAt            func(ago int) *ringSlot
+	aliveAt           func(slot int) bool
 	window            int // number of valid look-back slots
 	nodes, resources  int
 	k, dims, nTracker int
@@ -555,8 +1049,9 @@ type reconEnv struct {
 func (s *System) reconEnv() *reconEnv {
 	return &reconEnv{
 		slotAt:            s.snapAt,
+		aliveAt:           func(i int) bool { return s.alive[i] },
 		window:            s.ringLen,
-		nodes:             s.cfg.Nodes,
+		nodes:             len(s.ids),
 		resources:         s.cfg.Resources,
 		k:                 s.cfg.K,
 		dims:              s.dims,
@@ -607,11 +1102,15 @@ func (s *System) Forecast(h int) ([][][]float64, error) {
 }
 
 // reconstruct applies §V-C over an env's look-back window: forecasted
-// centroid of each node's mode cluster plus the α-scaled offset of eq. (12).
-// centF is indexed [tracker][cluster][dim][hi] and must cover hi < h. The
-// h×N×d result shares one flat backing and one row-header array instead of
-// h·N small slices; nodes fan out on the worker pool and each node writes
-// only its own output rows, so the result is identical for any worker count.
+// centroid of each node's mode cluster plus the α-scaled offset of eq. (12),
+// both computed over the steps the node was present at (the per-node
+// presence mask of an elastic fleet). Slots that are dead, or whose member
+// has no presence in the window yet (a joiner still warming up), forecast
+// as NaN. centF is indexed [tracker][cluster][dim][hi] and must cover
+// hi < h. The h×N×d result shares one flat backing and one row-header array
+// instead of h·N small slices; nodes fan out on the worker pool and each
+// node writes only its own output rows, so the result is identical for any
+// worker count.
 func reconstruct(env *reconEnv, centF [][][][]float64, h, workers int) ([][][]float64, error) {
 	n, d := env.nodes, env.resources
 	flat := make([]float64, h*n*d)
@@ -634,8 +1133,17 @@ func reconstruct(env *reconEnv, centF [][][][]float64, h, workers int) ([][][]fl
 			sc.zi = make([]float64, env.dims)
 			sc.delta = make([]float64, env.dims)
 		}
+		if !env.aliveAt(i) {
+			nanRow(out, i, h, d)
+			return nil
+		}
 		for tr := 0; tr < env.nTracker; tr++ {
 			jStar := env.modeCluster(sc, tr, i)
+			if jStar < 0 {
+				// No presence in the window yet: NaN-masked warm-up.
+				nanRow(out, i, h, d)
+				return nil
+			}
 			offset := env.offset(sc, tr, i, jStar)
 			for d := 0; d < env.dims; d++ {
 				resIdx := tr
@@ -664,19 +1172,46 @@ func reconstruct(env *reconEnv, centF [][][][]float64, h, workers int) ([][][]fl
 	return out, nil
 }
 
+// nanRow fills node i's output rows at every horizon with NaN.
+func nanRow(out [][][]float64, i, h, d int) {
+	nan := math.NaN()
+	for hi := 0; hi < h; hi++ {
+		for r := 0; r < d; r++ {
+			out[hi][i][r] = nan
+		}
+	}
+}
+
 // modeCluster returns the cluster node i belonged to most often within the
-// look-back window [t−M′, t] for tracker tr (§V-C). Ties break toward the
-// current membership when it participates in the tie, and otherwise toward
-// the smaller cluster index, keeping the choice deterministic.
+// look-back window [t−M′, t] for tracker tr (§V-C), counting only the steps
+// the node was present at. Ties break toward the newest present membership
+// when it participates in the tie, and otherwise toward the smaller cluster
+// index, keeping the choice deterministic. It returns -1 when the node was
+// present at no step of the window.
 func (env *reconEnv) modeCluster(sc *fcScratch, tr, node int) int {
 	counts := sc.counts
 	for j := range counts {
 		counts[j] = 0
 	}
+	newest := -1
 	for ago := 0; ago < env.window; ago++ {
-		counts[env.slotAt(ago).assignments[tr][node]]++
+		slot := env.slotAt(ago)
+		if !slot.presentAt(node) {
+			continue
+		}
+		a := slot.assignments[tr][node]
+		if a < 0 {
+			continue
+		}
+		counts[a]++
+		if newest < 0 {
+			newest = a
+		}
 	}
-	best := env.slotAt(0).assignments[tr][node] // current membership
+	if newest < 0 {
+		return -1
+	}
+	best := newest // newest present membership
 	bestCount := counts[best]
 	for j, c := range counts {
 		if c > bestCount {
@@ -687,21 +1222,23 @@ func (env *reconEnv) modeCluster(sc *fcScratch, tr, node int) int {
 }
 
 // offset computes eq. (12): the averaged α-scaled deviation of node i from
-// the centroid of cluster jStar over the look-back window. α is 1 when the
-// node belonged to jStar at that step; otherwise it shrinks the deviation
-// just enough that centroid+α·deviation still falls in jStar's cell. The
-// returned slice is the scratch accumulator, valid until the next call with
-// the same scratch.
+// the centroid of cluster jStar over the look-back steps the node was
+// present at. α is 1 when the node belonged to jStar at that step;
+// otherwise it shrinks the deviation just enough that centroid+α·deviation
+// still falls in jStar's cell. The returned slice is the scratch
+// accumulator, valid until the next call with the same scratch.
 func (env *reconEnv) offset(sc *fcScratch, tr, node, jStar int) []float64 {
 	out := sc.offset[:env.dims]
 	for d := range out {
 		out[d] = 0
 	}
-	if env.window == 0 {
-		return out
-	}
+	seen := 0
 	for ago := 0; ago < env.window; ago++ {
 		slot := env.slotAt(ago)
+		if !slot.presentAt(node) {
+			continue
+		}
+		seen++
 		c := slot.centroids[tr][jStar]
 		var zi []float64
 		if env.joint {
@@ -718,7 +1255,10 @@ func (env *reconEnv) offset(sc *fcScratch, tr, node, jStar int) []float64 {
 			out[d] += alpha * (zi[d] - c[d])
 		}
 	}
-	inv := 1 / float64(env.window)
+	if seen == 0 {
+		return out
+	}
+	inv := 1 / float64(seen)
 	for d := range out {
 		out[d] *= inv
 	}

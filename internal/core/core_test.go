@@ -28,8 +28,15 @@ func alwaysPolicy(int) (transmit.Policy, error) { return transmit.Always{}, nil 
 
 func TestNewSystemValidation(t *testing.T) {
 	t.Parallel()
-	if _, err := NewSystem(Config{Nodes: 0}); !errors.Is(err, ErrBadConfig) {
-		t.Fatalf("0 nodes: want ErrBadConfig, got %v", err)
+	if _, err := NewSystem(Config{Nodes: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("-1 nodes: want ErrBadConfig, got %v", err)
+	}
+	// Nodes: 0 is a legal elastic start — the fleet grows through AddNodes.
+	if _, err := NewSystem(Config{Nodes: 0, K: 3}); err != nil {
+		t.Fatalf("0 nodes (elastic start): %v", err)
+	}
+	if _, err := NewSystem(Config{Nodes: 3, AbsenceTimeout: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative absence timeout: want ErrBadConfig, got %v", err)
 	}
 	if _, err := NewSystem(Config{Nodes: 2, K: 5}); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("K>N: want ErrBadConfig, got %v", err)

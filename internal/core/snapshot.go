@@ -42,6 +42,9 @@ type Snapshot struct {
 	trainTime time.Duration
 	trainRuns int
 
+	roster    *Roster
+	evictions uint64
+
 	nodes, resources  int
 	k, dims, nTracker int
 	joint             bool
@@ -66,7 +69,18 @@ func (s *System) buildSnapshot() (*Snapshot, error) {
 	window := min(s.ringLen+1, len(s.ring))
 	slots := make([]*ringSlot, 0, window)
 	slots = append(slots, &slot)
-	if prev := s.pubWin; len(prev) > 0 {
+	if s.pubWinStale {
+		// A tombstoned slot was recycled since the last publish: the shared
+		// tail still shows the previous occupant as present, so rebuild the
+		// window from immutable copies of the live ring (whose presence was
+		// masked at eviction). snapAt(k-1) is the state k steps before the
+		// staged one, because the ring has not committed this step yet.
+		for k := 1; k < window; k++ {
+			cp := s.newRingSlot()
+			cp.copyFrom(s.snapAt(k - 1))
+			slots = append(slots, &cp)
+		}
+	} else if prev := s.pubWin; len(prev) > 0 {
 		slots = append(slots, prev[:min(len(prev), window-1)]...)
 	}
 
@@ -76,8 +90,10 @@ func (s *System) buildSnapshot() (*Snapshot, error) {
 		ready:             s.Ready(),
 		maxHorizon:        s.cfg.SnapshotHorizon,
 		slots:             slots,
-		freq:              make([]float64, s.cfg.Nodes),
-		nodes:             s.cfg.Nodes,
+		freq:              make([]float64, len(s.ids)),
+		roster:            s.roster(),
+		evictions:         s.evictions,
+		nodes:             len(s.ids),
 		resources:         s.cfg.Resources,
 		k:                 s.cfg.K,
 		dims:              s.dims,
@@ -87,11 +103,18 @@ func (s *System) buildSnapshot() (*Snapshot, error) {
 		disableAlphaClamp: s.cfg.DisableAlphaClamp,
 	}
 	var sum float64
+	live := 0
 	for i := range snap.freq {
+		if !s.alive[i] {
+			continue
+		}
+		live++
 		snap.freq[i] = s.meters[i].Frequency()
 		sum += snap.freq[i]
 	}
-	snap.meanFreq = sum / float64(len(snap.freq))
+	if live > 0 {
+		snap.meanFreq = sum / float64(live)
+	}
 	snap.trainTime, snap.trainRuns = s.TrainingTime()
 
 	if snap.ready {
@@ -125,8 +148,43 @@ func (sn *Snapshot) Ready() bool { return sn.ready }
 // MaxHorizon is the largest horizon this snapshot can serve.
 func (sn *Snapshot) MaxHorizon() int { return sn.maxHorizon }
 
-// Nodes returns the node count N.
+// Nodes returns the dense slot count N at publication (live members plus
+// tombstones); see Roster for membership.
 func (sn *Snapshot) Nodes() int { return sn.nodes }
+
+// Roster returns the immutable fleet membership at publication.
+func (sn *Snapshot) Roster() *Roster { return sn.roster }
+
+// LiveNodes returns the number of live members at publication.
+func (sn *Snapshot) LiveNodes() int { return sn.roster.Live() }
+
+// Evictions returns the lifetime departure count at publication.
+func (sn *Snapshot) Evictions() uint64 { return sn.evictions }
+
+// SlotOf returns the slot a live member occupied at publication.
+func (sn *Snapshot) SlotOf(id int) (slot int, ok bool) { return sn.roster.SlotOf(id) }
+
+// Present reports whether the slot's member took part in clustering at the
+// snapshot's step (false for tombstones and joiners still warming up).
+func (sn *Snapshot) Present(slot int) bool {
+	if slot < 0 || slot >= sn.nodes {
+		return false
+	}
+	return sn.slots[0].presentAt(slot)
+}
+
+// WindowFill returns how many of the snapshot's look-back slots the member
+// was present at — eq. (12) forecasts become available at 1 and use the
+// full window once it reaches the window length (len of the look-back).
+func (sn *Snapshot) WindowFill(slot int) int {
+	n := 0
+	for _, s := range sn.slots {
+		if s.presentAt(slot) {
+			n++
+		}
+	}
+	return n
+}
 
 // Resources returns the measurement dimensionality d.
 func (sn *Snapshot) Resources() int { return sn.resources }
@@ -138,19 +196,21 @@ func (sn *Snapshot) Trackers() int { return sn.nTracker }
 // Clusters returns K.
 func (sn *Snapshot) Clusters() int { return sn.k }
 
-// Latest returns a copy of the central store's measurement for a node (z_t
-// row), or nil when the node is out of range.
+// Latest returns a copy of the central store's measurement for a slot (z_t
+// row), or nil when the slot is out of range or held no stored measurement
+// at the snapshot's step.
 func (sn *Snapshot) Latest(node int) []float64 {
-	if node < 0 || node >= sn.nodes {
+	if node < 0 || node >= sn.nodes || !sn.slots[0].presentAt(node) {
 		return nil
 	}
 	return append([]float64(nil), sn.slots[0].z[node]...)
 }
 
-// Assignment returns the node's cluster index under a tracker at the
-// snapshot's step, or -1 when out of range.
+// Assignment returns the slot's cluster index under a tracker at the
+// snapshot's step, or -1 when out of range or absent from clustering.
 func (sn *Snapshot) Assignment(tracker, node int) int {
-	if tracker < 0 || tracker >= sn.nTracker || node < 0 || node >= sn.nodes {
+	if tracker < 0 || tracker >= sn.nTracker || node < 0 || node >= sn.nodes ||
+		!sn.slots[0].presentAt(node) {
 		return -1
 	}
 	return sn.slots[0].assignments[tracker][node]
@@ -188,8 +248,10 @@ func (sn *Snapshot) TrainingTime() (time.Duration, int) {
 }
 
 // Forecast produces per-node forecasts for horizons 1..h from the snapshot
-// alone: result[hIdx][node][resource]. It reads only immutable data, so any
-// number of calls may run concurrently with each other and with the System's
+// alone: result[hIdx][node][resource]. Rows of tombstoned slots and of
+// joiners with no presence in the look-back window yet are NaN (use Present
+// / WindowFill to distinguish). It reads only immutable data, so any number
+// of calls may run concurrently with each other and with the System's
 // ingest loop. workers bounds the per-node fan-out (0 = GOMAXPROCS, 1 =
 // serial); the result is identical for any value. It fails with ErrNotReady
 // before initial training and ErrBadInput when h exceeds MaxHorizon.
@@ -209,7 +271,10 @@ func (sn *Snapshot) Forecast(h, workers int) ([][][]float64, error) {
 
 func (sn *Snapshot) reconEnv() *reconEnv {
 	return &reconEnv{
-		slotAt:            func(ago int) *ringSlot { return sn.slots[ago] },
+		slotAt: func(ago int) *ringSlot { return sn.slots[ago] },
+		aliveAt: func(i int) bool {
+			return i < len(sn.roster.alive) && sn.roster.alive[i]
+		},
 		window:            len(sn.slots),
 		nodes:             sn.nodes,
 		resources:         sn.resources,

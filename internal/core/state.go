@@ -12,8 +12,11 @@ import (
 )
 
 // StateVersion identifies the State layout; persisted states with a
-// different version are rejected on restore.
-const StateVersion = 1
+// different version are rejected on restore. Version 2 added the fleet
+// membership roster (stable IDs, liveness, absence counters) and the
+// per-slot presence masks of the look-back window, so restore reconciles
+// the recorded roster instead of requiring an exactly-matching fleet size.
+const StateVersion = 2
 
 // ErrNotPersistent reports a transmission policy that does not implement
 // transmit.Persistent, so the system's state cannot be exported.
@@ -44,15 +47,26 @@ type State struct {
 	// Gen is the published snapshot generation (0 when publishing was
 	// disabled or no step had completed).
 	Gen uint64
-	// ZSet flags the nodes whose measurement is held in the central store.
+	// IDs is the membership roster: the stable node ID bound to each dense
+	// slot (tombstoned slots record their last occupant).
+	IDs []int
+	// Alive flags the slots holding live members.
+	Alive []bool
+	// AbsentFor carries each live member's consecutive report-less steps
+	// (toward the absence timeout); zero for tombstones.
+	AbsentFor []int
+	// Evictions is the lifetime departure count.
+	Evictions uint64
+	// ZSet flags the slots whose measurement is held in the central store.
 	ZSet []bool
-	// Z holds the central store z_t, one row per node (nil when unset).
+	// Z holds the central store z_t, one row per slot (nil when unset).
 	Z [][]float64
 	// Window is the eq. (12) look-back, newest first (at most M'+1 slots).
 	Window []SlotState
-	// Meters carries the per-node eq. (5) frequency counters.
+	// Meters carries the per-slot eq. (5) frequency counters.
 	Meters []MeterState
-	// Policies holds each node policy's opaque mutable state.
+	// Policies holds each live member policy's opaque mutable state (nil
+	// for tombstoned slots).
 	Policies [][]byte
 	// TrackerRNGs holds each tracker's marshaled K-means PCG source.
 	TrackerRNGs [][]byte
@@ -65,12 +79,15 @@ type State struct {
 // SlotState is one serialized look-back slot: the stored measurements plus
 // the per-tracker assignments and centroids of that step.
 type SlotState struct {
-	// Z is the stored measurement matrix (Nodes × Resources).
+	// Z is the stored measurement matrix (Slots × Resources).
 	Z [][]float64
-	// Assignments maps [tracker][node] to a stable cluster index.
+	// Assignments maps [tracker][slot] to a stable cluster index (-1 =
+	// absent from clustering at that step).
 	Assignments [][]int
 	// Centroids holds [tracker][cluster][dim] centroid coordinates.
 	Centroids [][][]float64
+	// Present flags the slots clustered at that step.
+	Present []bool
 }
 
 // MeterState is a serialized transmit.Meter.
@@ -82,21 +99,24 @@ type MeterState struct {
 }
 
 // Fingerprint returns a stable hash of every configuration field that shapes
-// persisted state: topology (Nodes, Resources, K, M, M'), schedules, the
-// similarity measure, the clustering seed, and the ablation switches.
-// Runtime-only knobs (Workers, SnapshotHorizon) and the Policy/Model
-// factories are excluded — the factories cannot be hashed, so restoring
-// under a different policy or model family is the caller's responsibility
-// to avoid (the policy state bytes and the refit-from-series reconstruction
-// will generally fail loudly, but not provably always).
+// persisted state: topology (Resources, K, M, M'), schedules, the
+// similarity measure, the clustering seed, and the ablation switches. The
+// fleet size is deliberately absent — the State records the membership
+// roster itself, so a restore reconciles membership instead of demanding an
+// exactly-matching Nodes value. Runtime-only knobs (Workers,
+// SnapshotHorizon, AbsenceTimeout) and the Policy/Model factories are also
+// excluded — the factories cannot be hashed, so restoring under a different
+// policy or model family is the caller's responsibility to avoid (the
+// policy state bytes and the refit-from-series reconstruction will
+// generally fail loudly, but not provably always).
 func (c Config) Fingerprint() uint64 {
 	c = c.withDefaults()
 	if c.Similarity == 0 {
 		c.Similarity = cluster.SimilarityProposed
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "orcf-state-v%d|N=%d|d=%d|K=%d|M=%d|Mp=%d|sim=%d|init=%d|retrain=%d|fitw=%d|joint=%t|seed=%d|noclamp=%t|noalpha=%t|nomatch=%t",
-		StateVersion, c.Nodes, c.Resources, c.K, c.M, c.MPrime, int(c.Similarity),
+	fmt.Fprintf(h, "orcf-state-v%d|d=%d|K=%d|M=%d|Mp=%d|sim=%d|init=%d|retrain=%d|fitw=%d|joint=%t|seed=%d|noclamp=%t|noalpha=%t|nomatch=%t",
+		StateVersion, c.Resources, c.K, c.M, c.MPrime, int(c.Similarity),
 		c.InitialCollection, c.RetrainEvery, c.FitWindow, c.JointClustering,
 		c.Seed, c.DisableClamp, c.DisableAlphaClamp, c.DisableMatching)
 	return h.Sum64()
@@ -116,10 +136,17 @@ func (s *System) ExportState() (*State, error) {
 		Fingerprint: s.cfg.Fingerprint(),
 		T:           s.t,
 		Gen:         s.gen,
+		IDs:         append([]int(nil), s.ids...),
+		Alive:       append([]bool(nil), s.alive...),
+		AbsentFor:   append([]int(nil), s.absentFor...),
+		Evictions:   s.evictions,
 	}
 
 	st.Policies = make([][]byte, len(s.policies))
 	for i, p := range s.policies {
+		if p == nil {
+			continue // tombstoned slot
+		}
 		pp, ok := p.(transmit.Persistent)
 		if !ok {
 			return nil, fmt.Errorf("core: node %d policy %T: %w", i, p, ErrNotPersistent)
@@ -175,6 +202,7 @@ func exportSlot(slot *ringSlot) SlotState {
 		Z:           make([][]float64, len(slot.z)),
 		Assignments: make([][]int, len(slot.assignments)),
 		Centroids:   make([][][]float64, len(slot.centroids)),
+		Present:     append([]bool(nil), slot.present...),
 	}
 	for i, zi := range slot.z {
 		out.Z[i] = append([]float64(nil), zi...)
@@ -191,11 +219,13 @@ func exportSlot(slot *ringSlot) SlotState {
 
 // RestoreState loads an exported State into a freshly constructed System
 // (no steps processed). The system must have been built from the same
-// Config that produced the State (checked via Fingerprint; Workers and
-// SnapshotHorizon may differ). After a successful restore the system
-// continues bit-identically to the exporting run; on error the system is
-// unchanged only for validation failures — a mid-restore failure (e.g. a
-// policy rejecting its state bytes) leaves it unusable.
+// Config that produced the State (checked via Fingerprint; Nodes, Workers,
+// SnapshotHorizon, and AbsenceTimeout may differ) — the recorded membership
+// roster replaces the construction-time fleet wholesale, so a restore never
+// requires knowing the fleet size in advance. After a successful restore
+// the system continues bit-identically to the exporting run; on error the
+// system is unchanged only for validation failures — a mid-restore failure
+// (e.g. a policy rejecting its state bytes) leaves it unusable.
 //
 // When snapshot publishing is enabled, restore also republishes the
 // snapshot for generation State.Gen, so the serving plane is warm
@@ -205,19 +235,49 @@ func (s *System) RestoreState(st *State) error {
 		return err
 	}
 
-	for i, b := range st.Policies {
-		pp := s.policies[i].(transmit.Persistent) // checked in validateState
-		if err := pp.UnmarshalState(b); err != nil {
+	// Adopt the recorded roster: rebuild every per-slot structure at the
+	// recorded fleet size, constructing fresh policies for the live slots.
+	n := len(st.IDs)
+	d := s.cfg.Resources
+	s.ids = append([]int(nil), st.IDs...)
+	s.alive = append([]bool(nil), st.Alive...)
+	s.absentFor = append([]int(nil), st.AbsentFor...)
+	s.evictions = st.Evictions
+	s.byID = make(map[int]int, n)
+	s.free = nil
+	s.presentBuf = make([]bool, n)
+	s.policies = make([]transmit.Policy, n)
+	s.meters = make([]transmit.Meter, n)
+	s.pubRoster = nil
+	s.rosterGen++
+	for i := 0; i < n; i++ {
+		if !st.Alive[i] {
+			s.free = append(s.free, i) // ascending by construction
+			continue
+		}
+		s.byID[st.IDs[i]] = i
+		p, err := s.cfg.Policy(i)
+		if err != nil {
+			return fmt.Errorf("core: policy for slot %d: %w", i, err)
+		}
+		if p == nil {
+			return fmt.Errorf("core: nil policy for slot %d: %w", i, ErrBadConfig)
+		}
+		pp, ok := p.(transmit.Persistent)
+		if !ok {
+			return fmt.Errorf("core: slot %d policy %T: %w", i, p, ErrNotPersistent)
+		}
+		if err := pp.UnmarshalState(st.Policies[i]); err != nil {
 			return fmt.Errorf("core: node %d policy state: %w", i, err)
 		}
-	}
-	for i, m := range st.Meters {
-		if err := s.meters[i].Restore(m.Steps, m.Transmits); err != nil {
+		s.policies[i] = p
+		if err := s.meters[i].Restore(st.Meters[i].Steps, st.Meters[i].Transmits); err != nil {
 			return fmt.Errorf("core: node %d meter: %w", i, err)
 		}
 	}
 
-	d := s.cfg.Resources
+	s.z = make([][]float64, n)
+	s.zback = make([]float64, n*d)
 	for i := range st.ZSet {
 		if !st.ZSet[i] {
 			continue
@@ -225,7 +285,20 @@ func (s *System) RestoreState(st *State) error {
 		s.z[i] = s.zback[i*d : (i+1)*d : (i+1)*d]
 		copy(s.z[i], st.Z[i])
 	}
+	if !s.cfg.JointClustering {
+		for tr := range s.pts {
+			s.ptsFlat[tr] = make([]float64, n)
+			s.pts[tr] = make([][]float64, n)
+			for i := range s.pts[tr] {
+				s.pts[tr][i] = s.ptsFlat[tr][i : i+1 : i+1]
+			}
+		}
+	}
 
+	for si := range s.ring {
+		s.ring[si] = s.newRingSlot()
+	}
+	s.stage = s.newRingSlot()
 	s.ringLen = len(st.Window)
 	if s.ringLen > 0 {
 		s.head = s.ringLen - 1
@@ -279,17 +352,29 @@ func (s *System) validateState(st *State) error {
 	if st.T < 0 {
 		return fmt.Errorf("core: state step count %d: %w", st.T, ErrBadState)
 	}
-	n, d := s.cfg.Nodes, s.cfg.Resources
+	n, d := len(st.IDs), s.cfg.Resources
+	if len(st.Alive) != n || len(st.AbsentFor) != n {
+		return fmt.Errorf("core: roster sized %d/%d for %d slots: %w",
+			len(st.Alive), len(st.AbsentFor), n, ErrBadState)
+	}
 	if len(st.ZSet) != n || len(st.Z) != n || len(st.Meters) != n || len(st.Policies) != n {
-		return fmt.Errorf("core: state sized for %d/%d/%d/%d nodes, want %d: %w",
+		return fmt.Errorf("core: state sized for %d/%d/%d/%d slots, want %d: %w",
 			len(st.ZSet), len(st.Z), len(st.Meters), len(st.Policies), n, ErrBadState)
 	}
-	for i, p := range s.policies {
-		if _, ok := p.(transmit.Persistent); !ok {
-			return fmt.Errorf("core: node %d policy %T: %w", i, p, ErrNotPersistent)
+	seen := make(map[int]bool, n)
+	for i, id := range st.IDs {
+		if !st.Alive[i] {
+			continue
 		}
+		if id < 0 || seen[id] {
+			return fmt.Errorf("core: roster slot %d: bad or duplicate live ID %d: %w", i, id, ErrBadState)
+		}
+		seen[id] = true
 	}
 	for i, set := range st.ZSet {
+		if set && !st.Alive[i] {
+			return fmt.Errorf("core: tombstoned slot %d holds a store row: %w", i, ErrBadState)
+		}
 		if set != (st.Z[i] != nil) || (set && len(st.Z[i]) != d) {
 			return fmt.Errorf("core: node %d store row inconsistent: %w", i, ErrBadState)
 		}
@@ -299,7 +384,7 @@ func (s *System) validateState(st *State) error {
 			len(st.Window), st.T, len(s.ring), ErrBadState)
 	}
 	for w := range st.Window {
-		if err := s.validateSlot(&st.Window[w]); err != nil {
+		if err := s.validateSlot(&st.Window[w], n); err != nil {
 			return fmt.Errorf("core: window slot %d: %w", w, err)
 		}
 	}
@@ -311,10 +396,11 @@ func (s *System) validateState(st *State) error {
 	return nil
 }
 
-func (s *System) validateSlot(slot *SlotState) error {
-	n, d := s.cfg.Nodes, s.cfg.Resources
-	if len(slot.Z) != n {
-		return fmt.Errorf("core: %d store rows, want %d: %w", len(slot.Z), n, ErrBadState)
+func (s *System) validateSlot(slot *SlotState, n int) error {
+	d := s.cfg.Resources
+	if len(slot.Z) != n || len(slot.Present) != n {
+		return fmt.Errorf("core: %d store rows / %d presence flags, want %d: %w",
+			len(slot.Z), len(slot.Present), n, ErrBadState)
 	}
 	for _, zi := range slot.Z {
 		if len(zi) != d {
@@ -330,9 +416,10 @@ func (s *System) validateSlot(slot *SlotState) error {
 			return fmt.Errorf("core: tracker %d assignments %d, want %d: %w",
 				tr, len(slot.Assignments[tr]), n, ErrBadState)
 		}
-		for _, j := range slot.Assignments[tr] {
-			if j < 0 || j >= s.cfg.K {
-				return fmt.Errorf("core: assignment %d outside [0,%d): %w", j, s.cfg.K, ErrBadState)
+		for i, j := range slot.Assignments[tr] {
+			if j < -1 || j >= s.cfg.K || (j < 0) == slot.Present[i] {
+				return fmt.Errorf("core: slot %d assignment %d inconsistent with presence: %w",
+					i, j, ErrBadState)
 			}
 		}
 		if len(slot.Centroids[tr]) != s.cfg.K {
@@ -353,6 +440,7 @@ func restoreSlot(dst *ringSlot, src *SlotState) {
 	for i := range src.Z {
 		copy(dst.z[i], src.Z[i])
 	}
+	copy(dst.present, src.Present)
 	for tr := range src.Assignments {
 		copy(dst.assignments[tr], src.Assignments[tr])
 		for j, c := range src.Centroids[tr] {
@@ -385,8 +473,10 @@ func (s *System) republish() error {
 		ready:             s.Ready(),
 		maxHorizon:        s.cfg.SnapshotHorizon,
 		slots:             win,
-		freq:              make([]float64, s.cfg.Nodes),
-		nodes:             s.cfg.Nodes,
+		freq:              make([]float64, len(s.ids)),
+		roster:            s.roster(),
+		evictions:         s.evictions,
+		nodes:             len(s.ids),
 		resources:         s.cfg.Resources,
 		k:                 s.cfg.K,
 		dims:              s.dims,
@@ -396,11 +486,18 @@ func (s *System) republish() error {
 		disableAlphaClamp: s.cfg.DisableAlphaClamp,
 	}
 	var sum float64
+	live := 0
 	for i := range snap.freq {
+		if !s.alive[i] {
+			continue
+		}
+		live++
 		snap.freq[i] = s.meters[i].Frequency()
 		sum += snap.freq[i]
 	}
-	snap.meanFreq = sum / float64(len(snap.freq))
+	if live > 0 {
+		snap.meanFreq = sum / float64(live)
+	}
 	snap.trainTime, snap.trainRuns = s.TrainingTime()
 	if snap.ready {
 		snap.centF = make([][][][]float64, s.nTrackers)

@@ -251,15 +251,32 @@ func TestRestoreStateValidation(t *testing.T) {
 		t.Fatalf("restore into stepped system: %v, want ErrBadState", err)
 	}
 
-	// A different topology must be rejected by the fingerprint.
+	// A different topology must be rejected by the fingerprint. (A different
+	// Nodes value is NOT a different topology anymore: the state carries the
+	// membership roster, so fleet size reconciles on restore.)
 	other := cfg
-	other.Nodes = 11
+	other.K = cfg.K + 1
 	o, err := NewSystem(other)
 	if err != nil {
 		t.Fatalf("other system: %v", err)
 	}
 	if err := o.RestoreState(st); !errors.Is(err, ErrBadState) {
 		t.Fatalf("fingerprint mismatch: %v, want ErrBadState", err)
+	}
+
+	// A mismatched construction-time fleet size restores fine: the roster
+	// replaces it.
+	sized := cfg
+	sized.Nodes = cfg.Nodes + 5
+	o2, err := NewSystem(sized)
+	if err != nil {
+		t.Fatalf("resized system: %v", err)
+	}
+	if err := o2.RestoreState(st); err != nil {
+		t.Fatalf("restore across fleet sizes: %v", err)
+	}
+	if o2.Slots() != cfg.Nodes || o2.LiveNodes() != cfg.Nodes {
+		t.Fatalf("restored fleet %d slots / %d live, want %d", o2.Slots(), o2.LiveNodes(), cfg.Nodes)
 	}
 
 	// A wrong version must be rejected.

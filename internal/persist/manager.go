@@ -67,12 +67,16 @@ type RecoveryInfo struct {
 }
 
 // ReplayFunc applies one recovered WAL record to the system during Recover.
-// step is the 1-based step index; x the measurement tensor fed to the
-// original Step; arrived the per-node fresh-arrival flags recorded with it
-// (serve.StoreStepper needs them to mirror the original transmission
-// decisions — plain systems can ignore them and let their restored policies
-// re-decide, which reproduces the original decisions exactly).
-type ReplayFunc func(step int, x [][]float64, arrived []bool) error
+// step is the 1-based step index; ids and alive the fleet roster recorded
+// at Step entry (reconcile it into the system with
+// core.System.ReconcileRoster before stepping, so membership changes replay
+// at the exact steps they originally happened); x the measurement tensor
+// fed to the original Step; arrived the per-slot fresh-arrival flags
+// recorded with it (serve.StoreStepper needs them to mirror the original
+// transmission decisions — plain systems can ignore them and let their
+// restored policies re-decide, which reproduces the original decisions
+// exactly).
+type ReplayFunc func(step int, ids []int, alive []bool, x [][]float64, arrived []bool) error
 
 // Manager gives one core.System durable state: it logs every step's
 // measurements to the WAL, periodically checkpoints the full system state in
@@ -85,11 +89,10 @@ type ReplayFunc func(step int, x [][]float64, arrived []bool) error
 // goroutine over a deep copy, so the ingest loop only ever pays for the
 // in-memory state copy. Stats is safe from any goroutine.
 type Manager struct {
-	sys   *core.System
-	opts  Options
-	fp    uint64
-	nodes int
-	dims  int
+	sys  *core.System
+	opts Options
+	fp   uint64
+	dims int
 
 	wal       *walWriter
 	recovered bool
@@ -153,11 +156,10 @@ func New(sys *core.System, cfg core.Config, opts Options) (*Manager, error) {
 		dims = 1
 	}
 	return &Manager{
-		sys:   sys,
-		opts:  opts.withDefaults(),
-		fp:    cfg.Fingerprint(),
-		nodes: cfg.Nodes,
-		dims:  dims,
+		sys:  sys,
+		opts: opts.withDefaults(),
+		fp:   cfg.Fingerprint(),
+		dims: dims,
 	}, nil
 }
 
@@ -176,7 +178,10 @@ func (m *Manager) Recover(replay ReplayFunc) (*RecoveryInfo, error) {
 	}
 	m.recovered = true
 	if replay == nil {
-		replay = func(_ int, x [][]float64, _ []bool) error {
+		replay = func(_ int, ids []int, alive []bool, x [][]float64, _ []bool) error {
+			if err := m.sys.ReconcileRoster(ids, alive); err != nil {
+				return err
+			}
 			_, err := m.sys.Step(x)
 			return err
 		}
@@ -218,7 +223,7 @@ func (m *Manager) Recover(replay ReplayFunc) (*RecoveryInfo, error) {
 		if epoch > m.sys.Steps() {
 			break // unreachable beyond a gap; removed below
 		}
-		recs, torn, err := readWAL(filepath.Join(m.opts.Dir, walName(epoch)), m.fp, m.nodes, m.dims)
+		recs, torn, err := readWAL(filepath.Join(m.opts.Dir, walName(epoch)), m.fp, m.dims)
 		if err != nil {
 			if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrMismatch) {
 				info.TornTail = info.TornTail || errors.Is(err, ErrCorrupt)
@@ -235,7 +240,7 @@ func (m *Manager) Recover(replay ReplayFunc) (*RecoveryInfo, error) {
 				stop = true // gap: later records belong to a lost lineage
 				break
 			}
-			if err := replay(rec.step, rec.x, rec.arrived); err != nil {
+			if err := replay(rec.step, rec.ids, rec.alive, rec.x, rec.arrived); err != nil {
 				return nil, fmt.Errorf("persist: replaying step %d: %w", rec.step, err)
 			}
 			info.ReplayedSteps++
@@ -259,7 +264,7 @@ func (m *Manager) Recover(replay ReplayFunc) (*RecoveryInfo, error) {
 		}
 	}
 	m.wal, err = createWAL(filepath.Join(m.opts.Dir, walName(m.sys.Steps())),
-		m.fp, m.nodes, m.dims, m.opts.Fsync)
+		m.fp, m.dims, m.opts.Fsync)
 	if err != nil {
 		return nil, err
 	}
@@ -285,19 +290,20 @@ func (m *Manager) readCheckpoint(step int) (*core.State, error) {
 
 // LogStep appends one completed step to the WAL and, when the step count
 // hits the checkpoint interval, kicks off a background checkpoint. Call it
-// after a successful System.Step with the measurements that step consumed
-// (the Manager's Step method does this for plain systems). Logging after
-// the step means a crash between the two loses at most that single step —
-// recovery resumes from the previous one.
-func (m *Manager) LogStep(step int, x [][]float64, arrived []bool) error {
+// after a successful System.Step with the fleet roster at Step entry and
+// the measurements that step consumed (the Manager's Step method does this
+// for plain systems). Logging after the step means a crash between the two
+// loses at most that single step — recovery resumes from the previous one.
+func (m *Manager) LogStep(step int, roster *core.Roster, x [][]float64, arrived []bool) error {
 	if !m.recovered || m.closed {
 		return fmt.Errorf("persist: LogStep before Recover or after Close: %w", ErrBadConfig)
 	}
-	if err := m.wal.append(step, x, arrived); err != nil {
+	n, err := m.wal.append(step, roster, x, arrived)
+	if err != nil {
 		return err
 	}
 	m.walRecords.Add(1)
-	m.walBytes.Add(int64(walRecordSize(m.nodes, m.dims)))
+	m.walBytes.Add(int64(n))
 	if m.opts.CheckpointEvery > 0 && step%m.opts.CheckpointEvery == 0 {
 		m.maybeCheckpoint()
 	}
@@ -309,11 +315,12 @@ func (m *Manager) LogStep(step int, x [][]float64, arrived []bool) error {
 // serve.StoreStepper path logs explicitly instead, to record network
 // arrivals).
 func (m *Manager) Step(x [][]float64) (*core.StepResult, error) {
+	roster := m.sys.Roster() // before stepping: the layout x is shaped by
 	res, err := m.sys.Step(x)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.LogStep(res.T, x, res.Transmitted); err != nil {
+	if err := m.LogStep(res.T, roster, x, res.Transmitted); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -388,7 +395,7 @@ func (m *Manager) prepareCheckpoint() (func() error, error) {
 	// failed rotation leaves the old writer intact and appends simply keep
 	// extending the old epoch — recovery chains through it either way.
 	next, err := createWAL(filepath.Join(m.opts.Dir, walName(st.T)),
-		m.fp, m.nodes, m.dims, m.opts.Fsync)
+		m.fp, m.dims, m.opts.Fsync)
 	if err != nil {
 		return nil, err
 	}

@@ -38,8 +38,11 @@ import (
 
 // Format constants: every file starts with magic, a format version, and a
 // kind byte so checkpoint and WAL files are never confused for one another.
+// Format version 2 made WAL records variable-size roster carriers (fleet
+// membership changes online); version-1 files are rejected as ErrMismatch
+// and recovery starts fresh.
 const (
-	formatVersion = 1
+	formatVersion = 2
 
 	// KindCheckpoint marks a checkpoint blob file.
 	KindCheckpoint uint8 = 1

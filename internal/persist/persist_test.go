@@ -391,7 +391,7 @@ func TestLogStepBeforeRecover(t *testing.T) {
 	t.Parallel()
 	m := newManager(t, t.TempDir(), Options{})
 	cfg := testConfig()
-	if err := m.LogStep(1, testInput(cfg.Nodes, cfg.Resources, 1), make([]bool, cfg.Nodes)); !errors.Is(err, ErrBadConfig) {
+	if err := m.LogStep(1, m.System().Roster(), testInput(cfg.Nodes, cfg.Resources, 1), make([]bool, cfg.Nodes)); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("LogStep before Recover: %v, want ErrBadConfig", err)
 	}
 }

@@ -8,30 +8,44 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"orcf/internal/core"
 )
 
-// walHeaderSize is the file header plus fingerprint + nodes + resources.
-const walHeaderSize = headerSize + 8 + 4 + 4
+// walHeaderSize is the file header plus fingerprint + resources.
+const walHeaderSize = headerSize + 8 + 4
 
-// walRecordSize returns the fixed on-disk size of one record for an N×d
-// system: step, N·d float64 values, an N-bit arrival bitset, and a CRC.
-func walRecordSize(nodes, dims int) int {
-	return 8 + nodes*dims*8 + (nodes+7)/8 + 4
+// walPreludeSize is the fixed per-record prefix: step (u64) + slot count
+// (u32). The rest of the record is sized by the slot count.
+const walPreludeSize = 8 + 4
+
+// maxWALSlots bounds the slot count a record may claim, so a corrupt length
+// field cannot drive a huge allocation during recovery.
+const maxWALSlots = 1 << 24
+
+// walRecordSize returns the on-disk size of one record for a fleet of n
+// slots (r of which carry a measurement row) at dimensionality d: the
+// prelude, n stable IDs, three n-bit bitsets (alive, row-present, arrived),
+// r·d float64 values, and a CRC.
+func walRecordSize(n, rows, dims int) int {
+	return walPreludeSize + n*8 + 3*((n+7)/8) + rows*dims*8 + 4
 }
 
-// walWriter appends fixed-size measurement records to one WAL epoch file.
+// walWriter appends roster-carrying measurement records to one WAL epoch
+// file. Records are variable-size: each carries the fleet's slot → ID
+// binding and liveness at that step, so recovery can reconcile membership
+// before replaying the step (see core.System.ReconcileRoster).
 type walWriter struct {
 	f     *os.File
 	w     *bufio.Writer
-	buf   []byte // one-record scratch
-	nodes int
+	buf   []byte // one-record scratch, regrown as the fleet grows
 	dims  int
 	fsync bool
 }
 
 // createWAL creates (truncating any previous file of the same name) the WAL
 // epoch file for records after the given step and writes its header.
-func createWAL(path string, fingerprint uint64, nodes, dims int, fsync bool) (*walWriter, error) {
+func createWAL(path string, fingerprint uint64, dims int, fsync bool) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
@@ -39,16 +53,13 @@ func createWAL(path string, fingerprint uint64, nodes, dims int, fsync bool) (*w
 	w := &walWriter{
 		f:     f,
 		w:     bufio.NewWriter(f),
-		buf:   make([]byte, walRecordSize(nodes, dims)),
-		nodes: nodes,
 		dims:  dims,
 		fsync: fsync,
 	}
 	hdr := make([]byte, walHeaderSize)
 	putHeader(hdr, KindWAL)
 	binary.LittleEndian.PutUint64(hdr[headerSize:], fingerprint)
-	binary.LittleEndian.PutUint32(hdr[headerSize+8:], uint32(nodes))
-	binary.LittleEndian.PutUint32(hdr[headerSize+12:], uint32(dims))
+	binary.LittleEndian.PutUint32(hdr[headerSize+8:], uint32(dims))
 	if _, err := w.w.Write(hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("persist: %w", err)
@@ -60,42 +71,67 @@ func createWAL(path string, fingerprint uint64, nodes, dims int, fsync bool) (*w
 	return w, nil
 }
 
-// append writes one record. x must be nodes×dims; arrived (length nodes)
-// flags which nodes delivered a fresh measurement this step. The record is
-// flushed to the OS before append returns (and fsynced when the writer was
-// opened with fsync), so after a crash at any point the file ends in whole
-// records plus at most one torn one.
-func (w *walWriter) append(step int, x [][]float64, arrived []bool) error {
-	if len(x) != w.nodes || len(arrived) != w.nodes {
-		return fmt.Errorf("persist: record for %d/%d nodes, want %d: %w",
-			len(x), len(arrived), w.nodes, ErrMismatch)
+// append writes one record. roster is the fleet layout at Step entry; x is
+// positional over its slots (nil rows for tombstones and silent members);
+// arrived flags which slots delivered a fresh measurement this step. The
+// record is flushed to the OS before append returns (and fsynced when the
+// writer was opened with fsync), so after a crash at any point the file
+// ends in whole records plus at most one torn one.
+func (w *walWriter) append(step int, roster *core.Roster, x [][]float64, arrived []bool) (int, error) {
+	n := roster.Slots()
+	if len(x) != n || len(arrived) != n {
+		return 0, fmt.Errorf("persist: record for %d/%d slots, want %d: %w",
+			len(x), len(arrived), n, ErrMismatch)
 	}
-	buf := w.buf
-	binary.LittleEndian.PutUint64(buf, uint64(step))
-	off := 8
-	for i, xi := range x {
+	rows := 0
+	for _, xi := range x {
+		if xi == nil {
+			continue
+		}
 		if len(xi) != w.dims {
-			return fmt.Errorf("persist: node %d has dim %d, want %d: %w",
-				i, len(xi), w.dims, ErrMismatch)
+			return 0, fmt.Errorf("persist: row has dim %d, want %d: %w", len(xi), w.dims, ErrMismatch)
 		}
-		for _, v := range xi {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-			off += 8
+		rows++
+	}
+	size := walRecordSize(n, rows, w.dims)
+	if cap(w.buf) < size {
+		w.buf = make([]byte, size)
+	}
+	buf := w.buf[:size]
+	binary.LittleEndian.PutUint64(buf, uint64(step))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	off := walPreludeSize
+	for i := 0; i < n; i++ {
+		id, _ := roster.IDAt(i)
+		binary.LittleEndian.PutUint64(buf[off:], uint64(int64(id)))
+		off += 8
+	}
+	bits := (n + 7) / 8
+	aliveSet := buf[off : off+bits]
+	rowSet := buf[off+bits : off+2*bits]
+	arrivedSet := buf[off+2*bits : off+3*bits]
+	clear(buf[off : off+3*bits])
+	off += 3 * bits
+	for i := 0; i < n; i++ {
+		if _, ok := roster.IDAt(i); ok {
+			aliveSet[i/8] |= 1 << (i % 8)
+		}
+		if x[i] != nil {
+			rowSet[i/8] |= 1 << (i % 8)
+			for _, v := range x[i] {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+				off += 8
+			}
+		}
+		if arrived[i] {
+			arrivedSet[i/8] |= 1 << (i % 8)
 		}
 	}
-	bitset := buf[off : off+(w.nodes+7)/8]
-	clear(bitset)
-	for i, a := range arrived {
-		if a {
-			bitset[i/8] |= 1 << (i % 8)
-		}
-	}
-	off += len(bitset)
 	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], crcTable))
 	if _, err := w.w.Write(buf); err != nil {
-		return fmt.Errorf("persist: %w", err)
+		return 0, fmt.Errorf("persist: %w", err)
 	}
-	return w.flush()
+	return size, w.flush()
 }
 
 func (w *walWriter) flush() error {
@@ -124,6 +160,8 @@ func (w *walWriter) close() error {
 // walRecord is one decoded WAL entry.
 type walRecord struct {
 	step    int
+	ids     []int
+	alive   []bool
 	x       [][]float64
 	arrived []bool
 }
@@ -131,8 +169,8 @@ type walRecord struct {
 // readWAL decodes one WAL file, stopping cleanly at the first torn or
 // corrupt record: it returns the intact prefix and torn=true when a partial
 // or checksum-failing suffix was discarded. Header-level corruption returns
-// ErrCorrupt; a fingerprint or shape mismatch returns ErrMismatch.
-func readWAL(path string, fingerprint uint64, nodes, dims int) (recs []walRecord, torn bool, err error) {
+// ErrCorrupt; a fingerprint or dimensionality mismatch returns ErrMismatch.
+func readWAL(path string, fingerprint uint64, dims int) (recs []walRecord, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, false, fmt.Errorf("persist: %w", err)
@@ -151,39 +189,77 @@ func readWAL(path string, fingerprint uint64, nodes, dims int) (recs []walRecord
 		return nil, false, fmt.Errorf("persist: %s: fingerprint %#x, want %#x: %w",
 			path, fp, fingerprint, ErrMismatch)
 	}
-	if n, d := binary.LittleEndian.Uint32(hdr[headerSize+8:]), binary.LittleEndian.Uint32(hdr[headerSize+12:]); int(n) != nodes || int(d) != dims {
-		return nil, false, fmt.Errorf("persist: %s: shaped %d×%d, want %d×%d: %w",
-			path, n, d, nodes, dims, ErrMismatch)
+	if d := binary.LittleEndian.Uint32(hdr[headerSize+8:]); int(d) != dims {
+		return nil, false, fmt.Errorf("persist: %s: dimensionality %d, want %d: %w",
+			path, d, dims, ErrMismatch)
 	}
 
-	buf := make([]byte, walRecordSize(nodes, dims))
+	var buf []byte
 	for {
-		if _, err := io.ReadFull(r, buf); err != nil {
+		prelude := make([]byte, walPreludeSize)
+		if _, err := io.ReadFull(r, prelude); err != nil {
 			// io.EOF means the file ends exactly on a record boundary;
 			// anything else is a record cut mid-write.
 			return recs, err != io.EOF, nil
 		}
-		crcOff := len(buf) - 4
-		if crc32.Checksum(buf[:crcOff], crcTable) != binary.LittleEndian.Uint32(buf[crcOff:]) {
+		n := int(binary.LittleEndian.Uint32(prelude[8:]))
+		if n <= 0 || n > maxWALSlots {
+			return recs, true, nil // implausible slot count: corrupt record
+		}
+		// Read the roster + bitsets first; the row count (and so the full
+		// record size) depends on the row bitset.
+		fixed := n*8 + 3*((n+7)/8)
+		if cap(buf) < fixed {
+			buf = make([]byte, fixed)
+		}
+		head := buf[:fixed]
+		if _, err := io.ReadFull(r, head); err != nil {
 			return recs, true, nil
 		}
-		rec := walRecord{
-			step:    int(binary.LittleEndian.Uint64(buf)),
-			x:       make([][]float64, nodes),
-			arrived: make([]bool, nodes),
+		bits := (n + 7) / 8
+		rowSet := head[n*8+bits : n*8+2*bits]
+		rows := 0
+		for i := 0; i < n; i++ {
+			if rowSet[i/8]&(1<<(i%8)) != 0 {
+				rows++
+			}
 		}
-		off := 8
-		for i := range rec.x {
+		tail := make([]byte, rows*dims*8+4)
+		if _, err := io.ReadFull(r, tail); err != nil {
+			return recs, true, nil
+		}
+		crc := crc32.Checksum(prelude, crcTable)
+		crc = crc32.Update(crc, crcTable, head)
+		crc = crc32.Update(crc, crcTable, tail[:len(tail)-4])
+		if crc != binary.LittleEndian.Uint32(tail[len(tail)-4:]) {
+			return recs, true, nil
+		}
+
+		rec := walRecord{
+			step:    int(binary.LittleEndian.Uint64(prelude)),
+			ids:     make([]int, n),
+			alive:   make([]bool, n),
+			x:       make([][]float64, n),
+			arrived: make([]bool, n),
+		}
+		for i := 0; i < n; i++ {
+			rec.ids[i] = int(int64(binary.LittleEndian.Uint64(head[i*8:])))
+		}
+		aliveSet := head[n*8 : n*8+bits]
+		arrivedSet := head[n*8+2*bits : n*8+3*bits]
+		off := 0
+		for i := 0; i < n; i++ {
+			rec.alive[i] = aliveSet[i/8]&(1<<(i%8)) != 0
+			rec.arrived[i] = arrivedSet[i/8]&(1<<(i%8)) != 0
+			if rowSet[i/8]&(1<<(i%8)) == 0 {
+				continue
+			}
 			row := make([]float64, dims)
 			for d := range row {
-				row[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				row[d] = math.Float64frombits(binary.LittleEndian.Uint64(tail[off:]))
 				off += 8
 			}
 			rec.x[i] = row
-		}
-		bitset := buf[off:crcOff]
-		for i := range rec.arrived {
-			rec.arrived[i] = bitset[i/8]&(1<<(i%8)) != 0
 		}
 		recs = append(recs, rec)
 	}

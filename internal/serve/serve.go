@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -144,23 +145,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // ForecastResponse is the /v1/forecast payload. Forecast is indexed
-// [horizon][node][resource]; with ?node= it holds exactly one node entry per
-// horizon and Node records which one.
+// [horizon][entry][resource], where entry e is the forecast of the node
+// whose stable ID is Nodes[e] — members still warming up behind the
+// presence mask (and tombstoned slots) are omitted, so entries track fleet
+// membership across churn. With ?node= it holds exactly one entry per
+// horizon and Node records which member.
 type ForecastResponse struct {
 	Generation uint64        `json:"generation"`
 	Step       int           `json:"step"`
 	Horizon    int           `json:"horizon"`
 	Node       *int          `json:"node,omitempty"`
+	Nodes      []int         `json:"nodes,omitempty"`
 	Forecast   [][][]float64 `json:"forecast"`
 }
 
-// NodeResponse is the /v1/nodes/{id} payload. Clusters holds the node's
-// current cluster index per tracker.
+// NodeResponse is the /v1/nodes/{id} payload, addressed by stable node ID
+// (IDs survive fleet churn; dense slots do not). Clusters holds the node's
+// current cluster index per tracker (-1 entries while warming up). Status
+// is "active" once the member participates in clustering and serves
+// forecasts, "warming" from join until its first stored measurement enters
+// the look-back window. WindowFill counts the look-back steps the member
+// was present at.
 type NodeResponse struct {
 	Generation  uint64    `json:"generation"`
 	Step        int       `json:"step"`
 	Node        int       `json:"node"`
-	Measurement []float64 `json:"measurement"`
+	Status      string    `json:"status"`
+	WindowFill  int       `json:"window_fill"`
+	Measurement []float64 `json:"measurement,omitempty"`
 	Clusters    []int     `json:"clusters"`
 	Frequency   float64   `json:"frequency"`
 }
@@ -190,6 +202,8 @@ type StatsResponse struct {
 	Step            int           `json:"step"`
 	Ready           bool          `json:"ready"`
 	Nodes           int           `json:"nodes"`
+	Slots           int           `json:"slots"`
+	Evictions       uint64        `json:"evictions"`
 	Resources       int           `json:"resources"`
 	Clusters        int           `json:"clusters"`
 	MaxHorizon      int           `json:"max_horizon"`
@@ -215,7 +229,9 @@ func (s *Server) Stats() StatsResponse {
 		st.Generation = snap.Generation()
 		st.Step = snap.Steps()
 		st.Ready = snap.Ready()
-		st.Nodes = snap.Nodes()
+		st.Nodes = snap.LiveNodes()
+		st.Slots = snap.Nodes()
+		st.Evictions = snap.Evictions()
 		st.Resources = snap.Resources()
 		st.Clusters = snap.Clusters()
 		st.MaxHorizon = s.horizonCap(snap)
@@ -265,20 +281,29 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("h must be in [1, %d]", maxH))
 		return
 	}
-	// Validate the node filter before touching the cache: a malformed or
-	// unknown node must not trigger (or wait on) a full-fleet computation.
-	node := -1
+	// Validate the node filter before touching the cache: a malformed,
+	// unknown, or still-warming node must not trigger (or wait on) a
+	// full-fleet computation. The filter takes a stable node ID, which
+	// survives fleet churn.
+	node, slot := -1, -1
 	if q := r.URL.Query().Get("node"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "node must be an integer")
+			writeError(w, http.StatusBadRequest, "node must be an integer (stable node ID)")
 			return
 		}
-		if v < 0 || v >= snap.Nodes() {
+		sl, ok := snap.SlotOf(v)
+		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("node %d unknown", v))
 			return
 		}
-		node = v
+		if snap.WindowFill(sl) == 0 {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("node %d is warming up (no look-back presence yet)", v))
+			return
+		}
+		node, slot = v, sl
 	}
 	if !snap.Ready() {
 		writeError(w, http.StatusServiceUnavailable,
@@ -297,17 +322,40 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		Generation: snap.Generation(),
 		Step:       snap.Steps(),
 		Horizon:    h,
-		Forecast:   f,
 	}
 	if node >= 0 {
-		// Slice the cached full result down to one node; the cache entry
+		// Slice the cached full result down to one member; the cache entry
 		// itself is shared and must not be mutated.
 		one := make([][][]float64, h)
 		for hi := range one {
-			one[hi] = [][]float64{f[hi][node]}
+			one[hi] = [][]float64{f[hi][slot]}
 		}
 		resp.Node = &node
 		resp.Forecast = one
+		writeJSON(w, resp)
+		return
+	}
+	// Full-fleet response: include the live members whose forecasts are
+	// defined (NaN rows — warming joiners — are omitted; tombstoned slots
+	// always are), keyed by the Nodes list of stable IDs.
+	roster := snap.Roster()
+	resp.Nodes = make([]int, 0, roster.Live())
+	slots := make([]int, 0, roster.Live())
+	for i := 0; i < snap.Nodes(); i++ {
+		id, live := roster.IDAt(i)
+		if !live || math.IsNaN(f[0][i][0]) {
+			continue
+		}
+		resp.Nodes = append(resp.Nodes, id)
+		slots = append(slots, i)
+	}
+	resp.Forecast = make([][][]float64, h)
+	for hi := range resp.Forecast {
+		rows := make([][]float64, len(slots))
+		for e, i := range slots {
+			rows[e] = f[hi][i]
+		}
+		resp.Forecast[hi] = rows
 	}
 	writeJSON(w, resp)
 }
@@ -318,21 +366,33 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	node, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || node < 0 || node >= snap.Nodes() {
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("node %q unknown", r.PathValue("id")))
+		return
+	}
+	slot, ok := snap.SlotOf(node)
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("node %q unknown", r.PathValue("id")))
 		return
 	}
 	clusters := make([]int, snap.Trackers())
 	for tr := range clusters {
-		clusters[tr] = snap.Assignment(tr, node)
+		clusters[tr] = snap.Assignment(tr, slot)
+	}
+	status := "active"
+	fill := snap.WindowFill(slot)
+	if fill == 0 {
+		status = "warming"
 	}
 	writeJSON(w, NodeResponse{
 		Generation:  snap.Generation(),
 		Step:        snap.Steps(),
 		Node:        node,
-		Measurement: snap.Latest(node),
+		Status:      status,
+		WindowFill:  fill,
+		Measurement: snap.Latest(slot),
 		Clusters:    clusters,
-		Frequency:   snap.Frequency(node),
+		Frequency:   snap.Frequency(slot),
 	})
 }
 
@@ -366,7 +426,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "orcf_steps_total", "counter", "Processed pipeline steps.", float64(st.Step))
 	writeMetric(w, "orcf_snapshot_generation", "gauge", "Latest published snapshot generation.", float64(st.Generation))
 	writeMetric(w, "orcf_ready", "gauge", "1 once forecasting models are trained.", float64(ready))
-	writeMetric(w, "orcf_nodes", "gauge", "Monitored node count.", float64(st.Nodes))
+	writeMetric(w, "orcf_nodes", "gauge", "Live fleet members.", float64(st.Nodes))
+	writeMetric(w, "orcf_fleet_slots", "gauge", "Dense fleet slots (live members plus tombstones).", float64(st.Slots))
+	writeMetric(w, "orcf_node_evictions_total", "counter", "Members departed (absence timeout or removal).", float64(st.Evictions))
 	writeMetric(w, "orcf_mean_transmit_frequency", "gauge", "Mean realized transmission frequency (eq. 5).", st.MeanFrequency)
 	writeMetric(w, "orcf_training_runs_total", "counter", "Completed (re)training rounds.", float64(st.TrainingRuns))
 	writeMetric(w, "orcf_training_seconds_total", "counter", "Cumulative (re)training wall time.", st.TrainingSeconds)

@@ -1,7 +1,7 @@
 // Command docscheck is the CI docs gate: it fails when documentation has
 // drifted from the code.
 //
-// It enforces two invariants:
+// It enforces three invariants:
 //
 //  1. Markdown hygiene — every relative link in README.md and docs/*.md
 //     resolves to an existing file or directory in the repository.
@@ -10,6 +10,12 @@
 //     (the root orcf package, internal/core, internal/serve,
 //     internal/persist, internal/transmit, internal/cluster) carries a doc
 //     comment.
+//  3. Flag reference — every command-line flag registered by a cmd/*
+//     binary appears (as an inline `-flag` code span) in
+//     docs/OPERATIONS.md, and every `-flag` span in OPERATIONS.md is still
+//     registered by some binary, so the operational flag reference can
+//     never drift from the code in either direction. Fenced code blocks
+//     are ignored: an example invocation is not documentation.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 // (make ci and .github/workflows/ci.yml do). Exit status 1 lists every
@@ -24,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -40,6 +47,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkMarkdown()...)
 	problems = append(problems, checkGodoc()...)
+	problems = append(problems, checkFlags()...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -164,6 +172,136 @@ func checkFile(fset *token.FileSet, file string, f *ast.File) []string {
 		}
 	}
 	return problems
+}
+
+// operationsDoc is the file carrying the operational flag reference.
+const operationsDoc = "docs/OPERATIONS.md"
+
+// flagFuncs are the flag-package constructors whose first argument is the
+// flag name.
+var flagFuncs = map[string]bool{
+	"Bool": true, "Int": true, "Int64": true, "Uint": true, "Uint64": true,
+	"Float64": true, "String": true, "Duration": true,
+}
+
+// checkFlags enforces the two-way flag-reference invariant between the
+// cmd/* binaries and docs/OPERATIONS.md.
+func checkFlags() []string {
+	registered, problems := registeredFlags()
+	documented, docProblems := documentedFlags()
+	problems = append(problems, docProblems...)
+
+	var missing []string
+	for name, cmds := range registered {
+		if !documented[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: flag `-%s` (registered by %s) is not documented", operationsDoc, name,
+				strings.Join(cmds, ", ")))
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; !ok {
+			missing = append(missing, fmt.Sprintf(
+				"%s: documents flag `-%s`, which no cmd/* binary registers", operationsDoc, name))
+		}
+	}
+	sort.Strings(missing)
+	return append(problems, missing...)
+}
+
+// registeredFlags parses every cmd/* package and returns flag name →
+// registering commands.
+func registeredFlags() (map[string][]string, []string) {
+	var problems []string
+	flags := make(map[string][]string)
+	dirs, err := filepath.Glob("cmd/*")
+	if err != nil || len(dirs) == 0 {
+		return flags, []string{"docscheck: no cmd/* directories found"}
+	}
+	for _, dir := range dirs {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: parsing %s: %v", dir, err))
+			continue
+		}
+		cmd := filepath.Base(dir)
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !flagFuncs[sel.Sel.Name] || len(call.Args) == 0 {
+						return true
+					}
+					if recv, ok := sel.X.(*ast.Ident); !ok || recv.Name != "flag" {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					name := strings.Trim(lit.Value, `"`)
+					if !contains(flags[name], cmd) {
+						flags[name] = append(flags[name], cmd)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return flags, problems
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// flagSpanRe matches a -flag token at the start (or after a space) of an
+// inline code span's content.
+var (
+	inlineCodeRe = regexp.MustCompile("`([^`]+)`")
+	flagSpanRe   = regexp.MustCompile(`(?:^|\s)-([a-z][a-z0-9-]*)`)
+)
+
+// documentedFlags extracts the flags OPERATIONS.md mentions in inline code
+// spans, skipping fenced code blocks.
+func documentedFlags() (map[string]bool, []string) {
+	data, err := os.ReadFile(operationsDoc)
+	if err != nil {
+		return nil, []string{fmt.Sprintf("docscheck: %v", err)}
+	}
+	out := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, span := range inlineCodeRe.FindAllStringSubmatch(line, -1) {
+			for _, m := range flagSpanRe.FindAllStringSubmatch(span[1], -1) {
+				out[m[1]] = true
+			}
+		}
+	}
+	return out, nil
 }
 
 // receiverName unwraps a method receiver type expression to its type name.

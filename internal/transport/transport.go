@@ -109,6 +109,19 @@ func (s *Store) Advance(node, step int) {
 	}
 }
 
+// Forget drops everything the store holds for a node — its latest
+// measurement, update count, and local clock. The collection plane calls it
+// when a fleet member is evicted, so a churning fleet does not grow the
+// store without bound; if the node later reports again it re-registers as
+// new (its accounting restarts).
+func (s *Store) Forget(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.latest, node)
+	delete(s.updates, node)
+	delete(s.clock, node)
+}
+
 // Latest returns the most recent measurement of a node.
 func (s *Store) Latest(node int) (Measurement, bool) {
 	s.mu.RLock()

@@ -53,6 +53,9 @@ type (
 	// Snapshot is the immutable read-only view published per step when
 	// snapshots are enabled (WithSnapshotHorizon); see System.Snapshot.
 	Snapshot = core.Snapshot
+	// Roster is an immutable view of fleet membership (stable node IDs and
+	// per-slot liveness); see System.Roster and Snapshot.Roster.
+	Roster = core.Roster
 	// Dataset is a dense Steps × Nodes × Resources measurement tensor.
 	Dataset = trace.Dataset
 	// GeneratorConfig parameterizes synthetic trace generation.
@@ -316,6 +319,21 @@ func WithFitWindow(n int) Option {
 	}
 }
 
+// WithAbsenceTimeout enables automatic fleet-member eviction: a member that
+// produces no report (a nil row in Step's input) for this many consecutive
+// steps departs, freeing its slot for later joiners. Zero (the default)
+// disables auto-eviction; membership then changes only through
+// AddNodes/RemoveNodes. See System.AddNodes for the elastic-fleet model.
+func WithAbsenceTimeout(steps int) Option {
+	return func(c *core.Config) error {
+		if steps < 0 {
+			return fmt.Errorf("orcf: absence timeout %d: %w", steps, ErrBadOption)
+		}
+		c.AbsenceTimeout = steps
+		return nil
+	}
+}
+
 // WithSeed fixes the random seed for clustering, making runs reproducible.
 func WithSeed(seed uint64) Option {
 	return func(c *core.Config) error {
@@ -379,9 +397,30 @@ func New(nodes, resources int, opts ...Option) (*System, error) {
 	return &System{inner: inner}, nil
 }
 
-// Step ingests the true measurements of all nodes for one time step
-// (x[i] is node i's d-dimensional measurement) and returns what happened.
+// Step ingests the fleet's measurements for one time step: x has one row
+// per slot (see Roster), where x[i] is the slot's d-dimensional measurement
+// and a nil row means "no report this step" (mandatory for departed slots;
+// for live members it counts toward the absence timeout). Returns what
+// happened, including any members evicted this step.
 func (s *System) Step(x [][]float64) (*StepResult, error) { return s.inner.Step(x) }
+
+// AddNodes joins new fleet members under the given stable IDs: each gets a
+// fresh policy and an empty, NaN-masked history, participates in clustering
+// from its first stored measurement, and serves forecasts once its
+// look-back window accumulates presence — all without perturbing existing
+// members. Call it between Steps.
+func (s *System) AddNodes(ids ...int) error { return s.inner.AddNodes(ids...) }
+
+// RemoveNodes departs live members immediately, retiring their IDs and
+// recycling their slots for later joiners. A removed ID may rejoin later
+// via AddNodes and starts from a blank history. Call it between Steps.
+func (s *System) RemoveNodes(ids ...int) error { return s.inner.RemoveNodes(ids...) }
+
+// Roster returns an immutable view of current fleet membership.
+func (s *System) Roster() *Roster { return s.inner.Roster() }
+
+// Members returns the live members' stable IDs in slot order.
+func (s *System) Members() []int { return s.inner.Members() }
 
 // Ready reports whether the forecasting models finished initial training.
 func (s *System) Ready() bool { return s.inner.Ready() }
