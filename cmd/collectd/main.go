@@ -340,7 +340,18 @@ func run() int {
 			// advancing takes a silent tick; at the timeout it is evicted
 			// and its store entry released.
 			if *absence > 0 {
-				for id, slot := range members.slotOf {
+				// Snapshot and sort the membership first: eviction order
+				// decides which freed slots get recycled by which future
+				// joiners, and evict() mutates slotOf mid-scan — iterating
+				// the map directly would make both follow Go's randomized
+				// map order.
+				ids := make([]int, 0, len(members.slotOf))
+				for id := range members.slotOf {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				for _, id := range ids {
+					slot := members.slotOf[id]
 					clock := stats[id].LocalStep
 					if clock > members.lastClock[id] {
 						members.lastClock[id] = clock

@@ -69,7 +69,7 @@ func persistStats(mgr *persist.Manager) serve.PersistStats {
 	}
 	return serve.PersistStats{
 		LastCheckpointStep:       st.LastCheckpointStep,
-		LastCheckpointAgeSeconds: age,
+		LastCheckpointAgeSeconds: serve.Finite64(age),
 		Checkpoints:              st.Checkpoints,
 		CheckpointErrors:         st.CheckpointErrors,
 		WALRecords:               st.WALRecords,

@@ -1,0 +1,58 @@
+// Command orcflint runs the project-invariant analyzer suite
+// (internal/tools/orcflint) over a set of package patterns and exits nonzero
+// on any diagnostic. It must run from inside the module (any directory under
+// the repository root) so intra-module import paths resolve; `make lint` and
+// the CI workflow invoke it as `go run ./cmd/orcflint ./...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orcf/internal/tools/orcflint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer names and docs, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: orcflint [-list] [packages]\n\nruns the orcf invariant analyzers over the package patterns (default ./...)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := orcflint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := orcflint.NewLoader()
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := orcflint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d.String())
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -214,6 +214,9 @@ func TestFig8ModelsTrackCentroids(t *testing.T) {
 }
 
 func TestFig9CentroidForecastBeatsPerNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes-long under -race; the -short race pass skips it")
+	}
 	t.Parallel()
 	// This shape needs enough nodes that one spiking machine cannot drag a
 	// whole centroid, so it runs near the quick scale.
@@ -358,6 +361,9 @@ func TestFig12ProposedWinsAndZeroAtKN(t *testing.T) {
 }
 
 func TestTable4TopWUpdateSlowest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the paper's 100-node scale; the -short race pass skips it")
+	}
 	t.Parallel()
 	// Timing separation needs the paper's 100-node setting; smaller
 	// instances drown in timer noise.

@@ -87,7 +87,7 @@ type CacheStats struct {
 func (c *flightCache) stats() CacheStats {
 	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 	if total := s.Hits + s.Misses; total > 0 {
-		s.HitRatio = float64(s.Hits) / float64(total)
+		s.HitRatio = Finite64(float64(s.Hits) / float64(total))
 	}
 	return s
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"orcf/internal/core"
@@ -235,6 +236,17 @@ func (st *StoreStepper) Tick() (*core.StepResult, bool, error) {
 		if len(stat.Latest.Values) != st.dims {
 			return nil, st.started, fmt.Errorf("serve: node %d sent %d values, want %d: %w",
 				id, len(stat.Latest.Values), st.dims, core.ErrBadInput)
+		}
+		// Reject non-finite measurements at the door: a NaN admitted here
+		// poisons every window mean, centroid, and forecast it touches, and
+		// encoding/json cannot marshal it on the way back out. This is the
+		// primary defense; the Finite* guards on response assembly are the
+		// belt-and-braces fence.
+		for _, v := range stat.Latest.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, st.started, fmt.Errorf("serve: node %d sent non-finite value %v: %w",
+					id, v, core.ErrBadInput)
+			}
 		}
 		// With liveness tracking off (no AbsenceTimeout), a quiet member
 		// keeps being fed its last stored values — the pre-churn behavior.

@@ -235,10 +235,10 @@ func (s *Server) Stats() StatsResponse {
 		st.Resources = snap.Resources()
 		st.Clusters = snap.Clusters()
 		st.MaxHorizon = s.horizonCap(snap)
-		st.MeanFrequency = snap.MeanFrequency()
+		st.MeanFrequency = Finite64(snap.MeanFrequency())
 		d, runs := snap.TrainingTime()
 		st.TrainingRuns = runs
-		st.TrainingSeconds = d.Seconds()
+		st.TrainingSeconds = Finite64(d.Seconds())
 	}
 	return st
 }
@@ -331,7 +331,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			one[hi] = [][]float64{f[hi][slot]}
 		}
 		resp.Node = &node
-		resp.Forecast = one
+		resp.Forecast = FiniteForecast(one)
 		writeJSON(w, resp)
 		return
 	}
@@ -355,7 +355,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		for e, i := range slots {
 			rows[e] = f[hi][i]
 		}
-		resp.Forecast[hi] = rows
+		resp.Forecast[hi] = FiniteRows(rows)
 	}
 	writeJSON(w, resp)
 }
@@ -390,9 +390,9 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		Node:        node,
 		Status:      status,
 		WindowFill:  fill,
-		Measurement: snap.Latest(slot),
+		Measurement: FiniteRow(snap.Latest(slot)),
 		Clusters:    clusters,
-		Frequency:   snap.Frequency(slot),
+		Frequency:   Finite64(snap.Frequency(slot)),
 	})
 }
 
@@ -403,7 +403,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	trackers := make([]TrackerClusters, snap.Trackers())
 	for tr := range trackers {
-		trackers[tr] = TrackerClusters{Tracker: tr, Centroids: snap.Centroids(tr)}
+		trackers[tr] = TrackerClusters{Tracker: tr, Centroids: FiniteRows(snap.Centroids(tr))}
 	}
 	writeJSON(w, ClustersResponse{
 		Generation: snap.Generation(),

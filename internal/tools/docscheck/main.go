@@ -16,6 +16,11 @@
 //     registered by some binary, so the operational flag reference can
 //     never drift from the code in either direction. Fenced code blocks
 //     are ignored: an example invocation is not documentation.
+//  4. Lint reference — every analyzer registered in internal/tools/orcflint
+//     has a row in the "Enforced invariants" table of docs/ARCHITECTURE.md,
+//     every table row names a registered analyzer (two-way, like the flag
+//     gate), and docs/OPERATIONS.md documents the `make lint` target and
+//     the `orcflint:ignore` suppression convention.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 // (make ci and .github/workflows/ci.yml do). Exit status 1 lists every
@@ -37,7 +42,7 @@ import (
 // gatedDirs are the directories whose exported identifiers must be
 // documented. "." is the public orcf package.
 var gatedDirs = []string{".", "internal/core", "internal/serve", "internal/persist",
-	"internal/transmit", "internal/cluster"}
+	"internal/transmit", "internal/cluster", "internal/tools/orcflint"}
 
 // markdownFiles lists the documents whose links are checked, plus every
 // *.md under docs/.
@@ -48,6 +53,7 @@ func main() {
 	problems = append(problems, checkMarkdown()...)
 	problems = append(problems, checkGodoc()...)
 	problems = append(problems, checkFlags()...)
+	problems = append(problems, checkLintDocs()...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -302,6 +308,139 @@ func documentedFlags() (map[string]bool, []string) {
 		}
 	}
 	return out, nil
+}
+
+// architectureDoc carries the "Enforced invariants" analyzer table.
+const architectureDoc = "docs/ARCHITECTURE.md"
+
+// lintDir is the analyzer suite package.
+const lintDir = "internal/tools/orcflint"
+
+// invariantsHeading opens the section holding the analyzer table.
+const invariantsHeading = "## Enforced invariants"
+
+// analyzerRowRe matches a table row whose first column is an inline-code
+// analyzer name: | `lockio` | ... |
+var analyzerRowRe = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9]*)`\\s*\\|")
+
+// checkLintDocs enforces the two-way analyzer-reference invariant between
+// internal/tools/orcflint and the docs, mirroring the flag gate: each
+// registered analyzer needs a table row in ARCHITECTURE.md's "Enforced
+// invariants" section, each row must name a registered analyzer, and
+// OPERATIONS.md must document the lint entry point and the suppression
+// convention.
+func checkLintDocs() []string {
+	registered, problems := registeredAnalyzers()
+	if len(registered) == 0 {
+		problems = append(problems,
+			fmt.Sprintf("docscheck: no Analyzer literals with Name fields found in %s", lintDir))
+	}
+
+	documented, sectionFound, err := documentedAnalyzers()
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	if !sectionFound {
+		problems = append(problems, fmt.Sprintf(
+			"%s: missing %q section (analyzer table)", architectureDoc, invariantsHeading))
+	}
+	var missing []string
+	for name := range registered {
+		if !documented[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: analyzer `%s` (registered in %s) has no row in the %q table",
+				architectureDoc, name, lintDir, invariantsHeading))
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: documents analyzer `%s`, which %s does not register",
+				architectureDoc, name, lintDir))
+		}
+	}
+	sort.Strings(missing)
+	problems = append(problems, missing...)
+
+	ops, err := os.ReadFile(operationsDoc)
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	for _, needle := range []string{"make lint", "orcflint:ignore"} {
+		if !strings.Contains(string(ops), needle) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: must document %q (lint entry point / suppression convention)",
+				operationsDoc, needle))
+		}
+	}
+	return problems
+}
+
+// registeredAnalyzers parses the orcflint package and collects the Name
+// fields of Analyzer composite literals.
+func registeredAnalyzers() (map[string]bool, []string) {
+	names := make(map[string]bool)
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, lintDir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return names, []string{fmt.Sprintf("docscheck: parsing %s: %v", lintDir, err)}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if id, ok := cl.Type.(*ast.Ident); !ok || id.Name != "Analyzer" {
+					return true
+				}
+				for _, elt := range cl.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Name" {
+						continue
+					}
+					if lit, ok := kv.Value.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						names[strings.Trim(lit.Value, `"`)] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return names, nil
+}
+
+// documentedAnalyzers scans ARCHITECTURE.md's "Enforced invariants" section
+// for analyzer table rows.
+func documentedAnalyzers() (map[string]bool, bool, error) {
+	data, err := os.ReadFile(architectureDoc)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make(map[string]bool)
+	inSection, found := false, false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, invariantsHeading)
+			if inSection {
+				found = true
+			}
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := analyzerRowRe.FindStringSubmatch(line); m != nil {
+			out[m[1]] = true
+		}
+	}
+	return out, found, nil
 }
 
 // receiverName unwraps a method receiver type expression to its type name.

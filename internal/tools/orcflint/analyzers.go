@@ -1,0 +1,12 @@
+package orcflint
+
+// All returns the full analyzer suite in the order the driver runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockIO,
+		SnapFreeze,
+		DetRange,
+		NaNJSON,
+		PureState,
+	}
+}

@@ -1,0 +1,204 @@
+package orcflint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRange flags `for range` over a map whose body feeds an order-sensitive
+// consumer: floating-point accumulation into state declared outside the loop
+// (float addition is not associative, so iteration order changes bits),
+// appends to an outer slice that is never sorted afterward, direct output
+// (fmt printing, Write*-style methods, exp.Table rows), or channel sends.
+// The repo promises bit-identical parallel/serial stepping and bit-identical
+// crash/restore; Go randomizes map iteration order per process, so any of
+// these patterns silently breaks the promise. Order-insensitive uses — writes
+// into another map, counting, min/max over ints — are not flagged.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "map iteration order feeding float accumulation, unsorted appends, or output",
+	Run:  runDetRange,
+}
+
+// detrangeSkip exempts whole package subtrees: the analyzer suite itself
+// iterates maps freely (diagnostics are sorted before printing).
+var detrangeSkip = []string{"orcf/internal/tools/"}
+
+// printFuncs write directly to output in call order.
+var printFuncs = map[[2]string]bool{
+	{"fmt", "Print"}: true, {"fmt", "Printf"}: true, {"fmt", "Println"}: true,
+	{"fmt", "Fprint"}: true, {"fmt", "Fprintf"}: true, {"fmt", "Fprintln"}: true,
+}
+
+// orderedSinkMethods emit in call order on writers, builders, and tables.
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Printf": true, "Print": true, "Println": true, "AddRow": true,
+	"Encode": true,
+}
+
+// sortFuncs establish a canonical order after an append, lifting the flag.
+var sortFuncs = map[[2]string]bool{
+	{"sort", "Ints"}: true, {"sort", "Float64s"}: true, {"sort", "Strings"}: true,
+	{"sort", "Slice"}: true, {"sort", "SliceStable"}: true, {"sort", "Sort"}: true,
+	{"sort", "Stable"}: true,
+	{"slices", "Sort"}: true, {"slices", "SortFunc"}: true, {"slices", "SortStableFunc"}: true,
+}
+
+func runDetRange(pass *Pass) error {
+	path := pass.Path()
+	if !strings.HasPrefix(path, "orcf") {
+		return nil
+	}
+	for _, skip := range detrangeSkip {
+		if strings.HasPrefix(path, skip) {
+			return nil
+		}
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rs) {
+				return true
+			}
+			checkDetRangeBody(pass, fd, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetRangeBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkDetRangeAssign(pass, fd, rs, st)
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(), "channel send inside map iteration (receiver observes random order)")
+		case *ast.CallExpr:
+			if p, name := pkgFunc(pass.Info, st); p != "" {
+				if printFuncs[[2]string{p, name}] {
+					pass.Reportf(st.Pos(), "%s.%s inside map iteration emits in random order", p, name)
+				}
+				return true
+			}
+			if sel, recv, recvType, ok := methodCall(pass.Info, st); ok && orderedSinkMethods[sel.Sel.Name] {
+				// Writes into another map are order-insensitive; writers,
+				// builders, encoders, and tables are not.
+				if isOrderedSink(recvType) {
+					pass.Reportf(st.Pos(), "%s.%s inside map iteration emits in random order",
+						types.ExprString(recv), sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isOrderedSink reports whether the receiver accumulates output in call
+// order: io-style writers (interfaces or SetWriteDeadline carriers), string
+// and byte builders, stream encoders, and the experiment Table.
+func isOrderedSink(t types.Type) bool {
+	if p, n := namedType(t); p != "" {
+		if encoderTypes[[2]string{p, n}] {
+			return true
+		}
+		switch {
+		case p == "strings" && n == "Builder",
+			p == "bytes" && n == "Buffer",
+			p == "text/tabwriter" && n == "Writer",
+			p == "orcf/internal/exp" && n == "Table":
+			return true
+		}
+	}
+	return isIOReceiver(t)
+}
+
+func checkDetRangeAssign(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, st *ast.AssignStmt) {
+	// Float accumulation: x += v (and -=, *=, /=) where x lives outside the
+	// loop and is floating point.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		t := pass.Info.TypeOf(lhs)
+		if t == nil {
+			return
+		}
+		if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+			return
+		}
+		if root := rootIdent(lhs); root != nil && !declaredIn(pass.Info, root, rs) {
+			pass.Reportf(st.Pos(), "float accumulation over map iteration order is not bit-deterministic")
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+	// Appends to an outer slice: x = append(x, ...) — exempt when the slice
+	// is sorted after the loop in the same function.
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) {
+			break
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		root := rootIdent(st.Lhs[i])
+		if root == nil || declaredIn(pass.Info, root, rs) {
+			continue
+		}
+		if sortedAfter(pass, fd, rs, root) {
+			continue
+		}
+		pass.Reportf(st.Pos(), "append to %s under map iteration without a post-loop sort", root.Name)
+	}
+}
+
+// sortedAfter reports whether the identifier's object is passed to a sort
+// function after the range statement ends, within the enclosing declaration.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, root *ast.Ident) bool {
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() < rs.End() {
+			return !sorted
+		}
+		p, name := pkgFunc(pass.Info, call)
+		if p == "" || !sortFuncs[[2]string{p, name}] {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

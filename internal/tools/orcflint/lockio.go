@@ -1,0 +1,429 @@
+package orcflint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockIO flags blocking network I/O and channel operations performed while a
+// sync.Mutex/RWMutex is held in internal/transport — the PR 4 stall class,
+// where a mutex held across a deadline-less conn.Write wedged every sender
+// behind one stuck peer. Conn-style I/O is exempt when every held lock was
+// "armed" by a Set{,Read,Write}Deadline call in the same locked region (the
+// write is then time-bounded); channel operations are never exempt, since no
+// deadline bounds them. A call to a same-package function whose body itself
+// performs direct I/O is treated as I/O (one level of transitivity).
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "mutex held across network I/O or channel ops in internal/transport",
+	Run:  runLockIO,
+}
+
+// lockioPaths scopes the rule.
+var lockioPaths = []string{"orcf/internal/transport"}
+
+// ioMethodNames are method names that block on the network when invoked on an
+// I/O-ish receiver (see isIOReceiver).
+var ioMethodNames = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Flush": true, "Encode": true, "Decode": true, "ReadFull": true,
+	"Peek": true, "ReadByte": true, "ReadBytes": true, "ReadString": true,
+	"ReadRune": true, "WriteByte": true, "WriteString": true,
+}
+
+// deadlineMethodNames arm every held lock: the surrounded I/O is time-bounded.
+var deadlineMethodNames = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// ioPkgFuncs are package-level functions that block on their reader/writer.
+var ioPkgFuncs = map[[2]string]bool{
+	{"io", "ReadFull"}: true, {"io", "Copy"}: true, {"io", "CopyN"}: true,
+	{"io", "WriteString"}: true, {"io", "ReadAll"}: true,
+	{"net", "Dial"}: true, {"net", "DialTimeout"}: true,
+}
+
+// encoderTypes are stream codecs whose Encode/Decode/Flush hit the underlying
+// connection directly.
+var encoderTypes = map[[2]string]bool{
+	{"bufio", "Reader"}: true, {"bufio", "Writer"}: true, {"bufio", "ReadWriter"}: true,
+	{"encoding/gob", "Encoder"}: true, {"encoding/gob", "Decoder"}: true,
+	{"encoding/json", "Encoder"}: true, {"encoding/json", "Decoder"}: true,
+}
+
+// lockEnv maps a held lock (rendered receiver expression, e.g. "c.writeMu")
+// to whether a deadline has been armed while it was held.
+type lockEnv map[string]bool
+
+func (e lockEnv) clone() lockEnv {
+	c := make(lockEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// allArmed reports whether every held lock saw a deadline call.
+func (e lockEnv) allArmed() bool {
+	for _, armed := range e {
+		if !armed {
+			return false
+		}
+	}
+	return true
+}
+
+// heldNames renders the held set for diagnostics, deterministically.
+func (e lockEnv) heldNames() string {
+	names := make([]string, 0, len(e))
+	for k := range e {
+		names = append(names, k)
+	}
+	// Insertion sort: the set is tiny.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	s := names[0]
+	for _, n := range names[1:] {
+		s += ", " + n
+	}
+	return s
+}
+
+// mergeEnv joins two branch outcomes: a lock held on either path stays held
+// (conservative for the "still locked" question), and armed status is the OR
+// (optimistic: a conditionally armed deadline — e.g. only when writeTimeout>0
+// — still counts as bounded; the PR 4 pattern has no deadline call at all).
+func mergeEnv(a, b lockEnv) lockEnv {
+	out := a.clone()
+	for k, v := range b {
+		out[k] = out[k] || v
+	}
+	return out
+}
+
+type lockioChecker struct {
+	pass *Pass
+	// ioFuncs holds same-package functions whose bodies perform direct I/O.
+	ioFuncs map[*types.Func]bool
+}
+
+func runLockIO(pass *Pass) error {
+	if !inScope(pass.Path(), lockioPaths) {
+		return nil
+	}
+	lc := &lockioChecker{pass: pass, ioFuncs: map[*types.Func]bool{}}
+	decls := funcDecls(pass.Files)
+	// Pass 1: which functions directly do I/O (for one-level transitivity).
+	for _, fd := range decls {
+		directIO := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || directIO {
+				return !directIO
+			}
+			if lc.isDirectIO(call) {
+				directIO = true
+			}
+			return true
+		})
+		if directIO {
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				lc.ioFuncs[obj] = true
+			}
+		}
+	}
+	// Pass 2: track held locks through each function body.
+	for _, fd := range decls {
+		lc.stmts(fd.Body.List, lockEnv{})
+	}
+	return nil
+}
+
+// isDirectIO reports whether the call is itself a blocking network operation.
+func (lc *lockioChecker) isDirectIO(call *ast.CallExpr) bool {
+	if p, n := pkgFunc(lc.pass.Info, call); p != "" {
+		return ioPkgFuncs[[2]string{p, n}]
+	}
+	sel, _, recvType, ok := methodCall(lc.pass.Info, call)
+	if !ok || !ioMethodNames[sel.Sel.Name] {
+		return false
+	}
+	return isIOReceiver(recvType)
+}
+
+// isIOReceiver reports whether a blocking-named method on this receiver type
+// plausibly hits the network: interfaces (net.Conn, io.Writer, ...), concrete
+// types with a SetWriteDeadline method (conn-like), and stream codecs.
+func isIOReceiver(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	base := t
+	if p, ok := base.(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	if _, ok := base.Underlying().(*types.Interface); ok {
+		return true
+	}
+	if p, n := namedType(t); encoderTypes[[2]string{p, n}] {
+		return true
+	}
+	ms := types.NewMethodSet(types.NewPointer(base))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "SetWriteDeadline" {
+			return true
+		}
+	}
+	return false
+}
+
+func (lc *lockioChecker) stmts(list []ast.Stmt, env lockEnv) lockEnv {
+	for _, s := range list {
+		env = lc.stmt(s, env)
+	}
+	return env
+}
+
+func (lc *lockioChecker) stmt(s ast.Stmt, env lockEnv) lockEnv {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		lc.expr(st.X, env)
+	case *ast.SendStmt:
+		if len(env) > 0 {
+			lc.pass.Reportf(st.Pos(), "channel send while %s held (no deadline can bound it)", env.heldNames())
+		}
+		lc.expr(st.Chan, env)
+		lc.expr(st.Value, env)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			lc.expr(e, env)
+		}
+		for _, e := range st.Lhs {
+			lc.expr(e, env)
+		}
+	case *ast.IncDecStmt:
+		lc.expr(st.X, env)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.expr(v, env)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			lc.expr(e, env)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function exit, which the
+		// env already models; other deferred work runs outside the region of
+		// interest and is not analyzed.
+	case *ast.GoStmt:
+		// The call body runs on a fresh goroutine without the caller's locks.
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			lc.stmts(fl.Body.List, lockEnv{})
+		}
+	case *ast.BlockStmt:
+		return lc.stmts(st.List, env)
+	case *ast.LabeledStmt:
+		return lc.stmt(st.Stmt, env)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			env = lc.stmt(st.Init, env)
+		}
+		lc.expr(st.Cond, env)
+		thenEnv := lc.stmts(st.Body.List, env.clone())
+		elseEnv := env.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseEnv = lc.stmt(st.Else, env.clone())
+			elseTerm = stmtTerminates(st.Else)
+		}
+		thenTerm := blockTerminates(st.Body.List)
+		switch {
+		case thenTerm && elseTerm:
+			return env
+		case thenTerm:
+			return elseEnv
+		case elseTerm:
+			return thenEnv
+		default:
+			return mergeEnv(thenEnv, elseEnv)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			env = lc.stmt(st.Init, env)
+		}
+		if st.Cond != nil {
+			lc.expr(st.Cond, env)
+		}
+		body := lc.stmts(st.Body.List, env.clone())
+		return mergeEnv(env, body)
+	case *ast.RangeStmt:
+		if t := lc.pass.Info.TypeOf(st.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok && len(env) > 0 {
+				lc.pass.Reportf(st.Pos(), "range over channel while %s held (no deadline can bound it)", env.heldNames())
+			}
+		}
+		lc.expr(st.X, env)
+		body := lc.stmts(st.Body.List, env.clone())
+		return mergeEnv(env, body)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(env) > 0 {
+			lc.pass.Reportf(st.Pos(), "blocking select while %s held (no deadline can bound it)", env.heldNames())
+		}
+		out := env.clone()
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseEnv := env.clone()
+			if cc.Comm != nil {
+				// The comm op itself is covered by the select report.
+				caseEnv = lc.commStmtEnv(cc.Comm, caseEnv)
+			}
+			out = mergeEnv(out, lc.stmts(cc.Body, caseEnv))
+		}
+		return out
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			env = lc.stmt(st.Init, env)
+		}
+		if st.Tag != nil {
+			lc.expr(st.Tag, env)
+		}
+		return lc.caseBodies(st.Body, env)
+	case *ast.TypeSwitchStmt:
+		return lc.caseBodies(st.Body, env)
+	}
+	return env
+}
+
+// commStmtEnv evaluates a select comm statement's side expressions without
+// re-reporting the blocking op.
+func (lc *lockioChecker) commStmtEnv(s ast.Stmt, env lockEnv) lockEnv {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for _, e := range st.Lhs {
+			lc.expr(e, env)
+		}
+	case *ast.SendStmt:
+		lc.expr(st.Value, env)
+	}
+	return env
+}
+
+func (lc *lockioChecker) caseBodies(body *ast.BlockStmt, env lockEnv) lockEnv {
+	out := env.clone()
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = mergeEnv(out, lc.stmts(cc.Body, env.clone()))
+		}
+	}
+	return out
+}
+
+// expr walks an expression, mutating env on lock/deadline calls and reporting
+// blocking operations performed with locks held.
+func (lc *lockioChecker) expr(e ast.Expr, env lockEnv) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Closure bodies execute with whatever locks are held at call
+			// time, which we cannot see; analyze them standalone.
+			lc.stmts(x.Body.List, lockEnv{})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(env) > 0 {
+				lc.pass.Reportf(x.Pos(), "channel receive while %s held (no deadline can bound it)", env.heldNames())
+			}
+		case *ast.CallExpr:
+			lc.call(x, env)
+		}
+		return true
+	})
+}
+
+func (lc *lockioChecker) call(call *ast.CallExpr, env lockEnv) {
+	info := lc.pass.Info
+	if sel, recv, recvType, ok := methodCall(info, call); ok {
+		if p, n := namedType(recvType); p == "sync" && (n == "Mutex" || n == "RWMutex") {
+			key := types.ExprString(recv)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				env[key] = false
+			case "Unlock", "RUnlock":
+				delete(env, key)
+			}
+			return
+		}
+		if deadlineMethodNames[sel.Sel.Name] {
+			for k := range env {
+				env[k] = true
+			}
+			return
+		}
+		if ioMethodNames[sel.Sel.Name] && isIOReceiver(recvType) {
+			if len(env) > 0 && !env.allArmed() {
+				lc.pass.Reportf(call.Pos(), "%s.%s while %s held without an armed write deadline",
+					types.ExprString(recv), sel.Sel.Name, env.heldNames())
+			}
+			return
+		}
+	}
+	if p, n := pkgFunc(info, call); p != "" && ioPkgFuncs[[2]string{p, n}] {
+		if len(env) > 0 && !env.allArmed() {
+			lc.pass.Reportf(call.Pos(), "%s.%s while %s held without an armed write deadline", p, n, env.heldNames())
+		}
+		return
+	}
+	// One level of transitivity: calling a same-package function whose body
+	// performs direct I/O is as blocking as the I/O itself.
+	if callee := calleeFunc(info, call); callee != nil && lc.ioFuncs[callee] {
+		if len(env) > 0 && !env.allArmed() {
+			lc.pass.Reportf(call.Pos(), "call to %s (performs network I/O) while %s held without an armed write deadline",
+				callee.Name(), env.heldNames())
+		}
+	}
+}
+
+// blockTerminates reports whether control cannot fall out of the statement
+// list (it ends in return, a terminating branch, or a panic call).
+func blockTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	case *ast.BlockStmt:
+		return blockTerminates(st.List)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+// Package orcflint is the project-invariant analyzer suite: a set of
+// static analyzers that mechanically enforce the repository's core
+// guarantees — bit-identical parallel/serial stepping, bit-identical
+// crash/restore, lock hygiene on the collection plane, and NaN-free JSON on
+// the serving plane. The cmd/orcflint driver runs every analyzer over a set
+// of package patterns and exits nonzero on any diagnostic; `make lint` (part
+// of `make ci`) and the CI workflow gate on it.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is self-contained on the standard
+// library: packages are loaded with `go list`, parsed with go/parser, and
+// type-checked with go/types using the source importer, so the gate needs no
+// module dependencies.
+//
+// A diagnostic can be suppressed by an audited comment on the flagged line
+// or the line directly above it:
+//
+//	//orcflint:ignore <rule> <reason>
+//
+// The rule name is mandatory (`all` matches every rule) and so is the
+// reason — a bare ignore is itself reported. See docs/ARCHITECTURE.md
+// ("Enforced invariants") for the analyzer ↔ invariant map.
+package orcflint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker: a name (the rule used in
+// diagnostics and ignore comments), human documentation, and the function
+// that runs it over a single type-checked package.
+type Analyzer struct {
+	// Name is the rule name, e.g. "lockio".
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run analyzes one package, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files holds the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression/object facts.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Path returns the package's import path (the analyzers scope on it).
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  p.Fset.Position(pos),
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the analyzer that found it.
+	Rule string
+	// Msg describes the violation.
+	Msg string
+}
+
+// String formats the diagnostic the way the driver prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// ignorePrefix starts a suppression comment.
+const ignorePrefix = "//orcflint:ignore"
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics: suppressed findings are dropped, malformed
+// suppression comments are themselves reported, and the result is sorted by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("orcflint: %s on %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	ignores, bad := collectIgnores(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return kept, nil
+}
+
+// ignoreSet maps file → line → rules suppressed at that line.
+type ignoreSet map[string]map[int][]string
+
+// covers reports whether the diagnostic is suppressed by an ignore comment
+// on its own line or the line directly above.
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == "all" || rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment in the package for suppression
+// directives. A directive without a rule or without a reason is returned as
+// a diagnostic of its own — unaudited suppressions must not pass CI.
+func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	known := make(map[string]bool, len(All()))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
+						Msg: "malformed suppression: want //orcflint:ignore <rule> <reason>"})
+					continue
+				}
+				rule := fields[0]
+				if rule != "all" && !known[rule] {
+					bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
+						Msg: fmt.Sprintf("suppression names unknown rule %q", rule)})
+					continue
+				}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = make(map[int][]string)
+				}
+				set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line], rule)
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,67 @@
+package kmeans
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sumFloats accumulates floats in map order: addition is not associative,
+// so the result bits depend on Go's randomized iteration.
+func sumFloats(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation over map iteration order"
+	}
+	return total
+}
+
+// sortedKeys appends in map order but canonicalizes with a sort afterward.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// unsortedKeys leaks map order into the returned slice.
+func unsortedKeys(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append to keys under map iteration"
+	}
+	return keys
+}
+
+// deterministicSum iterates a sorted key slice, not the map.
+func deterministicSum(m map[int]float64) float64 {
+	var total float64
+	for _, k := range sortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// dump prints in map order.
+func dump(m map[int]float64) {
+	for k, v := range m {
+		fmt.Printf("%d=%v\n", k, v) // want "fmt.Printf inside map iteration"
+	}
+}
+
+// emit sends in map order: the receiver observes a random sequence.
+func emit(m map[int]float64, ch chan int) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+// histogram writes into another map: order-insensitive, allowed.
+func histogram(m map[int]float64) map[int]int {
+	out := make(map[int]int)
+	for k := range m {
+		out[k/10] = out[k/10] + 1
+	}
+	return out
+}

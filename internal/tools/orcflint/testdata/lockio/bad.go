@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"net"
+	"sync"
+)
+
+type client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	ch   chan int
+}
+
+// Send reintroduces the PR 4 stall pattern: the mutex is held across a
+// deadline-less conn.Write, so one stuck peer wedges every sender behind the
+// lock.
+func (c *client) Send(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.conn.Write(b) // want "c.conn.Write while c.mu held"
+	return err
+}
+
+func (c *client) notify(v int) {
+	c.mu.Lock()
+	c.ch <- v // want "channel send while c.mu held"
+	c.mu.Unlock()
+}
+
+func (c *client) wait() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch // want "channel receive while c.mu held"
+}
+
+// flush does direct I/O without holding a lock itself; it is fine on its
+// own, but calling it under the mutex is one-level-transitive I/O.
+func (c *client) flush(b []byte) error {
+	_, err := c.conn.Write(b)
+	return err
+}
+
+func (c *client) sendViaFlush(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flush(b) // want "call to flush"
+}

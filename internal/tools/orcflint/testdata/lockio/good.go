@@ -1,0 +1,45 @@
+package transport
+
+import "time"
+
+// sendArmed bounds the locked write with a deadline, the pattern the real
+// transport uses: the lock can only be held for WriteTimeout.
+func (c *client) sendArmed(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := c.conn.Write(b)
+	return err
+}
+
+// sendMaybeArmed arms the deadline conditionally (e.g. only when a timeout
+// is configured); a conditional deadline still counts as bounded.
+func (c *client) sendMaybeArmed(b []byte, timeout time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if timeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err := c.conn.Write(b)
+	return err
+}
+
+// sendUnlocked copies under the lock and writes outside it.
+func (c *client) sendUnlocked(b []byte) error {
+	c.mu.Lock()
+	buf := append([]byte(nil), b...)
+	c.mu.Unlock()
+	_, err := c.conn.Write(buf)
+	return err
+}
+
+// notifyNonBlocking uses a select with default: it cannot block under the
+// lock.
+func (c *client) notifyNonBlocking(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- v:
+	default:
+	}
+}

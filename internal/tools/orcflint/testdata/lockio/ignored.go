@@ -1,0 +1,32 @@
+package transport
+
+// sendAudited carries a well-formed suppression: rule plus reason. The
+// diagnostic on the next line is swallowed.
+func (c *client) sendAudited(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//orcflint:ignore lockio peer closes the conn on shutdown so the write is interruptible
+	_, err := c.conn.Write(b)
+	return err
+}
+
+// sendBareIgnore has a suppression with no reason: the suppression itself is
+// reported and the underlying diagnostic still fires.
+func (c *client) sendBareIgnore(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// want(+1) "malformed suppression"
+	//orcflint:ignore lockio
+	_, err := c.conn.Write(b) // want "c.conn.Write while c.mu held"
+	return err
+}
+
+// sendUnknownRule names a rule that does not exist.
+func (c *client) sendUnknownRule(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// want(+1) "suppression names unknown rule"
+	//orcflint:ignore lockedio typo in the rule name
+	_, err := c.conn.Write(b) // want "c.conn.Write while c.mu held"
+	return err
+}

@@ -1,0 +1,61 @@
+package serve
+
+import "math"
+
+// statsResponse mimics a wire-facing response type: json tags mark it as a
+// marshaling sink.
+type statsResponse struct {
+	Mean  float64   `json:"mean"`
+	Row   []float64 `json:"row"`
+	Count int       `json:"count"`
+}
+
+// internalStats has no json tags: it never reaches the encoder, so floats
+// may flow in unguarded.
+type internalStats struct {
+	mean float64
+}
+
+// Finite64 is the guard by naming convention.
+func Finite64(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// FiniteRow guards a slice.
+func FiniteRow(vs []float64) []float64 {
+	for i, v := range vs {
+		vs[i] = Finite64(v)
+	}
+	return vs
+}
+
+func buildBad(mean float64, row []float64) statsResponse {
+	return statsResponse{
+		Mean: mean, // want "unguarded float in JSON field statsResponse.Mean"
+		Row:  row,  // want "unguarded float in JSON field statsResponse.Row"
+	}
+}
+
+func assignBad(r *statsResponse, mean float64) {
+	r.Mean = mean // want "unguarded float assigned to JSON field statsResponse.Mean"
+}
+
+func buildGood(mean float64, row []float64, n int) statsResponse {
+	r := statsResponse{
+		Mean:  Finite64(mean),
+		Row:   FiniteRow(row),
+		Count: n,
+	}
+	r.Mean = 1.5        // constant: cannot be NaN
+	r.Mean = float64(n) // integer conversion: cannot be NaN
+	r.Row = nil
+	r.Row = make([]float64, n)
+	return r
+}
+
+func untagged(s *internalStats, v float64) {
+	s.mean = v
+}

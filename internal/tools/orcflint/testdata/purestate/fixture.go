@@ -1,0 +1,41 @@
+package persist
+
+import (
+	"math/rand"
+	"time"
+)
+
+type state struct {
+	vals map[int]float64
+	out  []float64
+}
+
+// ExportState is a deterministic-plane root: two replays of the same state
+// must produce identical bytes.
+func (s *state) ExportState() {
+	_ = time.Now() // want "time.Now in deterministic state path ExportState"
+	s.scramble()
+}
+
+// scramble is reached transitively from ExportState, so it inherits the
+// determinism obligation.
+func (s *state) scramble() {
+	_ = rand.Int()             // want "global math/rand.Int in deterministic state path scramble"
+	for _, v := range s.vals { // want "map iteration in deterministic state path scramble"
+		s.out = append(s.out, v)
+	}
+}
+
+// RestoreState copies map to map: order-insensitive, allowed.
+func (s *state) RestoreState(src map[int]float64) {
+	dst := make(map[int]float64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	s.vals = dst
+}
+
+// helper is not reachable from any root: the wall clock is fine here.
+func (s *state) helper() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,62 @@
+package core
+
+type ringSlot struct {
+	tail int
+}
+
+// Snapshot mimics the published, reader-shared core.Snapshot: once built it
+// is served lock-free and must never be written again.
+type Snapshot struct {
+	gen   int
+	freq  []float64
+	slots []*ringSlot
+}
+
+// Roster mimics core.Roster, the frozen membership view.
+type Roster struct {
+	byID map[int]int
+}
+
+// buildSnapshot is an allow-listed publisher: it may write fields freely.
+func buildSnapshot(n int) *Snapshot {
+	snap := &Snapshot{freq: make([]float64, n)}
+	snap.gen = 1
+	for i := range snap.freq {
+		snap.freq[i] = float64(i)
+	}
+	return snap
+}
+
+// republish is the other allow-listed publisher.
+func republish(snap *Snapshot) {
+	snap.gen++
+}
+
+// mutate reintroduces the PR 5 stale-tail class: post-publication writes
+// through Snapshot fields, both direct and via a local slice alias.
+func mutate(snap *Snapshot) {
+	snap.gen = 2     // want "write through frozen Snapshot field"
+	snap.freq[0] = 1 // want "write through frozen Snapshot field"
+	tail := snap.freq
+	tail[1] = 2 // want "write through frozen Snapshot-aliased"
+	snap.gen++  // want "write through frozen Snapshot field"
+}
+
+func mutateRoster(r *Roster) {
+	r.byID[1] = 2 // want "write through frozen Roster field"
+}
+
+// fresh builds by composite literal, which is always allowed.
+func fresh() Roster {
+	return Roster{byID: map[int]int{1: 1}}
+}
+
+// readOnly consumes snapshot fields without writing; local copies of scalar
+// values are fine.
+func readOnly(snap *Snapshot) float64 {
+	total := 0.0
+	for _, f := range snap.freq {
+		total += f
+	}
+	return total
+}

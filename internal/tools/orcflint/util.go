@@ -1,0 +1,186 @@
+package orcflint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// namedType unwraps pointers and aliases and returns the named type's
+// package path and name ("" when the type is not named or predeclared).
+func namedType(t types.Type) (pkgPath, name string) {
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// path.name.
+func isNamed(t types.Type, path, name string) bool {
+	p, n := namedType(t)
+	return p == path && n == name
+}
+
+// inScope reports whether pkgPath is one of the listed package paths.
+func inScope(pkgPath string, paths []string) bool {
+	for _, p := range paths {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc returns the package path and function name of a direct
+// package-level call like io.ReadFull(...), or ("", "") for anything else
+// (method calls, local calls, builtins, conversions).
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// methodCall unpacks a method call expression, returning the selector, the
+// receiver expression, and its type. ok is false for non-method calls.
+func methodCall(info *types.Info, call *ast.CallExpr) (sel *ast.SelectorExpr, recv ast.Expr, recvType types.Type, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return nil, nil, nil, false
+	}
+	selection, selOK := info.Selections[sel]
+	if !selOK || selection.Kind() != types.MethodVal {
+		return nil, nil, nil, false
+	}
+	return sel, sel.X, selection.Recv(), true
+}
+
+// calleeFunc resolves the *types.Func a call statically dispatches to
+// (package function or concrete method), or nil for builtins, conversions,
+// function-typed variables, and interface calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// hasFloat reports whether t contains a floating-point kind anywhere in its
+// structure (directly, or through slices, arrays, pointers, and maps).
+func hasFloat(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return hasFloat(u.Elem(), seen)
+	case *types.Array:
+		return hasFloat(u.Elem(), seen)
+	case *types.Pointer:
+		return hasFloat(u.Elem(), seen)
+	case *types.Map:
+		return hasFloat(u.Key(), seen) || hasFloat(u.Elem(), seen)
+	}
+	return false
+}
+
+// isMapRange reports whether rs ranges over a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rootIdent walks index, selector, star, and paren expressions down to the
+// base identifier of an lvalue chain (nil when the base is not an
+// identifier, e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredIn reports whether the identifier's object is declared inside the
+// given node's span (used to tell loop-local accumulators from outer state).
+func declaredIn(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// funcDeclFor maps every node in a file to its enclosing top-level function
+// declaration by walking decls; closures are attributed to the declaration
+// they appear in.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the receiver's named type ("" for plain functions).
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	_, name := namedType(t)
+	return name
+}

@@ -108,6 +108,10 @@ func (r *ReconnectingClient) Send(step int, values []float64) error {
 			return err
 		}
 	}
+	// The nested Client.Send arms its own write deadline around the encode,
+	// and Close never takes r.mu — it flips the atomic and closes the conn,
+	// which interrupts an in-flight write — so holding r.mu here is bounded.
+	//orcflint:ignore lockio Client.Send arms its own write deadline; Close interrupts via conn close without r.mu
 	if err := r.client.Send(step, values); err != nil {
 		// Connection went bad: drop it and try one immediate redial.
 		_ = r.client.Close()
@@ -118,6 +122,7 @@ func (r *ReconnectingClient) Send(step int, values []float64) error {
 		if err := r.redialLocked(); err != nil {
 			return fmt.Errorf("transport: send failed and redial pending: %w", err)
 		}
+		//orcflint:ignore lockio Client.Send arms its own write deadline; Close interrupts via conn close without r.mu
 		if err := r.client.Send(step, values); err != nil {
 			_ = r.client.Close()
 			r.setClient(nil)
