@@ -11,9 +11,9 @@ GO ?= go
 # just without the race detector's ~10x slowdown.
 RACE_PKGS = ./...
 
-.PHONY: ci fmt vet lint build test race docs churn-smoke bench
+.PHONY: ci fmt vet lint build test race docs churn-smoke bench bench-json bench-smoke
 
-ci: fmt vet lint build test race docs churn-smoke
+ci: fmt vet lint build test race docs churn-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -55,3 +55,15 @@ bench:
 	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .
 	$(GO) test -run xxx -bench ServeForecast -benchmem ./internal/serve
 	$(GO) test -run xxx -bench TransportIngest -benchmem ./internal/transport
+
+# Perf trajectory: run the five tracked benchmark families and write the
+# committed machine-readable baseline. Bump BENCH_OUT when cutting a new
+# baseline file for a PR.
+BENCH_OUT ?= BENCH_0007.json
+bench-json:
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# One-iteration smoke of the same tool: keeps cmd/benchjson and the five
+# benchmark families compiling and parseable without paying full bench time.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -short > /dev/null

@@ -1,0 +1,186 @@
+// Command benchjson runs the repository's benchmark families with -benchmem
+// and writes a machine-readable JSON summary — the committed BENCH_*.json
+// perf trajectory. Each growth PR regenerates the file (make bench-json), so
+// the history of committed baselines shows every change's perf delta.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_0007.json     # full run, write baseline
+//	go run ./cmd/benchjson -short                   # CI smoke: 1 iteration,
+//	                                                # verify all families parse
+//
+// The five families cover the pipeline hot paths: PipelineStep and
+// EnsembleRetrain (ingest/refit), ForecastQuery (eq. 12 reconstruction),
+// ServeForecast (query plane cache), and TransportIngest (wire protocols).
+// Output is deterministic modulo the measurements themselves: results are
+// sorted by package and benchmark name, and no timestamp is recorded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// family is one benchmark family: the go test package it lives in and the
+// -bench pattern selecting it.
+type family struct {
+	Name    string
+	Pkg     string
+	Pattern string
+}
+
+// families are the benchmark families the perf trajectory tracks. The
+// patterns are anchored so e.g. PipelineStepSerial stays out of the
+// PipelineStep family's numbers.
+var families = []family{
+	{"PipelineStep", ".", "^BenchmarkPipelineStep$"},
+	{"ForecastQuery", ".", "^BenchmarkForecastQuery$"},
+	{"EnsembleRetrain", ".", "^BenchmarkEnsembleRetrain$"},
+	{"ServeForecast", "./internal/serve", "^BenchmarkServeForecast$"},
+	{"TransportIngest", "./internal/transport", "^BenchmarkTransportIngest$"},
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Family     string `json:"family"`
+	Package    string `json:"package"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value (ns/op, B/op, allocs/op, plus custom units
+	// like msgs/s).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// report is the BENCH_*.json payload.
+type report struct {
+	Go        string   `json:"go"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+// finite64 fences non-finite parsed values out of the JSON payload
+// (encoding/json rejects NaN and ±Inf).
+func finite64(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// parseBenchLines extracts benchmark result lines from go test -bench output.
+func parseBenchLines(fam family, out string) []result {
+	var results []result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{
+			Family:     fam.Name,
+			Package:    fam.Pkg,
+			Name:       fields[0],
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = finite64(v)
+		}
+		if len(r.Metrics) > 0 {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+// runFamily executes one family's benchmarks and returns the parsed results.
+func runFamily(fam family, benchtime string) ([]result, error) {
+	args := []string{"test", "-run", "^$", "-bench", fam.Pattern, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, fam.Pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: go %s: %w\n%s",
+			fam.Name, strings.Join(args, " "), err, out)
+	}
+	return parseBenchLines(fam, string(out)), nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out       = flag.String("out", "", "file to write the JSON report to (empty = stdout)")
+		short     = flag.Bool("short", false, "smoke mode: one iteration per benchmark, verify every family parses")
+		benchtime = flag.String("benchtime", "", "go test -benchtime override (empty = go default; -short forces 1x)")
+	)
+	flag.Parse()
+	bt := *benchtime
+	if *short {
+		bt = "1x"
+	}
+
+	rep := report{Go: runtime.Version(), Benchtime: bt}
+	missing := []string{}
+	for _, fam := range families {
+		results, err := runFamily(fam, bt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(results) == 0 {
+			missing = append(missing, fam.Name)
+			continue
+		}
+		rep.Results = append(rep.Results, results...)
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %d result(s)\n", fam.Name, len(results))
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no results parsed for: %s\n", strings.Join(missing, ", "))
+		return 1
+	}
+	sort.Slice(rep.Results, func(i, j int) bool {
+		if rep.Results[i].Package != rep.Results[j].Package {
+			return rep.Results[i].Package < rep.Results[j].Package
+		}
+		return rep.Results[i].Name < rep.Results[j].Name
+	})
+
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	payload = append(payload, '\n')
+	if *out == "" {
+		os.Stdout.Write(payload)
+		return 0
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d results)\n", *out, len(rep.Results))
+	return 0
+}

@@ -26,6 +26,11 @@
 // reconciled — cluster identities survive a collector restart even when the
 // fleet changed while it was down (nodes missing from the new fleet simply
 // age out; new ones join).
+//
+// collectd has no query API of its own, so -debug-addr is the way to watch
+// it: the opt-in debug server exposes net/http/pprof profiles, expvar, a
+// /debug/obs JSON metrics dump, and /metrics with the transport ingest and
+// store series. Logs are structured (log/slog) with tick correlation fields.
 package main
 
 import (
@@ -35,16 +40,21 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"math"
 	"math/rand/v2"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"orcf/internal/cluster"
+	"orcf/internal/obs"
 	"orcf/internal/persist"
 	"orcf/internal/transport"
 )
@@ -124,12 +134,13 @@ func (f *fleet) evict(id int) int {
 	return slot
 }
 
-// printFrequencies reports the realized per-node transmission frequency the
+// logFrequencies reports the realized per-node transmission frequency the
 // store has accounted (eq. 5: accepted updates over the node's local step
 // count), so the summary shows what the agents' budgets actually delivered
 // alongside the clustering. Per-node values are listed for small fleets and
-// summarized as mean/min/max for large ones.
-func printFrequencies(nodes []int, stats map[int]transport.NodeStat) {
+// summarized as mean/min/max for large ones. nodes must already be sorted so
+// the per_node field (and with it the whole line) is deterministic.
+func logFrequencies(log *slog.Logger, tick int, nodes []int, stats map[int]transport.NodeStat) {
 	mean, minF, maxF := 0.0, math.Inf(1), math.Inf(-1)
 	for _, id := range nodes {
 		f := stats[id].Frequency
@@ -138,14 +149,18 @@ func printFrequencies(nodes []int, stats map[int]transport.NodeStat) {
 		maxF = math.Max(maxF, f)
 	}
 	mean /= float64(len(nodes))
-	fmt.Printf("transmit | mean %.3f | min %.3f | max %.3f", mean, minF, maxF)
+	args := []any{"tick", tick, "mean", mean, "min", minF, "max", maxF}
 	if len(nodes) <= 16 {
-		fmt.Print(" | per node:")
-		for _, id := range nodes {
-			fmt.Printf(" %d:%.2f", id, stats[id].Frequency)
+		var b strings.Builder
+		for i, id := range nodes {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d:%.2f", id, stats[id].Frequency)
 		}
+		args = append(args, "per_node", b.String())
 	}
-	fmt.Println()
+	log.Info("transmit frequencies", args...)
 }
 
 func run() int {
@@ -158,14 +173,18 @@ func run() int {
 		stateDir  = flag.String("state-dir", "", "directory for durable clustering state (empty = in-memory only)")
 		idleTmo   = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
 		absence   = flag.Int("absence-ticks", 0, "evict a node after this many silent ticks (0 = never)")
+		debugAddr = flag.String("debug-addr", "", "optional address for the debug server (pprof, expvar, /debug/obs, /metrics); empty = disabled")
 	)
 	flag.Parse()
+	// Correlation fields are passed in a fixed order (tick first) so log
+	// lines diff cleanly across runs.
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "collectd")
 
 	var saved *trackerState
 	statePath := ""
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "collectd:", err)
+			log.Error("state dir", "err", err)
 			return 1
 		}
 		statePath = filepath.Join(*stateDir, "collectd-trackers.state")
@@ -174,31 +193,52 @@ func run() int {
 		case err == nil:
 			st := new(trackerState)
 			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
-				fmt.Fprintln(os.Stderr, "collectd: ignoring undecodable state:", err)
+				log.Warn("ignoring undecodable state", "path", statePath, "err", err)
 			} else {
 				saved = st
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh state dir.
 		default:
-			fmt.Fprintln(os.Stderr, "collectd: ignoring unreadable state:", err)
+			log.Warn("ignoring unreadable state", "path", statePath, "err", err)
 		}
 	}
 
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 	store := transport.NewStore()
 	srv, err := transport.NewServer(store, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "collectd:", err)
+		log.Error("ingest server", "err", err)
 		return 1
 	}
 	srv.SetIdleTimeout(*idleTmo)
+	srv.RegisterMetrics(reg)
+	store.RegisterMetrics(reg)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "collectd:", err)
+		log.Error("listen", "err", err)
 		return 1
 	}
 	defer srv.Close()
-	fmt.Printf("collectd listening on %s (K=%d)\n", addr, *k)
+	log.Info("listening", "addr", addr, "k", *k)
+
+	var ds *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug listen", "err", err)
+			return 1
+		}
+		ds = &http.Server{Handler: obs.DebugMux(reg)}
+		go func() {
+			if err := ds.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Error("debug server", "err", err)
+			}
+		}()
+		defer ds.Close()
+		log.Info("debug server listening", "addr", dln.Addr().String())
+	}
 
 	trackers := make([]*cluster.Tracker, *resources)
 	pcgs := make([]*rand.PCG, *resources)
@@ -206,7 +246,7 @@ func run() int {
 		pcgs[r] = rand.NewPCG(*seed, uint64(r))
 		tr, err := cluster.NewTracker(cluster.Config{K: *k}, rand.New(pcgs[r]))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "collectd:", err)
+			log.Error("tracker construction", "err", err)
 			return 1
 		}
 		trackers[r] = tr
@@ -222,21 +262,22 @@ func run() int {
 	if saved != nil {
 		switch {
 		case saved.K != *k || saved.Resources != *resources || saved.Seed != *seed:
-			fmt.Printf("collectd: discarding saved state (K=%d d=%d seed=%d, want K=%d d=%d seed=%d)\n",
-				saved.K, saved.Resources, saved.Seed, *k, *resources, *seed)
+			log.Warn("discarding saved state (config mismatch)",
+				"saved_k", saved.K, "saved_resources", saved.Resources, "saved_seed", saved.Seed,
+				"want_k", *k, "want_resources", *resources, "want_seed", *seed)
 		case len(saved.Roster) != len(saved.AliveSlots) || len(saved.RNGs) != *resources ||
 			len(saved.Trackers) != *resources:
-			fmt.Println("collectd: discarding saved state (inconsistent shape)")
+			log.Warn("discarding saved state (inconsistent shape)")
 		default:
 			restored := true
 			for r := range trackers {
 				if err := trackers[r].RestoreState(saved.Trackers[r]); err != nil {
-					fmt.Fprintln(os.Stderr, "collectd: discarding saved state:", err)
+					log.Warn("discarding saved state", "err", err)
 					restored = false
 					break
 				}
 				if err := pcgs[r].UnmarshalBinary(saved.RNGs[r]); err != nil {
-					fmt.Fprintln(os.Stderr, "collectd: discarding saved state:", err)
+					log.Warn("discarding saved state", "err", err)
 					restored = false
 					break
 				}
@@ -247,7 +288,7 @@ func run() int {
 					pcgs[r] = rand.NewPCG(*seed, uint64(r))
 					tr, err := cluster.NewTracker(cluster.Config{K: *k}, rand.New(pcgs[r]))
 					if err != nil {
-						fmt.Fprintln(os.Stderr, "collectd:", err)
+						log.Error("tracker construction", "err", err)
 						return 1
 					}
 					trackers[r] = tr
@@ -267,8 +308,9 @@ func run() int {
 					tombs++
 				}
 			}
-			fmt.Printf("collectd: resumed clustering at step %d from %s — roster reconciled: kept %d members, %d reusable tombstones\n",
-				trackers[0].Steps(), statePath, kept, tombs)
+			log.Info("resumed clustering; roster reconciled",
+				"step", trackers[0].Steps(), "state_path", statePath,
+				"kept_members", kept, "reusable_tombstones", tombs)
 		}
 		saved = nil
 	}
@@ -287,7 +329,7 @@ func run() int {
 		for r, tr := range trackers {
 			rng, err := pcgs[r].MarshalBinary()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "collectd: state save:", err)
+				log.Error("state save", "err", err)
 				return
 			}
 			st.RNGs[r] = rng
@@ -295,11 +337,11 @@ func run() int {
 		}
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-			fmt.Fprintln(os.Stderr, "collectd: state save:", err)
+			log.Error("state save", "err", err)
 			return
 		}
 		if err := persist.WriteBlobAtomic(statePath, persist.KindAux, buf.Bytes()); err != nil {
-			fmt.Fprintln(os.Stderr, "collectd: state save:", err)
+			log.Error("state save", "err", err)
 		}
 	}
 
@@ -312,7 +354,7 @@ func run() int {
 	for {
 		select {
 		case <-stop:
-			fmt.Println("collectd: shutting down")
+			log.Info("shutting down")
 			save()
 			return 0
 		case <-ticker.C:
@@ -333,7 +375,7 @@ func run() int {
 				for _, tr := range trackers {
 					tr.ForgetSlot(slot) // recycled slots must not inherit history
 				}
-				fmt.Printf("collectd: joined node %d (slot %d)\n", id, slot)
+				log.Info("joined node", "tick", ticks, "node", id, "slot", slot)
 			}
 
 			// Absence accounting: a member whose local clock stopped
@@ -365,8 +407,8 @@ func run() int {
 							tr.ForgetSlot(freed)
 						}
 						store.Forget(id)
-						fmt.Printf("collectd: evicted node %d after %d silent ticks (slot %d recycled)\n",
-							id, *absence, freed)
+						log.Info("evicted node",
+							"tick", ticks, "node", id, "silent_ticks", *absence, "recycled_slot", freed)
 					}
 				}
 			}
@@ -380,7 +422,7 @@ func run() int {
 				}
 			}
 			if len(nodes) < *k {
-				fmt.Printf("collectd: %d/%d nodes reporting; waiting\n", len(nodes), *k)
+				log.Info("waiting for quorum", "reporting", len(nodes), "k", *k)
 				continue
 			}
 			sort.Ints(nodes)
@@ -409,16 +451,20 @@ func run() int {
 				}
 				step, err := trackers[r].UpdateMasked(points, mask)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "collectd: clustering resource %d: %v\n", r, err)
+					log.Error("clustering", "tick", ticks, "resource", r, "err", err)
 					continue
 				}
-				fmt.Printf("resource %d | %d nodes | centroids:", r, clustered)
-				for _, c := range step.Centroids {
-					fmt.Printf(" %.3f", c[0])
+				var b strings.Builder
+				for i, c := range step.Centroids {
+					if i > 0 {
+						b.WriteByte(' ')
+					}
+					fmt.Fprintf(&b, "%.3f", c[0])
 				}
-				fmt.Println()
+				log.Info("clustering",
+					"tick", ticks, "resource", r, "nodes", clustered, "centroids", b.String())
 			}
-			printFrequencies(nodes, stats)
+			logFrequencies(log, ticks, nodes, stats)
 		}
 	}
 }

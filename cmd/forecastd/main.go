@@ -36,12 +36,18 @@
 // collector resumes exactly where it stopped — models, look-back window,
 // and per-node frequency accounting intact. See docs/OPERATIONS.md for the
 // recovery runbook.
+//
+// With -debug-addr an opt-in debug server additionally exposes
+// net/http/pprof profiles, expvar, a /debug/obs JSON metrics dump, and a
+// /metrics mirror — see the "Profiling a hot pipeline" runbook in
+// docs/OPERATIONS.md. Logs are structured (log/slog) with step and
+// generation correlation fields.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -50,6 +56,7 @@ import (
 	"time"
 
 	"orcf/internal/core"
+	"orcf/internal/obs"
 	"orcf/internal/persist"
 	"orcf/internal/serve"
 	"orcf/internal/transport"
@@ -70,10 +77,13 @@ func persistStats(mgr *persist.Manager) serve.PersistStats {
 	return serve.PersistStats{
 		LastCheckpointStep:       st.LastCheckpointStep,
 		LastCheckpointAgeSeconds: serve.Finite64(age),
+		LastCheckpointSeconds:    serve.Finite64(st.LastCheckpointDuration.Seconds()),
 		Checkpoints:              st.Checkpoints,
 		CheckpointErrors:         st.CheckpointErrors,
+		CheckpointSecondsTotal:   serve.Finite64(st.CheckpointTime.Seconds()),
 		WALRecords:               st.WALRecords,
 		WALBytes:                 st.WALBytes,
+		WALAppendSecondsTotal:    serve.Finite64(st.WALAppendTime.Seconds()),
 		RecoveredStep:            st.RecoveredStep,
 		ReplayedSteps:            st.ReplayedSteps,
 	}
@@ -98,23 +108,32 @@ func run() int {
 		fsyncWAL    = flag.Bool("fsync-wal", false, "fsync the WAL after every step (single-step durability)")
 		idleTmo     = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
 		absence     = flag.Int("absence-ticks", 0, "evict a fleet member after this many silent pipeline ticks (0 = never)")
+		debugAddr   = flag.String("debug-addr", "", "optional address for the debug server (pprof, expvar, /debug/obs, /metrics); empty = disabled")
 	)
 	flag.Parse()
+	// Correlation fields are passed in a fixed order (step, generation first)
+	// so log lines diff cleanly across runs.
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "forecastd")
 	if *nodes < 0 {
-		fmt.Fprintln(os.Stderr, "forecastd: -nodes must be ≥ 0")
+		log.Error("-nodes must be ≥ 0")
 		return 2
 	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
 
 	store := transport.NewStore()
 	collector, err := transport.NewServer(store, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		log.Error("ingest server", "err", err)
 		return 1
 	}
 	collector.SetIdleTimeout(*idleTmo)
+	collector.RegisterMetrics(reg)
+	store.RegisterMetrics(reg)
 	ingestAddr, err := collector.Listen(*ingest)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		log.Error("ingest listen", "err", err)
 		return 1
 	}
 	defer collector.Close()
@@ -129,10 +148,11 @@ func run() int {
 		Seed:              *seed,
 		Workers:           *workers,
 		SnapshotHorizon:   *horizon,
+		PhaseObserver:     serve.NewStepTimings(reg),
 	}
 	stepper, err := serve.NewStoreStepper(store, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		log.Error("pipeline construction", "err", err)
 		return 1
 	}
 
@@ -146,22 +166,23 @@ func run() int {
 			Fsync:           *fsyncWAL,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "forecastd:", err)
+			log.Error("persistence setup", "err", err)
 			return 1
 		}
 		info, err := mgr.Recover(stepper.Replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "forecastd: recovery:", err)
+			log.Error("recovery", "err", err)
 			return 1
 		}
 		defer mgr.Close()
 		stepper.SetLog(mgr)
 		switch {
 		case info.Steps == 0:
-			fmt.Printf("forecastd: state dir %s empty; starting fresh\n", *stateDir)
+			log.Info("state dir empty; starting fresh", "state_dir", *stateDir)
 		default:
-			fmt.Printf("forecastd: recovered to step %d (checkpoint %d + %d replayed WAL steps, torn tail: %v)\n",
-				info.Steps, info.CheckpointStep, info.ReplayedSteps, info.TornTail)
+			log.Info("recovered durable state",
+				"step", info.Steps, "checkpoint_step", info.CheckpointStep,
+				"replayed_steps", info.ReplayedSteps, "torn_tail", info.TornTail)
 		}
 	}
 
@@ -169,26 +190,46 @@ func run() int {
 		Source:      stepper.System(),
 		Workers:     *workers,
 		MaxInFlight: *maxInFlight,
+		Registry:    reg,
 	}
 	if mgr != nil {
 		serveCfg.PersistStats = func() serve.PersistStats { return persistStats(mgr) }
 	}
 	query, err := serve.New(serveCfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		log.Error("query server construction", "err", err)
 		return 1
 	}
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "forecastd:", err)
+		log.Error("http listen", "err", err)
 		return 1
 	}
 	hs := &http.Server{Handler: query}
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- hs.Serve(ln) }()
-	fmt.Printf("forecastd: ingest %s | http %s | N=%d d=%d K=%d horizon=%d interval=%s\n",
-		ingestAddr, ln.Addr(), *nodes, *resources, *k, *horizon, *interval)
+
+	var ds *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug listen", "err", err)
+			return 1
+		}
+		ds = &http.Server{Handler: obs.DebugMux(reg)}
+		go func() {
+			if err := ds.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Error("debug server", "err", err)
+			}
+		}()
+		log.Info("debug server listening", "addr", dln.Addr().String())
+	}
+
+	log.Info("listening",
+		"ingest", ingestAddr, "http", ln.Addr().String(),
+		"nodes", *nodes, "resources", *resources, "k", *k,
+		"horizon", *horizon, "interval", *interval)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -199,21 +240,26 @@ func run() int {
 	// and must not be made durable — the state dir keeps the last good
 	// checkpoint + WAL instead.
 	shutdown := func(checkpoint bool) int {
-		fmt.Println("forecastd: shutting down")
+		log.Info("shutting down")
 		if mgr != nil && checkpoint {
 			if err := mgr.Checkpoint(); err != nil {
-				fmt.Fprintln(os.Stderr, "forecastd: final checkpoint:", err)
+				log.Error("final checkpoint", "err", err)
 			} else {
-				fmt.Printf("forecastd: checkpointed at step %d\n", stepper.System().Steps())
+				log.Info("final checkpoint written", "step", stepper.System().Steps())
 			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "forecastd: http shutdown:", err)
+			log.Error("http shutdown", "err", err)
+		}
+		if ds != nil {
+			if err := ds.Shutdown(ctx); err != nil {
+				log.Error("debug shutdown", "err", err)
+			}
 		}
 		if err := collector.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "forecastd: collector close:", err)
+			log.Error("collector close", "err", err)
 		}
 		return 0
 	}
@@ -225,32 +271,40 @@ func run() int {
 		case <-stop:
 			return shutdown(true)
 		case err := <-httpDone:
-			fmt.Fprintln(os.Stderr, "forecastd: http server:", err)
+			log.Error("http server", "err", err)
 			return 1
 		case <-ticker.C:
 			res, ok, err := stepper.Tick()
 			if err != nil {
 				// A step error leaves the pipeline in an undefined state; the
 				// system must be discarded rather than stepped further.
-				fmt.Fprintln(os.Stderr, "forecastd:", err)
+				log.Error("pipeline step", "err", err)
 				_ = shutdown(false)
 				return 1
 			}
 			if !ok {
-				fmt.Printf("forecastd: %d nodes reporting; waiting for the bootstrap gate\n", store.Len())
+				log.Info("waiting for bootstrap gate", "reporting", store.Len())
 				continue
 			}
+			gen := uint64(0)
+			if snap := sys.Snapshot(); snap != nil {
+				gen = snap.Generation()
+			}
 			for _, id := range res.Evicted {
-				fmt.Printf("forecastd: evicted node %d after %d silent ticks\n", id, *absence)
+				log.Info("evicted node",
+					"step", res.T, "generation", gen, "node", id, "silent_ticks", *absence)
 			}
 			if sys.Ready() && !wasReady {
 				wasReady = true
-				fmt.Printf("forecastd: models trained at step %d; /v1/forecast is live\n", res.T)
+				log.Info("models trained; /v1/forecast is live", "step", res.T, "generation", gen)
 			}
 			if res.T%25 == 0 {
 				st := query.Stats()
-				fmt.Printf("forecastd: step %d | ready=%v | %d live nodes (%d evictions) | mean freq %.3f | cache hit ratio %.2f | %d requests\n",
-					res.T, st.Ready, st.Nodes, st.Evictions, st.MeanFrequency, st.Cache.HitRatio, st.Requests.Total)
+				log.Info("pipeline step",
+					"step", res.T, "generation", gen, "ready", st.Ready,
+					"live_nodes", st.Nodes, "evictions", st.Evictions,
+					"mean_freq", st.MeanFrequency, "cache_hit_ratio", st.Cache.HitRatio,
+					"requests", st.Requests.Total)
 			}
 		}
 	}

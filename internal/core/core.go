@@ -111,6 +111,11 @@ type Config struct {
 	// DisableMatching turns off the Hungarian cluster re-indexing of §V-B
 	// (ablation; forecasting then trains on incoherent centroid series).
 	DisableMatching bool
+	// PhaseObserver, when non-nil, receives wall-clock durations for every
+	// Step sub-phase (ingest, cluster, refit, forecast, publish). Purely
+	// observational — step results are bit-identical with or without it —
+	// and free when nil (no clock reads on the hot path).
+	PhaseObserver PhaseObserver
 }
 
 func (c Config) withDefaults() Config {
@@ -874,6 +879,11 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		Present:     make([]bool, len(x)),
 		PerResource: make([]ResourceStep, s.nTrackers),
 	}
+	ob := s.cfg.PhaseObserver
+	var tIngest time.Time
+	if ob != nil {
+		tIngest = time.Now()
+	}
 
 	// Layer 1: transmission decisions update the central store in place;
 	// silent live members accrue absence. Members at the timeout are only
@@ -950,16 +960,35 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 	}
 	copy(snap.present, present)
 
+	if ob != nil {
+		ob.ObserveStepPhase(PhaseIngest, time.Since(tIngest))
+	}
+
 	// Layers 2+3: per-tracker clustering and model maintenance. Trackers are
 	// independent — each owns its RNG, ensemble, and the tr-indexed slots
-	// written below — so the fan-out is deterministic.
+	// written below — so the fan-out is deterministic. Phase timing sums CPU
+	// time across trackers through atomics (integer adds commute, so the
+	// worker schedule cannot perturb the total).
+	var clusterNanos, refitNanos atomic.Int64
 	err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+		var t0 time.Time
+		if ob != nil {
+			t0 = time.Now()
+		}
 		step, err := s.trackers[tr].UpdateMasked(s.trackerPoints(tr), present)
 		if err != nil {
 			return fmt.Errorf("core: tracker %d: %w", tr, err)
 		}
+		var t1 time.Time
+		if ob != nil {
+			t1 = time.Now()
+			clusterNanos.Add(int64(t1.Sub(t0)))
+		}
 		if err := s.ensembles[tr].Observe(step.Centroids); err != nil {
 			return fmt.Errorf("core: ensemble %d: %w", tr, err)
+		}
+		if ob != nil {
+			refitNanos.Add(int64(time.Since(t1)))
 		}
 		res.PerResource[tr] = ResourceStep{
 			Assignments: step.Assignments,
@@ -974,19 +1003,45 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ob != nil {
+		ob.ObserveStepPhase(PhaseCluster, time.Duration(clusterNanos.Load()))
+		ob.ObserveStepPhase(PhaseRefit, time.Duration(refitNanos.Load()))
+	}
 
 	// Build the next published Snapshot (if enabled) before committing, so a
 	// failed publish leaves both the ring and the published view untouched.
+	// Assembly and the forecast precompute are timed separately so the two
+	// phase series stay attributable; the split mirrors buildSnapshot.
 	var pub *Snapshot
+	var assembleDur, forecastDur time.Duration
 	if s.cfg.SnapshotHorizon > 0 {
-		pub, err = s.buildSnapshot()
-		if err != nil {
+		var tA time.Time
+		if ob != nil {
+			tA = time.Now()
+		}
+		pub = s.assembleSnapshot()
+		var tF time.Time
+		if ob != nil {
+			tF = time.Now()
+			assembleDur = tF.Sub(tA)
+		}
+		if err := s.forecastSnapshot(pub); err != nil {
 			return nil, err
 		}
+		if ob != nil {
+			forecastDur = time.Since(tF)
+		}
+	}
+	if ob != nil {
+		ob.ObserveStepPhase(PhaseForecast, forecastDur)
 	}
 
 	// Commit: swap the staged slot with the oldest ring slot (slice headers
 	// only — no copying), making it the current look-back entry.
+	var tCommit time.Time
+	if ob != nil {
+		tCommit = time.Now()
+	}
 	s.head = (s.head + 1) % len(s.ring)
 	if s.ringLen < len(s.ring) {
 		s.ringLen++
@@ -998,6 +1053,9 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		s.pubWin = pub.slots
 		s.pubWinStale = false
 		s.snap.Store(pub)
+	}
+	if ob != nil {
+		ob.ObserveStepPhase(PhasePublish, assembleDur+time.Since(tCommit))
 	}
 	return res, nil
 }

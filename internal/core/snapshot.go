@@ -61,8 +61,20 @@ func (s *System) Snapshot() *Snapshot { return s.snap.Load() }
 // buildSnapshot assembles the next Snapshot from the staged (not yet
 // committed) step state. It is called before the ring commit so a failed
 // centroid-forecast pass leaves both the ring and the published view
-// untouched.
+// untouched. Step calls the two halves (assembleSnapshot, forecastSnapshot)
+// directly so each gets its own phase timer; restore paths use this wrapper.
 func (s *System) buildSnapshot() (*Snapshot, error) {
+	snap := s.assembleSnapshot()
+	if err := s.forecastSnapshot(snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// assembleSnapshot builds everything in the next Snapshot except the
+// centroid forecasts: the look-back window, frequencies, roster, and
+// dimensions.
+func (s *System) assembleSnapshot() *Snapshot {
 	slot := s.newRingSlot()
 	slot.copyFrom(&s.stage)
 
@@ -116,22 +128,24 @@ func (s *System) buildSnapshot() (*Snapshot, error) {
 		snap.meanFreq = sum / float64(live)
 	}
 	snap.trainTime, snap.trainRuns = s.TrainingTime()
+	return snap
+}
 
-	if snap.ready {
-		snap.centF = make([][][][]float64, s.nTrackers)
-		err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
-			f, err := s.ensembles[tr].Forecast(s.cfg.SnapshotHorizon)
-			if err != nil {
-				return fmt.Errorf("core: tracker %d snapshot forecast: %w", tr, err)
-			}
-			snap.centF[tr] = f
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
+// forecastSnapshot precomputes the per-tracker centroid forecasts up to the
+// snapshot horizon (a no-op before the models finish initial training).
+func (s *System) forecastSnapshot(snap *Snapshot) error {
+	if !snap.ready {
+		return nil
 	}
-	return snap, nil
+	snap.centF = make([][][][]float64, s.nTrackers)
+	return parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {
+		f, err := s.ensembles[tr].Forecast(s.cfg.SnapshotHorizon)
+		if err != nil {
+			return fmt.Errorf("core: tracker %d snapshot forecast: %w", tr, err)
+		}
+		snap.centF[tr] = f
+		return nil
+	})
 }
 
 // Generation is the snapshot's monotonically increasing publication counter

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// buildVersion resolves a human-usable version string for orcf_build_info:
+// the module version when the binary was built from a tagged module, else
+// the VCS revision (truncated), else "dev". Test binaries and go run report
+// "dev".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	return "dev"
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// RegisterBuildInfo adds the restart-detection pair every daemon should
+// expose: orcf_build_info{version,go} (constant 1, labels carry the build)
+// and orcf_uptime_seconds anchored at the registry's creation. WAL recovery
+// deliberately makes a restarted daemon resume its step counter, which hides
+// restarts from orcf_steps_total; a falling uptime or a changed build_info
+// label set is the signal dashboards alert on instead. Idempotent, so plane
+// wiring (serve.New) and daemon wiring can both call it on a shared
+// registry.
+func RegisterBuildInfo(r *Registry) {
+	r.mu.Lock()
+	_, dup := r.names["orcf_build_info"]
+	r.mu.Unlock()
+	if dup {
+		return
+	}
+	labels := fmt.Sprintf(`{version=%q,go=%q}`,
+		escapeLabel(buildVersion()), escapeLabel(runtime.Version()))
+	r.LabeledGaugeFunc("orcf_build_info",
+		labels,
+		"Constant 1; the version and go labels identify the running build.",
+		func() float64 { return 1 })
+	r.GaugeFunc("orcf_uptime_seconds",
+		"Seconds since this process created its metrics registry; resets on restart even when WAL recovery resumes the step counter.",
+		func() float64 { return time.Since(r.start).Seconds() })
+}

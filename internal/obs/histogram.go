@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are general-purpose request-latency bucket bounds in seconds,
+// matching the Prometheus client default.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// StepBuckets are bucket bounds (seconds) sized for pipeline step sub-phases
+// and persistence writes, which run from microseconds on a quiet fleet to
+// seconds under retraining.
+var StepBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, .01, .025, .05, .1, .25, .5, 1, 2.5,
+}
+
+// Histogram counts observations into fixed buckets by upper bound, plus a
+// running sum and count. It is safe for concurrent use: every field is
+// atomic. An exposition pass reads a best-effort point-in-time snapshot;
+// with observations in flight the cumulative bucket lines can lead _count by
+// at most the number of concurrent observers, and they agree exactly
+// whenever the histogram is quiescent.
+type Histogram struct {
+	upper   []float64 // sorted finite upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogramBuckets builds a histogram from the given finite upper bounds.
+// Bounds are sorted and deduplicated; non-finite bounds are dropped (a +Inf
+// overflow bucket is always present implicitly). Passing no usable bounds
+// panics — a histogram with only +Inf is a counter, use one.
+func NewHistogramBuckets(bounds []float64) *Histogram {
+	upper := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		upper = append(upper, b)
+	}
+	sort.Float64s(upper)
+	dedup := upper[:0]
+	for i, b := range upper {
+		if i == 0 || b != upper[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	if len(dedup) == 0 {
+		panic("obs: histogram needs at least one finite bucket bound")
+	}
+	return &Histogram{upper: dedup, buckets: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one value. NaN and infinite observations are dropped so a
+// poisoned measurement can never leak into the exposition.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	// Binary search for the first bound >= v; the slice is small enough that
+	// this is a handful of compares.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of recorded observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot reads per-bucket (non-cumulative) counts, the sum, and the total.
+func (h *Histogram) snapshot() (counts []uint64, sum float64, count uint64) {
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, h.Sum(), h.count.Load()
+}
+
+// writeProm renders the histogram's cumulative bucket, sum, and count lines.
+func (h *Histogram) writeProm(w io.Writer, name string) error {
+	counts, sum, count := h.snapshot()
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatValue(h.upper[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, count)
+	return err
+}

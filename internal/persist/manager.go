@@ -101,14 +101,17 @@ type Manager struct {
 	ckptBusy atomic.Bool    // one background checkpoint at a time
 	wg       sync.WaitGroup // tracks the in-flight background checkpoint
 
-	checkpoints   atomic.Int64
-	ckptErrors    atomic.Int64
-	lastCkptStep  atomic.Int64
-	lastCkptNanos atomic.Int64
-	walRecords    atomic.Int64
-	walBytes      atomic.Int64
-	recoveredStep atomic.Int64
-	replayedSteps atomic.Int64
+	checkpoints    atomic.Int64
+	ckptErrors     atomic.Int64
+	lastCkptStep   atomic.Int64
+	lastCkptNanos  atomic.Int64
+	ckptWorkNanos  atomic.Int64
+	lastCkptWork   atomic.Int64
+	walRecords     atomic.Int64
+	walBytes       atomic.Int64
+	walAppendNanos atomic.Int64
+	recoveredStep  atomic.Int64
+	replayedSteps  atomic.Int64
 }
 
 // Stats is a point-in-time view of the Manager's accounting, shaped for the
@@ -123,10 +126,21 @@ type Stats struct {
 	LastCheckpointStep int64
 	// LastCheckpointTime is when it completed (zero before the first).
 	LastCheckpointTime time.Time
+	// LastCheckpointDuration is how long the newest durable checkpoint took
+	// to encode and write (zero before the first).
+	LastCheckpointDuration time.Duration
+	// CheckpointTime is the cumulative wall time spent encoding and durably
+	// writing checkpoints this process (successful attempts only; the work
+	// usually runs on the background goroutine, off the stepping hot path).
+	CheckpointTime time.Duration
 	// WALRecords and WALBytes count appended records this process.
 	WALRecords int64
 	// WALBytes is the total bytes appended to the WAL this process.
 	WALBytes int64
+	// WALAppendTime is the cumulative wall time LogStep spent appending
+	// records — stepping-goroutine time, the WAL's direct cost to the
+	// ingest loop.
+	WALAppendTime time.Duration
 	// RecoveredStep is the step the system resumed from at boot (0 for a
 	// fresh start).
 	RecoveredStep int64
@@ -298,7 +312,9 @@ func (m *Manager) LogStep(step int, roster *core.Roster, x [][]float64, arrived 
 	if !m.recovered || m.closed {
 		return fmt.Errorf("persist: LogStep before Recover or after Close: %w", ErrBadConfig)
 	}
+	t0 := time.Now()
 	n, err := m.wal.append(step, roster, x, arrived)
+	m.walAppendNanos.Add(int64(time.Since(t0)))
 	if err != nil {
 		return err
 	}
@@ -405,6 +421,7 @@ func (m *Manager) prepareCheckpoint() (func() error, error) {
 		return nil, errClose
 	}
 	return func() error {
+		t0 := time.Now()
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
 			return fmt.Errorf("persist: encoding checkpoint: %w", err)
@@ -413,7 +430,10 @@ func (m *Manager) prepareCheckpoint() (func() error, error) {
 		if err := WriteBlobAtomic(path, KindCheckpoint, buf.Bytes()); err != nil {
 			return err
 		}
+		d := int64(time.Since(t0))
 		m.checkpoints.Add(1)
+		m.ckptWorkNanos.Add(d)
+		m.lastCkptWork.Store(d)
 		m.lastCkptStep.Store(int64(st.T))
 		m.lastCkptNanos.Store(time.Now().UnixNano())
 		m.prune(st.T)
@@ -456,13 +476,16 @@ func (m *Manager) prune(newest int) {
 // Stats returns the Manager's accounting; safe from any goroutine.
 func (m *Manager) Stats() Stats {
 	st := Stats{
-		Checkpoints:        m.checkpoints.Load(),
-		CheckpointErrors:   m.ckptErrors.Load(),
-		LastCheckpointStep: m.lastCkptStep.Load(),
-		WALRecords:         m.walRecords.Load(),
-		WALBytes:           m.walBytes.Load(),
-		RecoveredStep:      m.recoveredStep.Load(),
-		ReplayedSteps:      m.replayedSteps.Load(),
+		Checkpoints:            m.checkpoints.Load(),
+		CheckpointErrors:       m.ckptErrors.Load(),
+		LastCheckpointStep:     m.lastCkptStep.Load(),
+		LastCheckpointDuration: time.Duration(m.lastCkptWork.Load()),
+		CheckpointTime:         time.Duration(m.ckptWorkNanos.Load()),
+		WALRecords:             m.walRecords.Load(),
+		WALBytes:               m.walBytes.Load(),
+		WALAppendTime:          time.Duration(m.walAppendNanos.Load()),
+		RecoveredStep:          m.recoveredStep.Load(),
+		ReplayedSteps:          m.replayedSteps.Load(),
 	}
 	if ns := m.lastCkptNanos.Load(); ns != 0 {
 		st.LastCheckpointTime = time.Unix(0, ns)

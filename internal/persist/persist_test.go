@@ -336,6 +336,13 @@ func TestRetention(t *testing.T) {
 	if st.Checkpoints < 2 || st.LastCheckpointStep != 30 || st.WALRecords != 31 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.WALAppendTime <= 0 {
+		t.Fatalf("WALAppendTime = %v after %d appends, want > 0", st.WALAppendTime, st.WALRecords)
+	}
+	if st.LastCheckpointDuration <= 0 || st.CheckpointTime < st.LastCheckpointDuration {
+		t.Fatalf("checkpoint durations: last %v, cumulative %v — want 0 < last <= cumulative",
+			st.LastCheckpointDuration, st.CheckpointTime)
+	}
 }
 
 // TestCheckpointDoesNotBlockStepping pins the hot-path guarantee: while a

@@ -176,10 +176,13 @@ func TestStatsReportPersist(t *testing.T) {
 			return PersistStats{
 				LastCheckpointStep:       st.LastCheckpointStep,
 				LastCheckpointAgeSeconds: age,
+				LastCheckpointSeconds:    Finite64(st.LastCheckpointDuration.Seconds()),
 				Checkpoints:              st.Checkpoints,
 				CheckpointErrors:         st.CheckpointErrors,
+				CheckpointSecondsTotal:   Finite64(st.CheckpointTime.Seconds()),
 				WALRecords:               st.WALRecords,
 				WALBytes:                 st.WALBytes,
+				WALAppendSecondsTotal:    Finite64(st.WALAppendTime.Seconds()),
 				RecoveredStep:            st.RecoveredStep,
 				ReplayedSteps:            st.ReplayedSteps,
 			}
@@ -201,6 +204,10 @@ func TestStatsReportPersist(t *testing.T) {
 	if resp.Persist.LastCheckpointStep != 14 || resp.Persist.WALRecords != 14 || resp.Persist.Checkpoints < 1 {
 		t.Fatalf("persist stats = %+v", resp.Persist)
 	}
+	if resp.Persist.WALAppendSecondsTotal <= 0 || resp.Persist.CheckpointSecondsTotal <= 0 ||
+		resp.Persist.LastCheckpointSeconds <= 0 {
+		t.Fatalf("persist duration stats not flowing: %+v", resp.Persist)
+	}
 
 	rr = httptest.NewRecorder()
 	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
@@ -208,6 +215,8 @@ func TestStatsReportPersist(t *testing.T) {
 	for _, metric := range []string{
 		"orcf_checkpoints_total", "orcf_last_checkpoint_step 14",
 		"orcf_wal_records_total 14", "orcf_recovered_step 0",
+		"orcf_last_checkpoint_seconds", "orcf_checkpoint_seconds_total",
+		"orcf_wal_append_seconds_total",
 	} {
 		if !strings.Contains(body, metric) {
 			t.Fatalf("metrics output missing %q:\n%s", metric, body)

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"orcf/internal/core"
+	"orcf/internal/obs"
 )
 
 // ErrBadConfig reports an invalid server configuration.
@@ -63,6 +64,11 @@ type Config struct {
 	// report alongside the pipeline statistics. Must be safe for concurrent
 	// use. Nil means the deployment has no durable state.
 	PersistStats func() PersistStats
+	// Registry is the metrics registry /metrics renders. Nil means the
+	// server creates a private one. Pass the process's registry to expose
+	// transport, persist, and step-phase series alongside the server's own;
+	// a registry can host at most one Server (series names are unique).
+	Registry *obs.Registry
 }
 
 // PersistStats is the durability accounting the server reports when a
@@ -76,14 +82,23 @@ type PersistStats struct {
 	// LastCheckpointAgeSeconds is how long ago it completed (-1 before the
 	// first checkpoint of this process).
 	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
+	// LastCheckpointSeconds is how long the newest durable checkpoint took
+	// to encode and write (0 before the first).
+	LastCheckpointSeconds float64 `json:"last_checkpoint_seconds"`
 	// Checkpoints counts durably completed checkpoints this process.
 	Checkpoints int64 `json:"checkpoints"`
 	// CheckpointErrors counts failed checkpoint attempts.
 	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// CheckpointSecondsTotal is cumulative wall time spent encoding and
+	// durably writing checkpoints (background-goroutine time).
+	CheckpointSecondsTotal float64 `json:"checkpoint_seconds_total"`
 	// WALRecords counts step records appended this process.
 	WALRecords int64 `json:"wal_records"`
 	// WALBytes counts bytes appended to the WAL this process.
 	WALBytes int64 `json:"wal_bytes"`
+	// WALAppendSecondsTotal is cumulative stepping-goroutine time spent
+	// appending WAL records — the WAL's direct cost to the ingest loop.
+	WALAppendSecondsTotal float64 `json:"wal_append_seconds_total"`
 	// RecoveredStep is the step the pipeline resumed from at boot (0 for a
 	// fresh start).
 	RecoveredStep int64 `json:"recovered_step"`
@@ -98,9 +113,14 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{}
 	cache *flightCache
+	reg   *obs.Registry
 
 	requests atomic.Int64
 	rejected atomic.Int64
+	// staged holds the StatsResponse taken at the start of the current
+	// metrics collection pass, so every registered series reads one
+	// consistent view (see registerMetrics).
+	staged atomic.Pointer[StatsResponse]
 }
 
 // New validates the configuration and builds the server.
@@ -114,19 +134,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = 256
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	obs.RegisterBuildInfo(reg)
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		cache: newFlightCache(),
+		reg:   reg,
 	}
-	s.mux.HandleFunc("GET /v1/forecast", s.handleForecast)
-	s.mux.HandleFunc("GET /v1/nodes/{id}", s.handleNode)
-	s.mux.HandleFunc("GET /v1/clusters", s.handleClusters)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.registerMetrics()
+	s.mux.HandleFunc("GET /v1/forecast", timed(s.endpointHistogram("orcf_http_forecast_seconds", "/v1/forecast"), s.handleForecast))
+	s.mux.HandleFunc("GET /v1/nodes/{id}", timed(s.endpointHistogram("orcf_http_node_seconds", "/v1/nodes/{id}"), s.handleNode))
+	s.mux.HandleFunc("GET /v1/clusters", timed(s.endpointHistogram("orcf_http_clusters_seconds", "/v1/clusters"), s.handleClusters))
+	s.mux.HandleFunc("GET /v1/stats", timed(s.endpointHistogram("orcf_http_stats_seconds", "/v1/stats"), s.handleStats))
+	s.mux.HandleFunc("GET /metrics", timed(s.endpointHistogram("orcf_http_metrics_seconds", "/metrics"), s.handleMetrics))
 	return s, nil
 }
+
+// Registry returns the metrics registry /metrics renders, so callers can
+// attach further series (transport, persist, step timings) to the same
+// exposition.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP dispatches one request under the concurrency limit: requests
 // beyond MaxInFlight are rejected immediately with 503 + Retry-After rather
@@ -417,40 +449,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	ready := 0
-	if st.Ready {
-		ready = 1
-	}
-	writeMetric(w, "orcf_steps_total", "counter", "Processed pipeline steps.", float64(st.Step))
-	writeMetric(w, "orcf_snapshot_generation", "gauge", "Latest published snapshot generation.", float64(st.Generation))
-	writeMetric(w, "orcf_ready", "gauge", "1 once forecasting models are trained.", float64(ready))
-	writeMetric(w, "orcf_nodes", "gauge", "Live fleet members.", float64(st.Nodes))
-	writeMetric(w, "orcf_fleet_slots", "gauge", "Dense fleet slots (live members plus tombstones).", float64(st.Slots))
-	writeMetric(w, "orcf_node_evictions_total", "counter", "Members departed (absence timeout or removal).", float64(st.Evictions))
-	writeMetric(w, "orcf_mean_transmit_frequency", "gauge", "Mean realized transmission frequency (eq. 5).", st.MeanFrequency)
-	writeMetric(w, "orcf_training_runs_total", "counter", "Completed (re)training rounds.", float64(st.TrainingRuns))
-	writeMetric(w, "orcf_training_seconds_total", "counter", "Cumulative (re)training wall time.", st.TrainingSeconds)
-	writeMetric(w, "orcf_forecast_cache_hits_total", "counter", "Forecast cache hits (incl. coalesced in-flight waits).", float64(st.Cache.Hits))
-	writeMetric(w, "orcf_forecast_cache_misses_total", "counter", "Forecast cache misses.", float64(st.Cache.Misses))
-	writeMetric(w, "orcf_http_requests_total", "counter", "HTTP requests received.", float64(st.Requests.Total))
-	writeMetric(w, "orcf_http_requests_rejected_total", "counter", "Requests rejected at the concurrency limit.", float64(st.Requests.Rejected))
-	if p := st.Persist; p != nil {
-		writeMetric(w, "orcf_checkpoints_total", "counter", "Durably completed checkpoints.", float64(p.Checkpoints))
-		writeMetric(w, "orcf_checkpoint_errors_total", "counter", "Failed checkpoint attempts.", float64(p.CheckpointErrors))
-		writeMetric(w, "orcf_last_checkpoint_step", "gauge", "Pipeline step of the newest durable checkpoint.", float64(p.LastCheckpointStep))
-		writeMetric(w, "orcf_last_checkpoint_age_seconds", "gauge", "Seconds since the newest durable checkpoint (-1 before the first).", p.LastCheckpointAgeSeconds)
-		writeMetric(w, "orcf_wal_records_total", "counter", "Measurement records appended to the WAL.", float64(p.WALRecords))
-		writeMetric(w, "orcf_wal_bytes_total", "counter", "Bytes appended to the WAL.", float64(p.WALBytes))
-		writeMetric(w, "orcf_recovered_step", "gauge", "Step the pipeline resumed from at boot.", float64(p.RecoveredStep))
-		writeMetric(w, "orcf_replayed_steps", "gauge", "WAL records replayed by boot recovery.", float64(p.ReplayedSteps))
-	}
-}
-
-func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
-		name, help, name, kind, name, strconv.FormatFloat(v, 'g', -1, 64))
+	_ = s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

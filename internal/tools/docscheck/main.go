@@ -21,6 +21,13 @@
 //     every table row names a registered analyzer (two-way, like the flag
 //     gate), and docs/OPERATIONS.md documents the `make lint` target and
 //     the `orcflint:ignore` suppression convention.
+//  5. Metric reference — every `orcf_*` series name appearing as a string
+//     literal in non-test Go code is documented (as an inline code span) in
+//     docs/OPERATIONS.md, and every `orcf_*` name OPERATIONS.md mentions is
+//     still registered somewhere in the code, so the metrics reference can
+//     never drift in either direction. Series names must therefore be
+//     spelled as full literals at registration sites (no runtime
+//     concatenation) — serve.stepPhaseSeries is the pattern.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 // (make ci and .github/workflows/ci.yml do). Exit status 1 lists every
@@ -42,7 +49,7 @@ import (
 // gatedDirs are the directories whose exported identifiers must be
 // documented. "." is the public orcf package.
 var gatedDirs = []string{".", "internal/core", "internal/serve", "internal/persist",
-	"internal/transmit", "internal/cluster", "internal/tools/orcflint"}
+	"internal/transmit", "internal/cluster", "internal/tools/orcflint", "internal/obs"}
 
 // markdownFiles lists the documents whose links are checked, plus every
 // *.md under docs/.
@@ -54,6 +61,7 @@ func main() {
 	problems = append(problems, checkGodoc()...)
 	problems = append(problems, checkFlags()...)
 	problems = append(problems, checkLintDocs()...)
+	problems = append(problems, checkMetrics()...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -441,6 +449,134 @@ func documentedAnalyzers() (map[string]bool, bool, error) {
 		}
 	}
 	return out, found, nil
+}
+
+// metricNameRe matches a complete orcf_* series name: underscore-separated
+// lowercase/digit words. A trailing underscore (a concatenation prefix like
+// "orcf_step_") deliberately does not match — full names must be literal.
+var metricNameRe = regexp.MustCompile(`^orcf_[a-z0-9]+(?:_[a-z0-9]+)*$`)
+
+// metricSpanRe extracts orcf_* tokens from inline code span content.
+var metricSpanRe = regexp.MustCompile(`\borcf_[a-z0-9_]*[a-z0-9]\b`)
+
+// histogramSuffixes are the per-series forms the Prometheus text exposition
+// derives from one registered histogram; docs mentioning a derived form
+// count as documenting the base series.
+var histogramSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// checkMetrics enforces the two-way metric-reference invariant between the
+// registered orcf_* series and docs/OPERATIONS.md, mirroring the flag gate.
+// The registered side is collected statically: every string literal in
+// non-test Go code matching metricNameRe. That is exactly why registration
+// sites spell series names as full literals — a name built by concatenation
+// at runtime would be invisible here and flagged as documented-but-missing.
+func checkMetrics() []string {
+	registered, problems := registeredMetrics()
+	if len(registered) == 0 {
+		problems = append(problems, "docscheck: no orcf_* metric literals found in non-test Go code")
+	}
+	documented, docProblems := documentedMetrics()
+	problems = append(problems, docProblems...)
+
+	var missing []string
+	for name, file := range registered {
+		if !documented[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: metric `%s` (registered in %s) is not documented", operationsDoc, name, file))
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; ok {
+			continue
+		}
+		base := name
+		for _, suf := range histogramSuffixes {
+			if s, ok := strings.CutSuffix(name, suf); ok {
+				base = s
+				break
+			}
+		}
+		if _, ok := registered[base]; !ok {
+			missing = append(missing, fmt.Sprintf(
+				"%s: documents metric `%s`, which no Go file registers", operationsDoc, name))
+		}
+	}
+	sort.Strings(missing)
+	return append(problems, missing...)
+}
+
+// registeredMetrics walks the repository's non-test Go files and returns
+// metric name → one file registering it.
+func registeredMetrics() (map[string]string, []string) {
+	var problems []string
+	names := make(map[string]string)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			if base == ".git" || base == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: parsing %s: %v", path, err))
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name := strings.Trim(lit.Value, "`\"")
+			if metricNameRe.MatchString(name) {
+				if _, seen := names[name]; !seen {
+					names[name] = path
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	return names, problems
+}
+
+// documentedMetrics extracts the orcf_* names OPERATIONS.md mentions in
+// inline code spans, skipping fenced code blocks (same rules as flags).
+func documentedMetrics() (map[string]bool, []string) {
+	data, err := os.ReadFile(operationsDoc)
+	if err != nil {
+		return nil, []string{fmt.Sprintf("docscheck: %v", err)}
+	}
+	out := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, span := range inlineCodeRe.FindAllStringSubmatch(line, -1) {
+			for _, m := range metricSpanRe.FindAllString(span[1], -1) {
+				if metricNameRe.MatchString(m) {
+					out[m] = true
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // receiverName unwraps a method receiver type expression to its type name.

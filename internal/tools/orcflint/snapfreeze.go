@@ -28,9 +28,11 @@ var frozenTypes = map[[2]string]bool{
 // snapPublishers may write frozen fields, and only inside internal/core: the
 // snapshot builders and the roster constructor.
 var snapPublishers = map[string]bool{
-	"buildSnapshot": true,
-	"republish":     true,
-	"roster":        true,
+	"buildSnapshot":    true,
+	"assembleSnapshot": true,
+	"forecastSnapshot": true,
+	"republish":        true,
+	"roster":           true,
 }
 
 func runSnapFreeze(pass *Pass) error {

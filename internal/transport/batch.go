@@ -81,9 +81,10 @@ func (o BatchOptions) withDefaults() BatchOptions {
 //
 // All methods are safe for concurrent use.
 type BatchClient struct {
-	conn net.Conn
-	node int
-	opts BatchOptions
+	conn    net.Conn
+	node    int
+	opts    BatchOptions
+	metrics BatchClientMetrics
 
 	mu        sync.Mutex
 	pending   []Measurement
@@ -336,6 +337,14 @@ func (c *BatchClient) flush(enc *batchEncoder, all bool) error {
 		c.err = err
 		c.mu.Unlock()
 		return err
+	}
+	c.metrics.FramesOut.Inc()
+	c.metrics.BytesOut.Add(int64(len(frame)))
+	if len(recs) == 0 {
+		c.metrics.HeartbeatsOut.Inc()
+	} else {
+		c.metrics.BatchesOut.Inc()
+		c.metrics.RecordsOut.Add(int64(len(recs)))
 	}
 	c.mu.Lock()
 	if clockDelivered && clock > c.clockSent {

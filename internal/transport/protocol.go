@@ -254,6 +254,9 @@ func parseHeartbeat(p []byte) (node, localStep int, err error) {
 type batchDecoder struct {
 	raw  []byte
 	recs []Measurement
+	// rawBytes is the last payload's uncompressed size (flags byte plus
+	// decompressed body) — the numerator of the ingest compression ratio.
+	rawBytes int
 }
 
 // decode parses one batch payload into (localStep, records). The returned
@@ -284,6 +287,7 @@ func (d *batchDecoder) decode(p []byte) (localStep int, recs []Measurement, err 
 		_ = fr.Close()
 		body = d.raw
 	}
+	d.rawBytes = len(body) + 1
 	localStep, body, err = uvarint(body)
 	if err != nil {
 		return 0, nil, err

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"orcf/internal/obs"
 )
 
 // ErrBackoff is returned by ReconnectingClient.Send while the collector is
@@ -52,6 +54,13 @@ type ReconnectingClient struct {
 
 	minBackoff time.Duration
 	maxBackoff time.Duration
+
+	// dials counts successful connections (so dials-1 is the redial count)
+	// and dialFailures the attempts that opened or extended the backoff
+	// window — the agent-side counterparts of the collector's
+	// orcf_ingest_reconnects_total.
+	dials        obs.Counter
+	dialFailures obs.Counter
 }
 
 var _ interface {
@@ -142,6 +151,7 @@ func (r *ReconnectingClient) redialLocked() error {
 	}
 	c, err := Dial(r.addr, r.node)
 	if err != nil {
+		r.dialFailures.Inc()
 		if r.backoff == 0 {
 			r.backoff = r.minBackoff
 		} else {
@@ -156,6 +166,7 @@ func (r *ReconnectingClient) redialLocked() error {
 		return fmt.Errorf("transport: redial %s: %w: %w", r.addr, err, ErrBackoff)
 	}
 	r.setClient(c)
+	r.dials.Inc()
 	r.backoff = 0
 	r.nextAttempt = time.Time{}
 	if r.closed.Load() {
@@ -174,6 +185,19 @@ func (r *ReconnectingClient) jitterLocked(b time.Duration) time.Duration {
 	half := b / 2
 	return half + time.Duration(r.rng.Int64N(int64(half)+1))
 }
+
+// Reconnects reports how many times the client successfully redialed after
+// its initial connection.
+func (r *ReconnectingClient) Reconnects() int64 {
+	if n := r.dials.Value(); n > 1 {
+		return n - 1
+	}
+	return 0
+}
+
+// BackoffFailures reports how many dial attempts failed and opened (or
+// extended) the backoff window.
+func (r *ReconnectingClient) BackoffFailures() int64 { return r.dialFailures.Value() }
 
 // Connected reports whether a live connection is currently held.
 func (r *ReconnectingClient) Connected() bool {

@@ -64,6 +64,8 @@ type Envelope struct {
 // node's z_t, plus per-node ingest accounting. It is safe for concurrent
 // use.
 type Store struct {
+	metrics StoreMetrics
+
 	mu      sync.RWMutex
 	latest  map[int]Measurement
 	updates map[int]int
@@ -89,10 +91,12 @@ func (s *Store) Apply(m Measurement) {
 		s.clock[m.Node] = m.Step
 	}
 	if prev, ok := s.latest[m.Node]; ok && prev.Step >= m.Step {
+		s.metrics.Stale.Inc()
 		return
 	}
 	s.latest[m.Node] = m
 	s.updates[m.Node]++
+	s.metrics.Applied.Inc()
 }
 
 // Advance moves a node's local clock forward without recording a
@@ -106,6 +110,7 @@ func (s *Store) Advance(node, step int) {
 	defer s.mu.Unlock()
 	if step > s.clock[node] {
 		s.clock[node] = step
+		s.metrics.Advances.Inc()
 	}
 }
 
@@ -117,6 +122,9 @@ func (s *Store) Advance(node, step int) {
 func (s *Store) Forget(node int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.latest[node]; ok {
+		s.metrics.Forgotten.Inc()
+	}
 	delete(s.latest, node)
 	delete(s.updates, node)
 	delete(s.clock, node)
@@ -200,12 +208,14 @@ type Server struct {
 
 	idleTimeout time.Duration
 	protoErrs   atomic.Int64
+	metrics     ServerMetrics
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]struct{}
+	seenNodes map[int]bool // node ids that completed a hello at least once
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // NewServer creates a collector around the store. onUpdate, when non-nil, is
@@ -216,9 +226,10 @@ func NewServer(store *Store, onUpdate func(Measurement)) (*Server, error) {
 		return nil, fmt.Errorf("transport: nil store: %w", ErrProtocol)
 	}
 	return &Server{
-		store:    store,
-		onUpdate: onUpdate,
-		conns:    make(map[net.Conn]struct{}),
+		store:     store,
+		onUpdate:  onUpdate,
+		conns:     make(map[net.Conn]struct{}),
+		seenNodes: make(map[int]bool),
 	}, nil
 }
 
@@ -314,7 +325,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
 
-	br := bufio.NewReader(conn)
+	s.metrics.ConnsTotal.Inc()
+	s.metrics.ConnsActive.Add(1)
+	defer s.metrics.ConnsActive.Add(-1)
+
+	br := bufio.NewReader(countingReader{r: conn, n: &s.metrics.BytesIn})
 	s.armRead(conn)
 	first, err := br.Peek(1)
 	if err != nil {
@@ -347,6 +362,7 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
 		return // drop the connection either way
 	}
 	node := hello.Hello.Node
+	s.noteHello(node)
 	for {
 		s.armRead(conn)
 		var env Envelope
@@ -360,6 +376,7 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
 			s.protoErrs.Add(1)
 			return // protocol violation
 		}
+		s.metrics.RecordsIn.Inc()
 		s.store.Apply(*env.Measurement)
 		if s.onUpdate != nil {
 			s.onUpdate(*env.Measurement)
@@ -391,6 +408,8 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
 		s.protoErrs.Add(1)
 		return
 	}
+	s.metrics.FramesIn.Inc() // the hello frame
+	s.noteHello(node)
 	mux := flags&helloFlagMux != 0
 	var dec batchDecoder
 	for {
@@ -402,6 +421,7 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
 			}
 			return // EOF, closed, idle timeout, or a mangled frame
 		}
+		s.metrics.FramesIn.Inc()
 		switch typ {
 		case frameBatch:
 			localStep, recs, err := dec.decode(payload)
@@ -409,11 +429,18 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
 				s.protoErrs.Add(1)
 				return
 			}
+			s.metrics.BatchesIn.Inc()
+			s.metrics.BatchWireBytes.Add(int64(len(payload)))
+			s.metrics.BatchRawBytes.Add(int64(dec.rawBytes))
+			if len(payload) > 0 && payload[0]&batchFlagCompressed != 0 {
+				s.metrics.CompressedBatches.Inc()
+			}
 			for _, m := range recs {
 				if !mux && m.Node != node {
 					s.protoErrs.Add(1)
 					return // spoofed node id
 				}
+				s.metrics.RecordsIn.Inc()
 				s.store.Apply(m)
 				if s.onUpdate != nil {
 					s.onUpdate(m)
@@ -428,6 +455,7 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
 				s.protoErrs.Add(1)
 				return
 			}
+			s.metrics.HeartbeatsIn.Inc()
 			s.store.Advance(hbNode, localStep)
 		default:
 			s.protoErrs.Add(1)
