@@ -11,9 +11,9 @@ GO ?= go
 # just without the race detector's ~10x slowdown.
 RACE_PKGS = ./...
 
-.PHONY: ci fmt vet lint build test race docs churn-smoke bench bench-json bench-smoke
+.PHONY: ci fmt vet lint build test race docs churn-smoke bench bench-json bench-smoke fuzz-smoke
 
-ci: fmt vet lint build test race docs churn-smoke bench-smoke
+ci: fmt vet lint build test race docs churn-smoke bench-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -59,11 +59,27 @@ bench:
 # Perf trajectory: run the five tracked benchmark families and write the
 # committed machine-readable baseline. Bump BENCH_OUT when cutting a new
 # baseline file for a PR.
-BENCH_OUT ?= BENCH_0007.json
+BENCH_OUT ?= BENCH_0008.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # One-iteration smoke of the same tool: keeps cmd/benchjson and the five
-# benchmark families compiling and parseable without paying full bench time.
+# benchmark families compiling and parseable without paying full bench time,
+# then prints the delta table against the committed baseline. The smoke run
+# is a single iteration, far too noisy to gate on, so the comparison is
+# informational (no -threshold); `benchjson -compare -threshold N old new`
+# is available for real regression gating between full baselines.
+BENCH_SMOKE_JSON ?= /tmp/orcf-bench-smoke.json
 bench-smoke:
-	$(GO) run ./cmd/benchjson -short > /dev/null
+	$(GO) run ./cmd/benchjson -short -out $(BENCH_SMOKE_JSON)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_OUT) $(BENCH_SMOKE_JSON)
+
+# Fuzz smoke: a short coverage-guided run of each native fuzz target (wire
+# decoders, recovery readers) from its committed seed corpus. go test allows
+# one -fuzz pattern per invocation, hence the loop.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzFrameRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzBatchDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/persist -run '^$$' -fuzz '^FuzzReadWAL$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/persist -run '^$$' -fuzz '^FuzzReadBlob$$' -fuzztime $(FUZZTIME)

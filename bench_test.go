@@ -143,34 +143,82 @@ func BenchmarkAblations(b *testing.B) {
 
 // benchPipelineStep measures the steady-state cost of one online step of
 // the full system (transmission decisions + clustering + model updates) at
-// N=256 nodes with two resources — the per-tick cost a deployment would pay.
-func benchPipelineStep(b *testing.B, workers int) {
+// the given fleet size with two resources — the per-tick cost a deployment
+// would pay. steps is the trace length cycled through; churnEvery > 0
+// additionally replaces 8 members every churnEvery-th iteration (outside the
+// timer), exercising the membership-change fallback of the incremental path.
+func benchPipelineStep(b *testing.B, nodes, steps, workers, churnEvery int, opts ...Option) {
 	b.Helper()
-	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: 256, Steps: 64, Seed: 1})
+	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: nodes, Steps: steps, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := New(256, 2, WithBudget(0.3), WithTrainingSchedule(1_000_000, 1_000_000),
-		WithSeed(1), WithWorkers(workers))
+	opts = append([]Option{WithBudget(0.3), WithTrainingSchedule(1_000_000, 1_000_000),
+		WithSeed(1), WithWorkers(workers)}, opts...)
+	sys, err := New(nodes, 2, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Warm the pipeline so the timed loop measures the steady state (first
+	// transmissions, buffer growth, and the first full refit are excluded).
+	for t := 0; t < 3; t++ {
+		if _, err := sys.Step(ds.Data[t%ds.Steps()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	nextID := nodes
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if churnEvery > 0 && i%churnEvery == churnEvery-1 {
+			b.StopTimer()
+			members := sys.Members()
+			fresh := make([]int, 8)
+			for j := range fresh {
+				if err := sys.RemoveNodes(members[(j*17)%len(members)]); err != nil {
+					b.Fatal(err)
+				}
+				fresh[j] = nextID
+				nextID++
+			}
+			if err := sys.AddNodes(fresh...); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
 		if _, err := sys.Step(ds.Data[i%ds.Steps()]); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkPipelineStep runs the online step with the default
-// GOMAXPROCS-bounded worker pool; BenchmarkPipelineStepSerial pins the pool
-// to one worker. The outputs are bit-identical (see
-// core.TestParallelMatchesSerialExactly); comparing the two isolates the
-// multi-core speedup from the allocation reductions, which both share.
-func BenchmarkPipelineStep(b *testing.B)       { benchPipelineStep(b, 0) }
-func BenchmarkPipelineStepSerial(b *testing.B) { benchPipelineStep(b, 1) }
+// BenchmarkPipelineStep is the online-step family of the perf trajectory:
+//
+//   - N=256: the historical default scale (worker pool at GOMAXPROCS).
+//   - N=10000: the single-core speed-wall headline — incremental eq. (10)
+//     refits warm-start from the previous centroids, so the steady state
+//     skips K-means entirely on most steps.
+//   - N=10000-full: the same fleet with incremental refits disabled; the
+//     ratio to N=10000 is the speedup the incremental path buys.
+//   - N=10000-churn: incremental under membership churn (8 of 10000 members
+//     replaced every 8th step, outside the timer), paying the full-refit
+//     fallback on churn steps.
+func BenchmarkPipelineStep(b *testing.B) {
+	b.Run("N=256", func(b *testing.B) { benchPipelineStep(b, 256, 64, 0, 0) })
+	b.Run("N=10000", func(b *testing.B) {
+		benchPipelineStep(b, 10000, 24, 0, 0, WithIncrementalRefit(0))
+	})
+	b.Run("N=10000-full", func(b *testing.B) { benchPipelineStep(b, 10000, 24, 0, 0) })
+	b.Run("N=10000-churn", func(b *testing.B) {
+		benchPipelineStep(b, 10000, 24, 0, 8, WithIncrementalRefit(0))
+	})
+}
+
+// BenchmarkPipelineStepSerial pins the worker pool to one worker at the
+// historical N=256 scale. The outputs are bit-identical to the pooled run
+// (see core.TestParallelMatchesSerialExactly); comparing the two isolates
+// the multi-core speedup from the allocation reductions, which both share.
+func BenchmarkPipelineStepSerial(b *testing.B) { benchPipelineStep(b, 256, 64, 1, 0) }
 
 // benchForecastQuery measures producing a 50-step forecast for all nodes
 // from a warm system.

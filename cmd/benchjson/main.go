@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_0007.json     # full run, write baseline
+//	go run ./cmd/benchjson -out BENCH_0008.json     # full run, write baseline
 //	go run ./cmd/benchjson -short                   # CI smoke: 1 iteration,
 //	                                                # verify all families parse
+//	go run ./cmd/benchjson -compare old.json new.json
+//	                                                # per-benchmark delta table
+//	go run ./cmd/benchjson -compare -threshold 25 old.json new.json
+//	                                                # fail on >25% ns/op regression
 //
 // The five families cover the pipeline hot paths: PipelineStep and
 // EnsembleRetrain (ingest/refit), ForecastQuery (eq. 12 reconstruction),
@@ -27,6 +31,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // family is one benchmark family: the go test package it lives in and the
@@ -125,6 +130,126 @@ func runFamily(fam family, benchtime string) ([]result, error) {
 	return parseBenchLines(fam, string(out)), nil
 }
 
+// benchKey identifies one benchmark across two reports.
+type benchKey struct {
+	Family string
+	Name   string
+}
+
+// loadReport reads and decodes one BENCH_*.json file.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// indexResults maps (family, name) → result, so compare matches benchmarks
+// across reports regardless of ordering.
+func indexResults(rep *report) map[benchKey]result {
+	idx := make(map[benchKey]result, len(rep.Results))
+	for _, r := range rep.Results {
+		idx[benchKey{r.Family, r.Name}] = r
+	}
+	return idx
+}
+
+// compareUnits are the metrics the delta table reports, in column order.
+var compareUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// deltaPct returns the relative change new vs old in percent, or NaN when the
+// old value is zero (no meaningful ratio).
+func deltaPct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return math.NaN()
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// fmtDelta renders one ±x.x% cell; NaN (zero baseline) renders as "-".
+func fmtDelta(pct float64) string {
+	if math.IsNaN(pct) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+// compareReports prints a per-benchmark delta table of oldPath vs newPath and
+// returns the process exit code. With threshold > 0, any benchmark present in
+// both reports whose ns/op regressed by more than threshold percent fails the
+// comparison; threshold 0 means informational only (the CI smoke comparison
+// runs 1-iteration measurements, far too noisy to gate on).
+func compareReports(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	oldIdx, newIdx := indexResults(oldRep), indexResults(newRep)
+
+	keys := make([]benchKey, 0, len(oldIdx))
+	for k := range oldIdx {
+		keys = append(keys, k)
+	}
+	for k := range newIdx {
+		if _, ok := oldIdx[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Family != keys[j].Family {
+			return keys[i].Family < keys[j].Family
+		}
+		return keys[i].Name < keys[j].Name
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tns/op old\tns/op new\tΔ\tB/op old\tB/op new\tΔ\tallocs old\tallocs new\tΔ\n")
+	var regressions []string
+	for _, k := range keys {
+		oldR, haveOld := oldIdx[k]
+		newR, haveNew := newIdx[k]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%s\t(new)\t%.0f\t-\t-\t%.0f\t-\t-\t%.0f\t-\n", k.Name,
+				newR.Metrics["ns/op"], newR.Metrics["B/op"], newR.Metrics["allocs/op"])
+			continue
+		case !haveNew:
+			fmt.Fprintf(w, "%s\t%.0f\t(gone)\t-\t%.0f\t-\t-\t%.0f\t-\t-\n", k.Name,
+				oldR.Metrics["ns/op"], oldR.Metrics["B/op"], oldR.Metrics["allocs/op"])
+			continue
+		}
+		cells := make([]string, 0, 9)
+		for _, unit := range compareUnits {
+			o, n := oldR.Metrics[unit], newR.Metrics[unit]
+			cells = append(cells, fmt.Sprintf("%.0f", o), fmt.Sprintf("%.0f", n), fmtDelta(deltaPct(o, n)))
+		}
+		fmt.Fprintf(w, "%s\t%s\n", k.Name, strings.Join(cells, "\t"))
+		if pct := deltaPct(oldR.Metrics["ns/op"], newR.Metrics["ns/op"]); threshold > 0 && pct > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.1f%%)", k.Name, pct, threshold))
+		}
+	}
+	w.Flush()
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past threshold:\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -134,8 +259,17 @@ func run() int {
 		out       = flag.String("out", "", "file to write the JSON report to (empty = stdout)")
 		short     = flag.Bool("short", false, "smoke mode: one iteration per benchmark, verify every family parses")
 		benchtime = flag.String("benchtime", "", "go test -benchtime override (empty = go default; -short forces 1x)")
+		compare   = flag.Bool("compare", false, "compare two BENCH_*.json files (args: old.json new.json) instead of running benchmarks")
+		threshold = flag.Float64("threshold", 0, "with -compare: fail when any ns/op regresses by more than this percent (0 = report only)")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			return 1
+		}
+		return compareReports(flag.Arg(0), flag.Arg(1), *threshold)
+	}
 	bt := *benchtime
 	if *short {
 		bt = "1x"

@@ -16,10 +16,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"orcf/internal/hungarian"
 	"orcf/internal/kmeans"
+	"orcf/internal/mat"
 )
 
 // ErrBadConfig reports an invalid tracker configuration.
@@ -53,6 +55,11 @@ func (s Similarity) String() string {
 	}
 }
 
+// DefaultIncrementalChurn is the warm-step churn threshold used when
+// Config.IncrementalChurn is zero: a warm-started step is kept only while at
+// most this fraction of present slots changed stable cluster.
+const DefaultIncrementalChurn = 0.25
+
 // Config parameterizes a Tracker.
 type Config struct {
 	// K is the number of clusters (and forecasting models). Required.
@@ -74,6 +81,20 @@ type Config struct {
 	// time and forecasting on them degrades, which is the justification for
 	// §V-B's re-indexing.
 	DisableMatching bool
+	// Incremental enables warm-started refits: while fleet membership is
+	// unchanged, a step re-assigns points to the previous stable centroids
+	// (no K-means, no RNG draws) and keeps the result unless a cluster
+	// empties or assignments churn past IncrementalChurn, in which case the
+	// step falls back to a full refit. Warm-accepted steps consume no
+	// randomness, so a mixed warm/full evolution draws a different RNG
+	// stream than an all-full one; IncrementalChurn < 0 forces the fallback
+	// every step, which is bit-identical to Incremental=false.
+	Incremental bool
+	// IncrementalChurn is the fraction of present slots allowed to change
+	// stable cluster in a warm-started step before it is discarded for a
+	// full refit. Zero means DefaultIncrementalChurn; negative forces a
+	// full refit every step (the differential-test boundary).
+	IncrementalChurn float64
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +124,9 @@ func (c Config) validate() error {
 	if c.Similarity != SimilarityProposed && c.Similarity != SimilarityJaccard {
 		return fmt.Errorf("cluster: unknown similarity %d: %w", int(c.Similarity), ErrBadConfig)
 	}
+	if math.IsNaN(c.IncrementalChurn) {
+		return fmt.Errorf("cluster: NaN incremental churn threshold: %w", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -127,20 +151,55 @@ type Step struct {
 // between updates (new joiners are appended) but never shrink; departed
 // slots are masked out and their history erased with ForgetSlot.
 type Tracker struct {
-	cfg  Config
-	rng  *rand.Rand
-	t    int
-	dim  int
-	n    int
-	hist [][]int // ring of past assignments, hist[0] most recent; -1 = absent
+	cfg Config
+	rng *rand.Rand
+	t   int
+	dim int
+	n   int
+
+	// Assignment history ring: hist[histHead] is the most recent vector and
+	// hist[(histHead−ago+depth)%depth] the one `ago` steps back; -1 marks an
+	// absent slot. Rows are overwritten in place, so once the ring has
+	// filled at the current slot count a step allocates no history.
+	hist     [][]int
+	histHead int
+	histLen  int
+
+	// Per-slot run-length counters realizing eq. (10) incrementally: slot i
+	// has held stable cluster streakVal[i] for the last streak[i]
+	// consecutive steps (capped at M — deeper runs are indistinguishable to
+	// the matching). Replaces the O(N·M) history scan per step.
+	streak    []int
+	streakVal []int
+
 	// centroidSeries[j][dim] is the full centroid history for stable
 	// cluster j and one dimension; indexed [j][d][t].
 	centroidSeries [][][]float64
 
-	// Reusable packing buffers for masked updates: present points are
-	// compacted for K-means and the packed assignments scattered back.
-	packed  [][]float64
-	packIdx []int
+	// Previous step's stable centroids (K×dim row-major), seeding
+	// warm-started incremental refits.
+	prevCents []float64
+
+	warmSteps int // warm-started refits accepted
+	fullSteps int // full K-means refits run
+
+	// Reusable scratch, sized lazily: the packed SoA point frame with its
+	// slot mapping and assignment buffers, the K-means runner, the K×K
+	// similarity matrices, and the centroid accumulator. Hoisted here so a
+	// steady-state UpdateMasked allocates only its returned Step.
+	packF      *mat.Frame
+	packIdx    []int
+	packAssign []int
+	raw        []int
+	stable     []int
+	runner     *kmeans.Runner
+	inter      []float64 // K×K intersection counts, row-major
+	jacc       []float64 // K×K Jaccard weights, row-major
+	wRows      [][]float64
+	rawSize    []float64
+	coreSize   []float64
+	centsFlat  []float64 // K×dim centroid accumulator
+	centCounts []int
 }
 
 // NewTracker builds a Tracker. The rng drives K-means seeding; passing the
@@ -180,49 +239,206 @@ func (tr *Tracker) UpdateMasked(points [][]float64, present []bool) (*Step, erro
 	if err := tr.checkPoints(points, present); err != nil {
 		return nil, err
 	}
-	packed, packIdx := tr.pack(points, present)
-	res, err := kmeans.Run(packed, kmeans.Config{
-		K:             tr.cfg.K,
-		MaxIterations: tr.cfg.KMeansIterations,
-	}, tr.rng)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: kmeans failed: %w", err)
-	}
+	pn := tr.packPoints(points, present)
 
-	// Scatter the packed assignments back onto the slot layout; absent
-	// slots stay -1.
-	raw := make([]int, len(points))
-	for i := range raw {
-		raw[i] = -1
-	}
-	for pi, slot := range packIdx {
-		raw[slot] = res.Assignments[pi]
-	}
-
-	stable := raw
-	if tr.t > 0 && !tr.cfg.DisableMatching {
-		mapping, err := tr.matchToHistory(raw)
-		if err != nil {
+	warm := tr.canWarmStart(points, present, pn) && tr.tryWarmStep(len(points), pn)
+	if warm {
+		tr.warmSteps++
+	} else {
+		if err := tr.fullRefit(len(points), pn); err != nil {
 			return nil, err
 		}
-		stable = make([]int, len(raw))
-		for i, k := range raw {
-			if k < 0 {
-				stable[i] = -1
-				continue
-			}
-			stable[i] = mapping[k]
+		tr.fullSteps++
+	}
+
+	k, dim := tr.cfg.K, tr.dim
+	tr.centroidsInto(pn)
+	tr.t++
+	tr.pushHistory(tr.stable)
+	tr.appendCentroids()
+	if cap(tr.prevCents) < k*dim {
+		tr.prevCents = make([]float64, k*dim)
+	}
+	tr.prevCents = tr.prevCents[:k*dim]
+	copy(tr.prevCents, tr.centsFlat)
+
+	assignCopy := make([]int, len(points))
+	copy(assignCopy, tr.stable)
+	flat := make([]float64, k*dim)
+	copy(flat, tr.centsFlat)
+	cents := make([][]float64, k)
+	for j := range cents {
+		cents[j] = flat[j*dim : (j+1)*dim : (j+1)*dim]
+	}
+	return &Step{T: tr.t, Assignments: assignCopy, Centroids: cents}, nil
+}
+
+// fullRefit runs the K-means refit over the packed points and stabilizes the
+// result, the reference path every optimization is pinned against.
+func (tr *Tracker) fullRefit(nSlots, pn int) error {
+	if tr.runner == nil {
+		tr.runner = kmeans.NewRunner()
+	}
+	tr.packAssign = growInts(tr.packAssign, pn)
+	err := tr.runner.RunFlat(tr.packF.Data()[:pn*tr.dim], pn, tr.dim, kmeans.Config{
+		K:             tr.cfg.K,
+		MaxIterations: tr.cfg.KMeansIterations,
+	}, tr.rng, tr.packAssign)
+	if err != nil {
+		return fmt.Errorf("cluster: kmeans failed: %w", err)
+	}
+	tr.scatterRaw(nSlots, pn)
+	return tr.stabilize(nSlots)
+}
+
+// canWarmStart reports whether this step may skip the full K-means refit:
+// incremental mode on, previous centroids available, more present points
+// than clusters, and exactly the same slots present as at the last step (a
+// join, leave, or rejoin always forces a full refit).
+func (tr *Tracker) canWarmStart(points [][]float64, present []bool, pn int) bool {
+	if !tr.cfg.Incremental || tr.t == 0 || tr.cfg.IncrementalChurn < 0 {
+		return false
+	}
+	if pn <= tr.cfg.K || len(tr.prevCents) != tr.cfg.K*tr.dim {
+		return false
+	}
+	h0 := tr.hist[tr.histHead] // histAt(0, ·), hoisted out of the O(N) scan
+	for i := range points {
+		p := present == nil || present[i]
+		if p != (i < len(h0) && h0[i] >= 0) {
+			return false
 		}
 	}
-	cents := CentroidsFor(stable, tr.cfg.K, points)
+	return true
+}
 
-	tr.t++
-	tr.pushHistory(stable)
-	tr.appendCentroids(cents)
+// tryWarmStep assigns the packed points to the previous stable centroids
+// (consuming no randomness), restabilizes through the usual eq. (10)/(11)
+// matching, and accepts the step iff no cluster went empty and the fraction
+// of slots that changed stable cluster stays within the churn threshold. It
+// returns false to demand a full refit.
+func (tr *Tracker) tryWarmStep(nSlots, pn int) bool {
+	k, dim := tr.cfg.K, tr.dim
+	tr.packAssign = growInts(tr.packAssign, pn)
+	kmeans.AssignFlat(tr.packF.Data()[:pn*dim], pn, dim, tr.prevCents, k, tr.packAssign)
+	// A cluster emptied by drift needs K-means' empty-cluster repair.
+	counts := growInts(tr.centCounts, k)
+	tr.centCounts = counts
+	for j := range counts {
+		counts[j] = 0
+	}
+	for _, a := range tr.packAssign {
+		counts[a]++
+	}
+	for _, c := range counts {
+		if c == 0 {
+			return false
+		}
+	}
+	tr.scatterRaw(nSlots, pn)
+	if err := tr.stabilize(nSlots); err != nil {
+		return false
+	}
+	thr := tr.cfg.IncrementalChurn
+	if thr == 0 {
+		thr = DefaultIncrementalChurn
+	}
+	changed := 0
+	h0 := tr.hist[tr.histHead] // histAt(0, ·), hoisted out of the O(N) scan
+	for _, slot := range tr.packIdx {
+		prev := -1
+		if slot < len(h0) {
+			prev = h0[slot]
+		}
+		if tr.stable[slot] != prev {
+			changed++
+		}
+	}
+	return float64(changed) <= thr*float64(pn)
+}
 
-	assignCopy := make([]int, len(stable))
-	copy(assignCopy, stable)
-	return &Step{T: tr.t, Assignments: assignCopy, Centroids: cents}, nil
+// scatterRaw spreads the packed assignments back onto the slot layout in
+// tr.raw; absent slots stay -1.
+func (tr *Tracker) scatterRaw(nSlots, pn int) {
+	tr.raw = growInts(tr.raw, nSlots)
+	for i := range tr.raw {
+		tr.raw[i] = -1
+	}
+	for pi := 0; pi < pn; pi++ {
+		tr.raw[tr.packIdx[pi]] = tr.packAssign[pi]
+	}
+}
+
+// stabilize re-indexes tr.raw into tr.stable via the eq. (11) matching (or a
+// plain copy on the first step / with matching disabled).
+func (tr *Tracker) stabilize(nSlots int) error {
+	tr.stable = growInts(tr.stable, nSlots)
+	if tr.t == 0 || tr.cfg.DisableMatching {
+		copy(tr.stable, tr.raw)
+		return nil
+	}
+	mapping, err := tr.matchToHistory(tr.raw)
+	if err != nil {
+		return err
+	}
+	for i, k := range tr.raw {
+		if k < 0 {
+			tr.stable[i] = -1
+			continue
+		}
+		tr.stable[i] = mapping[k]
+	}
+	return nil
+}
+
+// centroidsInto computes eq. (1) into the tracker's flat K×dim scratch,
+// accumulating present slots in ascending order — the same summation order
+// as CentroidsFor, so the means are bitwise identical to the historical
+// per-call path.
+func (tr *Tracker) centroidsInto(pn int) {
+	k, dim := tr.cfg.K, tr.dim
+	if cap(tr.centsFlat) < k*dim {
+		tr.centsFlat = make([]float64, k*dim)
+	}
+	tr.centsFlat = tr.centsFlat[:k*dim]
+	clear(tr.centsFlat)
+	counts := growInts(tr.centCounts, k)
+	tr.centCounts = counts
+	for j := range counts {
+		counts[j] = 0
+	}
+	data := tr.packF.Data()
+	for pi := 0; pi < pn; pi++ {
+		j := tr.stable[tr.packIdx[pi]]
+		if j < 0 {
+			continue
+		}
+		counts[j]++
+		row := data[pi*dim : (pi+1)*dim]
+		cj := tr.centsFlat[j*dim : (j+1)*dim]
+		for t, v := range row {
+			cj[t] += v
+		}
+	}
+	for j := 0; j < k; j++ {
+		if counts[j] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[j])
+		cj := tr.centsFlat[j*dim : (j+1)*dim]
+		for t := range cj {
+			cj[t] *= inv
+		}
+	}
+}
+
+// growInts returns buf resized to n, reallocating only when capacity is
+// short. Contents are unspecified; callers overwrite.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 func (tr *Tracker) checkPoints(points [][]float64, present []bool) error {
@@ -256,39 +472,41 @@ func (tr *Tracker) checkPoints(points [][]float64, present []bool) error {
 		return fmt.Errorf("cluster: slot count shrank %d → %d: %w", tr.n, len(points), ErrBadInput)
 	}
 	tr.n = len(points)
+	for len(tr.streak) < tr.n {
+		tr.streak = append(tr.streak, 0)
+		tr.streakVal = append(tr.streakVal, -1)
+	}
 	return nil
 }
 
-// pack compacts the present points for K-means, reusing the tracker's
-// buffers; packIdx maps packed index → slot.
-func (tr *Tracker) pack(points [][]float64, present []bool) ([][]float64, []int) {
-	if present == nil {
-		return points, tr.identity(len(points))
+// packPoints compacts the present points into the tracker's flat SoA frame,
+// reusing its backing across steps; packIdx maps packed index → slot. It
+// returns the present count.
+func (tr *Tracker) packPoints(points [][]float64, present []bool) int {
+	if tr.packF == nil {
+		tr.packF = mat.NewFrame(0, tr.dim)
 	}
-	tr.packed = tr.packed[:0]
+	tr.packF.Grow(len(points))
 	tr.packIdx = tr.packIdx[:0]
+	data := tr.packF.Data()
+	pn := 0
 	for i, p := range points {
-		if present[i] {
-			tr.packed = append(tr.packed, p)
-			tr.packIdx = append(tr.packIdx, i)
+		if present != nil && !present[i] {
+			continue
 		}
-	}
-	return tr.packed, tr.packIdx
-}
-
-// identity returns the 0..n-1 slot mapping, reusing the pack buffer.
-func (tr *Tracker) identity(n int) []int {
-	tr.packIdx = tr.packIdx[:0]
-	for i := 0; i < n; i++ {
+		copy(data[pn*tr.dim:(pn+1)*tr.dim], p)
 		tr.packIdx = append(tr.packIdx, i)
+		pn++
 	}
-	return tr.packIdx
+	return pn
 }
 
-// histAt reads a past assignment for a slot, treating vectors that predate
-// the slot (recorded before the fleet grew to include it) as absent.
+// histAt reads the assignment of a slot `ago` steps back (0 = most recent;
+// ago must be < histLen), treating vectors that predate the slot (recorded
+// before the fleet grew to include it) as absent.
 func (tr *Tracker) histAt(ago, slot int) int {
-	h := tr.hist[ago]
+	depth := len(tr.hist)
+	h := tr.hist[(tr.histHead-ago+depth)%depth]
 	if slot >= len(h) {
 		return -1
 	}
@@ -309,6 +527,10 @@ func (tr *Tracker) ForgetSlot(slot int) {
 			tr.hist[m][slot] = -1
 		}
 	}
+	if slot < len(tr.streak) {
+		tr.streak[slot] = 0
+		tr.streakVal[slot] = -1
+	}
 }
 
 // matchToHistory computes the similarity matrix between fresh K-means
@@ -321,50 +543,62 @@ func (tr *Tracker) matchToHistory(raw []int) ([]int, error) {
 	k := tr.cfg.K
 	lookback := min(tr.cfg.M, tr.t)
 
-	// core[i] = stable cluster that slot i belonged to in *all* of the last
-	// `lookback` steps, or −1. This realizes ⋂_{m=1..M} C_{j,t−m}.
-	core := make([]int, len(raw))
-	for i := range core {
-		j := tr.histAt(0, i)
-		for m := 1; m < lookback && j >= 0; m++ {
-			if tr.histAt(m, i) != j {
-				j = -1
-			}
-		}
-		core[i] = j
+	// The core set ⋂_{m=1..M} C_{j,t−m} of eq. (10) is read off the
+	// incremental run-length counters: slot i is in stable cluster j's core
+	// iff it has held j for at least `lookback` consecutive steps. This is
+	// exactly the historical all-of-the-last-M-rows scan, without the O(N·M)
+	// walk.
+	if cap(tr.inter) < k*k {
+		tr.inter = make([]float64, k*k)
 	}
-
-	inter := make([][]float64, k) // |C'_k ∩ X_j|
-	for kk := range inter {
-		inter[kk] = make([]float64, k)
+	inter := tr.inter[:k*k] // |C'_k ∩ X_j|, row-major
+	clear(inter)
+	if cap(tr.rawSize) < k {
+		tr.rawSize = make([]float64, k)
+		tr.coreSize = make([]float64, k)
 	}
-	rawSize := make([]float64, k)
-	coreSize := make([]float64, k)
+	rawSize := tr.rawSize[:k]
+	coreSize := tr.coreSize[:k]
+	clear(rawSize)
+	clear(coreSize)
 	for i, kk := range raw {
 		if kk < 0 {
 			continue // absent slot
 		}
 		rawSize[kk]++
-		if j := core[i]; j >= 0 {
+		if tr.streak[i] >= lookback {
+			j := tr.streakVal[i]
 			coreSize[j]++
-			inter[kk][j]++
+			inter[kk*k+j]++
 		}
 	}
 
-	w := inter
+	wFlat := inter
 	if tr.cfg.Similarity == SimilarityJaccard {
-		w = make([][]float64, k)
-		for kk := range w {
-			w[kk] = make([]float64, k)
-			for j := range w[kk] {
-				union := rawSize[kk] + coreSize[j] - inter[kk][j]
+		if cap(tr.jacc) < k*k {
+			tr.jacc = make([]float64, k*k)
+		}
+		jacc := tr.jacc[:k*k]
+		for kk := 0; kk < k; kk++ {
+			for j := 0; j < k; j++ {
+				union := rawSize[kk] + coreSize[j] - inter[kk*k+j]
 				if union > 0 {
-					w[kk][j] = inter[kk][j] / union
+					jacc[kk*k+j] = inter[kk*k+j] / union
+				} else {
+					jacc[kk*k+j] = 0 // scratch is reused; overwrite stale values
 				}
 			}
 		}
+		wFlat = jacc
 	}
 
+	if cap(tr.wRows) < k {
+		tr.wRows = make([][]float64, k)
+	}
+	w := tr.wRows[:k]
+	for kk := range w {
+		w[kk] = wFlat[kk*k : (kk+1)*k : (kk+1)*k]
+	}
 	mapping, _, err := hungarian.MaxWeightMatch(w)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: matching failed: %w", err)
@@ -373,15 +607,39 @@ func (tr *Tracker) matchToHistory(raw []int) ([]int, error) {
 }
 
 func (tr *Tracker) pushHistory(assign []int) {
-	cp := make([]int, len(assign))
-	copy(cp, assign)
-	tr.hist = append([][]int{cp}, tr.hist...)
-	if len(tr.hist) > tr.cfg.HistoryDepth {
-		tr.hist = tr.hist[:tr.cfg.HistoryDepth]
+	depth := tr.cfg.HistoryDepth
+	if tr.hist == nil {
+		tr.hist = make([][]int, depth)
+		tr.histHead = depth - 1
+	}
+	tr.histHead = (tr.histHead + 1) % depth
+	row := tr.hist[tr.histHead]
+	if cap(row) < len(assign) {
+		row = make([]int, len(assign))
+	}
+	row = row[:len(assign)]
+	copy(row, assign)
+	tr.hist[tr.histHead] = row
+	if tr.histLen < depth {
+		tr.histLen++
+	}
+	for i, v := range assign {
+		switch {
+		case v >= 0 && v == tr.streakVal[i]:
+			if tr.streak[i] < tr.cfg.M {
+				tr.streak[i]++
+			}
+		case v >= 0:
+			tr.streakVal[i] = v
+			tr.streak[i] = 1
+		default:
+			tr.streakVal[i] = -1
+			tr.streak[i] = 0
+		}
 	}
 }
 
-func (tr *Tracker) appendCentroids(cents [][]float64) {
+func (tr *Tracker) appendCentroids() {
 	if tr.centroidSeries == nil {
 		tr.centroidSeries = make([][][]float64, tr.cfg.K)
 		for j := range tr.centroidSeries {
@@ -390,7 +648,7 @@ func (tr *Tracker) appendCentroids(cents [][]float64) {
 	}
 	for j := 0; j < tr.cfg.K; j++ {
 		for d := 0; d < tr.dim; d++ {
-			tr.centroidSeries[j][d] = append(tr.centroidSeries[j][d], cents[j][d])
+			tr.centroidSeries[j][d] = append(tr.centroidSeries[j][d], tr.centsFlat[j*tr.dim+d])
 		}
 	}
 }
@@ -410,16 +668,22 @@ func (tr *Tracker) CentroidSeries(j, d int) []float64 {
 // AssignmentsAgo returns the stable assignment vector from `ago` steps back
 // (0 = most recent). It returns nil when the history does not reach that far.
 func (tr *Tracker) AssignmentsAgo(ago int) []int {
-	if ago < 0 || ago >= len(tr.hist) {
+	if ago < 0 || ago >= tr.histLen {
 		return nil
 	}
-	out := make([]int, len(tr.hist[ago]))
-	copy(out, tr.hist[ago])
+	h := tr.hist[(tr.histHead-ago+len(tr.hist))%len(tr.hist)]
+	out := make([]int, len(h))
+	copy(out, h)
 	return out
 }
 
 // HistoryLen returns the number of retained assignment vectors.
-func (tr *Tracker) HistoryLen() int { return len(tr.hist) }
+func (tr *Tracker) HistoryLen() int { return tr.histLen }
+
+// RefitStats reports how many steps were warm-started incrementally and how
+// many ran a full K-means refit; warm+full == Steps(). Without
+// Config.Incremental every step is a full refit.
+func (tr *Tracker) RefitStats() (warm, full int) { return tr.warmSteps, tr.fullSteps }
 
 // CentroidsFor computes eq. (1): the mean of the member points of each of the
 // k clusters under the given assignment. Slots assigned -1 (absent members

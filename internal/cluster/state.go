@@ -26,8 +26,9 @@ type State struct {
 // with further updates to the live tracker.
 func (tr *Tracker) ExportState() *State {
 	st := &State{T: tr.t, Dim: tr.dim, N: tr.n}
-	st.Hist = make([][]int, len(tr.hist))
-	for i, h := range tr.hist {
+	st.Hist = make([][]int, tr.histLen)
+	for i := 0; i < tr.histLen; i++ {
+		h := tr.hist[(tr.histHead-i+len(tr.hist))%len(tr.hist)]
 		st.Hist[i] = append([]int(nil), h...)
 	}
 	if tr.centroidSeries != nil {
@@ -97,10 +98,15 @@ func (tr *Tracker) RestoreState(st *State) error {
 	tr.t = st.T
 	tr.dim = st.Dim
 	tr.n = st.N
-	tr.hist = make([][]int, len(st.Hist))
+	// The wire format stores history most-recent-first; rebuild the ring so
+	// hist[histHead] is the newest row.
+	tr.hist = make([][]int, tr.cfg.HistoryDepth)
+	tr.histLen = len(st.Hist)
+	tr.histHead = tr.histLen - 1
 	for i, h := range st.Hist {
-		tr.hist[i] = append([]int(nil), h...)
+		tr.hist[tr.histLen-1-i] = append([]int(nil), h...)
 	}
+	tr.rebuildStreaks()
 	tr.centroidSeries = make([][][]float64, len(st.CentroidSeries))
 	for j, byDim := range st.CentroidSeries {
 		tr.centroidSeries[j] = make([][]float64, len(byDim))
@@ -108,5 +114,35 @@ func (tr *Tracker) RestoreState(st *State) error {
 			tr.centroidSeries[j][d] = append([]float64(nil), series...)
 		}
 	}
+	// Re-seed warm incremental refits from the last recorded centroids.
+	tr.prevCents = make([]float64, tr.cfg.K*tr.dim)
+	for j, byDim := range st.CentroidSeries {
+		for d, series := range byDim {
+			tr.prevCents[j*tr.dim+d] = series[st.T-1]
+		}
+	}
 	return nil
+}
+
+// rebuildStreaks recomputes the eq. (10) run-length counters from the
+// restored history ring. Scanning min(M, histLen) rows reproduces exactly
+// the counters the tracker would have maintained online: a run can never
+// exceed t, histLen ≥ min(M, t), and both paths cap runs at M.
+func (tr *Tracker) rebuildStreaks() {
+	tr.streak = make([]int, tr.n)
+	tr.streakVal = make([]int, tr.n)
+	limit := min(tr.cfg.M, tr.histLen)
+	for i := 0; i < tr.n; i++ {
+		j := tr.histAt(0, i)
+		if j < 0 {
+			tr.streakVal[i] = -1
+			continue
+		}
+		run := 1
+		for m := 1; m < limit && tr.histAt(m, i) == j; m++ {
+			run++
+		}
+		tr.streak[i] = run
+		tr.streakVal[i] = j
+	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"orcf/internal/cluster"
 	"orcf/internal/forecast"
+	"orcf/internal/mat"
 	"orcf/internal/parallel"
 	"orcf/internal/transmit"
 )
@@ -102,6 +103,31 @@ type Config struct {
 	// System.Snapshot. Zero (the default) disables publishing, keeping the
 	// steady-state ingest path allocation-free.
 	SnapshotHorizon int
+	// SnapshotKeep bounds snapshot retention so the per-step deep copies can
+	// be recycled: a look-back slot that drops out of the published window is
+	// reused for a new snapshot once more than SnapshotKeep further
+	// generations have been published. Readers must therefore stop using a
+	// Snapshot of generation g before generation g+SnapshotKeep is published.
+	// Zero (the default) never recycles — every Snapshot stays valid forever —
+	// at the cost of one window-slot allocation per step. Requires
+	// SnapshotHorizon > 0; negative is invalid.
+	SnapshotKeep int
+	// IncrementalRefit enables warm-started clustering: when fleet membership
+	// is unchanged since the previous step and reassigning the stored
+	// measurements to the previous centroids moves at most
+	// IncrementalChurn·(present members), the step reuses that assignment
+	// instead of running a full K-means refit (seeding, Lloyd iterations, and
+	// their RNG draws are skipped). Steps that warm-start consume no RNG, so
+	// runs with this enabled are not bit-comparable to runs without it; see
+	// Config.Fingerprint.
+	IncrementalRefit bool
+	// IncrementalChurn is the warm-start acceptance threshold as a fraction
+	// of the present members (see cluster.Config.IncrementalChurn). Zero
+	// selects the default (cluster.DefaultIncrementalChurn); negative forces
+	// a full refit every step, which is bit-identical to IncrementalRefit
+	// being off (the differential-testing boundary). Ignored unless
+	// IncrementalRefit is set.
+	IncrementalChurn float64
 	// DisableClamp turns off the [0,1] clamp applied to forecasts of
 	// normalized utilizations.
 	DisableClamp bool
@@ -184,10 +210,19 @@ type StepResult struct {
 // current fleet if it grew after their publication — see Snapshot and the
 // *At accessors.)
 type ringSlot struct {
-	z           [][]float64   // N×d stored measurements
+	zf          *mat.Frame    // N×d stored measurements (flat row-major backing)
+	z           [][]float64   // row views into zf
 	assignments [][]int       // [tracker][slot]; -1 = absent
 	centroids   [][][]float64 // [tracker][cluster][dim]
 	present     []bool        // slots clustered at this step
+}
+
+// retiredSlot is one arena entry of the snapshot slot free list: a window
+// slot that dropped out of the published window, stamped with the generation
+// whose publish dropped it (see Config.SnapshotKeep).
+type retiredSlot struct {
+	gen  uint64
+	slot *ringSlot
 }
 
 // presentAt reports slot i's presence, treating slots beyond the recorded
@@ -208,8 +243,8 @@ type System struct {
 	dims      int // point dimensionality per tracker (1, or d for joint)
 	policies  []transmit.Policy
 	meters    []transmit.Meter
-	z         [][]float64 // rows into zback once a node first transmits
-	zback     []float64   // N×d flat backing for z
+	z         [][]float64 // rows into zf once a node first transmits
+	zf        *mat.Frame  // N×d flat backing for z
 	trackers  []*cluster.Tracker
 	pcgs      []*rand.PCG // per-tracker K-means RNG sources (for state export)
 	ensembles []*forecast.Ensemble
@@ -252,11 +287,21 @@ type System struct {
 	// tombstoned slot is recycled, because shared slots still show the
 	// previous occupant as present.
 	pubWinStale bool
+	// Snapshot slot arena (Config.SnapshotKeep > 0): retired holds the
+	// deep-copied window slots that dropped out of the published window,
+	// stamped with the generation whose publish dropped them (FIFO, stamps
+	// monotone). Once more than SnapshotKeep further generations have been
+	// published, a retiree is recycled for the next snapshot instead of
+	// allocating a fresh slot. dropPending stages the slots the in-flight
+	// publish would drop; they enter retired only when the step commits.
+	retired     []retiredSlot
+	dropPending []*ringSlot
 
 	// Reusable K-means input buffers for scalar clustering: pts[tr][i] is a
-	// length-1 view into ptsFlat[tr]. Joint clustering feeds z directly.
-	ptsFlat [][]float64
-	pts     [][][]float64
+	// length-1 row view into the N×1 frame ptsF[tr]. Joint clustering feeds
+	// z directly.
+	ptsF []*mat.Frame
+	pts  [][][]float64
 
 	t int
 }
@@ -275,6 +320,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.SnapshotHorizon < 0 {
 		return nil, fmt.Errorf("core: snapshot horizon %d < 0: %w", cfg.SnapshotHorizon, ErrBadConfig)
+	}
+	if cfg.SnapshotKeep < 0 {
+		return nil, fmt.Errorf("core: snapshot keep %d < 0: %w", cfg.SnapshotKeep, ErrBadConfig)
+	}
+	if cfg.SnapshotKeep > 0 && cfg.SnapshotHorizon == 0 {
+		return nil, fmt.Errorf("core: snapshot keep %d without snapshot horizon: %w", cfg.SnapshotKeep, ErrBadConfig)
 	}
 	s := &System{cfg: cfg, byID: make(map[int]int)}
 	s.policies = make([]transmit.Policy, cfg.Nodes)
@@ -297,7 +348,7 @@ func NewSystem(cfg Config) (*System, error) {
 		s.byID[i] = i
 	}
 	s.z = make([][]float64, cfg.Nodes)
-	s.zback = make([]float64, cfg.Nodes*cfg.Resources)
+	s.zf = mat.NewFrame(cfg.Nodes, cfg.Resources)
 
 	s.nTrackers = cfg.Resources
 	s.dims = 1
@@ -314,11 +365,13 @@ func NewSystem(cfg Config) (*System, error) {
 		pcg := rand.NewPCG(cfg.Seed, uint64(tr)+0x1234)
 		s.pcgs = append(s.pcgs, pcg)
 		tracker, err := cluster.NewTracker(cluster.Config{
-			K:               cfg.K,
-			M:               cfg.M,
-			Similarity:      cfg.Similarity,
-			HistoryDepth:    histDepth,
-			DisableMatching: cfg.DisableMatching,
+			K:                cfg.K,
+			M:                cfg.M,
+			Similarity:       cfg.Similarity,
+			HistoryDepth:     histDepth,
+			DisableMatching:  cfg.DisableMatching,
+			Incremental:      cfg.IncrementalRefit,
+			IncrementalChurn: cfg.IncrementalChurn,
 		}, rand.New(pcg))
 		if err != nil {
 			return nil, fmt.Errorf("core: tracker %d: %w", tr, err)
@@ -346,14 +399,11 @@ func NewSystem(cfg Config) (*System, error) {
 	s.stage = s.newRingSlot()
 
 	if !cfg.JointClustering {
-		s.ptsFlat = make([][]float64, s.nTrackers)
+		s.ptsF = make([]*mat.Frame, s.nTrackers)
 		s.pts = make([][][]float64, s.nTrackers)
 		for tr := range s.pts {
-			s.ptsFlat[tr] = make([]float64, cfg.Nodes)
-			s.pts[tr] = make([][]float64, cfg.Nodes)
-			for i := range s.pts[tr] {
-				s.pts[tr][i] = s.ptsFlat[tr][i : i+1 : i+1]
-			}
+			s.ptsF[tr] = mat.NewFrame(cfg.Nodes, 1)
+			s.pts[tr] = s.ptsF[tr].RowViews(nil)
 		}
 	}
 	return s, nil
@@ -364,7 +414,8 @@ func NewSystem(cfg Config) (*System, error) {
 func (s *System) newRingSlot() ringSlot {
 	var slot ringSlot
 	n := len(s.ids)
-	slot.z = newMatrix(n, s.cfg.Resources)
+	slot.zf = mat.NewFrame(n, s.cfg.Resources)
+	slot.z = slot.zf.RowViews(nil)
 	slot.assignments = make([][]int, s.nTrackers)
 	slot.centroids = make([][][]float64, s.nTrackers)
 	slot.present = make([]bool, n)
@@ -389,11 +440,13 @@ func maskSlot(slot *ringSlot, i int) {
 }
 
 // growSlot extends a slot's per-node arrays to n entries in place (new
-// entries are absent). Never called on published snapshot slots, which stay
-// immutable at the size they were written.
-func growSlot(slot *ringSlot, n, d, nTrackers int) {
-	for len(slot.z) < n {
-		slot.z = append(slot.z, make([]float64, d))
+// entries are absent). Never called on slots inside a published snapshot
+// window, which stay immutable at the size they were written (a retiree
+// recycled through the arena is grown here after its retention expires).
+func growSlot(slot *ringSlot, n, nTrackers int) {
+	if slot.zf.Rows() < n {
+		slot.zf.Grow(n)
+		slot.z = slot.zf.RowViews(slot.z)
 	}
 	for len(slot.present) < n {
 		slot.present = append(slot.present, false)
@@ -408,9 +461,7 @@ func growSlot(slot *ringSlot, n, d, nTrackers int) {
 // copyFrom overwrites the slot's contents with src's. Both slots must be
 // shaped by the same system (newRingSlot) at the same fleet size.
 func (slot *ringSlot) copyFrom(src *ringSlot) {
-	for i, zi := range src.z {
-		copy(slot.z[i], zi)
-	}
+	copy(slot.zf.Data(), src.zf.Data())
 	copy(slot.present, src.present)
 	for tr := range src.assignments {
 		copy(slot.assignments[tr], src.assignments[tr])
@@ -649,9 +700,9 @@ func (s *System) addSlotAt(i, id int) error {
 		s.growBacking()
 		n := len(s.ids)
 		for si := range s.ring {
-			growSlot(&s.ring[si], n, s.cfg.Resources, s.nTrackers)
+			growSlot(&s.ring[si], n, s.nTrackers)
 		}
-		growSlot(&s.stage, n, s.cfg.Resources, s.nTrackers)
+		growSlot(&s.stage, n, s.nTrackers)
 	default:
 		at := -1
 		for fi, f := range s.free {
@@ -694,29 +745,20 @@ func (s *System) addSlotAt(i, id int) error {
 	return nil
 }
 
-// growBacking reallocates the flat z backing (and the scalar-clustering
-// point buffers) after the slot count grew, re-pointing the row views.
+// growBacking grows the flat z frame (and the scalar-clustering point
+// frames) after the slot count grew, re-pointing the row views.
 func (s *System) growBacking() {
-	d := s.cfg.Resources
 	n := len(s.ids)
-	nb := make([]float64, n*d)
-	copy(nb, s.zback)
-	s.zback = nb
+	s.zf.Grow(n)
 	for i := range s.z {
 		if s.z[i] != nil {
-			s.z[i] = nb[i*d : (i+1)*d : (i+1)*d]
+			s.z[i] = s.zf.Row(i)
 		}
 	}
 	if !s.cfg.JointClustering {
 		for tr := range s.pts {
-			flat := make([]float64, n)
-			copy(flat, s.ptsFlat[tr])
-			s.ptsFlat[tr] = flat
-			rows := make([][]float64, n)
-			for i := range rows {
-				rows[i] = flat[i : i+1 : i+1]
-			}
-			s.pts[tr] = rows
+			s.ptsF[tr].Grow(n)
+			s.pts[tr] = s.ptsF[tr].RowViews(s.pts[tr])
 		}
 	}
 }
@@ -806,6 +848,18 @@ func (s *System) Stored() [][]float64 {
 	return out
 }
 
+// RefitStats reports how many per-tracker clustering steps were warm-started
+// versus fully refit, summed across trackers (warm is always 0 unless
+// Config.IncrementalRefit is set; warm+full = Steps × trackers).
+func (s *System) RefitStats() (warm, full int) {
+	for _, tr := range s.trackers {
+		w, f := tr.RefitStats()
+		warm += w
+		full += f
+	}
+	return warm, full
+}
+
 // TrainingTime aggregates the wall-clock time and count of (re)training
 // rounds across all trackers. Rounds run their model fits on the worker
 // pool, so the duration is what the pipeline actually stalls on maintenance
@@ -890,7 +944,6 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 	// marked for eviction here — the roster mutation happens after the
 	// present-count check below, so a step that fails it has not half-
 	// departed anyone (and never loses its Evicted report).
-	d := s.cfg.Resources
 	var evict []int
 	for i, xi := range x {
 		if !s.alive[i] {
@@ -906,7 +959,7 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		s.absentFor[i] = 0
 		if s.policies[i].Decide(s.t, xi, s.z[i]) {
 			if s.z[i] == nil {
-				s.z[i] = s.zback[i*d : (i+1)*d : (i+1)*d]
+				s.z[i] = s.zf.Row(i)
 			}
 			copy(s.z[i], xi)
 			res.Transmitted[i] = true
@@ -1052,6 +1105,13 @@ func (s *System) Step(x [][]float64) (*StepResult, error) {
 		s.gen = pub.gen
 		s.pubWin = pub.slots
 		s.pubWinStale = false
+		// The slots this publish dropped from the window become reusable
+		// once SnapshotKeep further generations are published (readers of
+		// the older snapshots that still share them must be gone by then).
+		for _, dropped := range s.dropPending {
+			s.retired = append(s.retired, retiredSlot{gen: pub.gen, slot: dropped})
+		}
+		s.dropPending = s.dropPending[:0]
 		s.snap.Store(pub)
 	}
 	if ob != nil {
@@ -1070,7 +1130,7 @@ func (s *System) trackerPoints(tr int) [][]float64 {
 	if s.cfg.JointClustering {
 		return s.z
 	}
-	flat := s.ptsFlat[tr]
+	flat := s.ptsF[tr].Data()
 	for i, zi := range s.z {
 		if zi == nil {
 			flat[i] = 0

@@ -73,27 +73,38 @@ func (s *System) buildSnapshot() (*Snapshot, error) {
 
 // assembleSnapshot builds everything in the next Snapshot except the
 // centroid forecasts: the look-back window, frequencies, roster, and
-// dimensions.
+// dimensions. Deep copies come from the slot arena: with SnapshotKeep > 0
+// the slots dropped from the published window are recycled once their
+// retention expires, so steady-state publishing allocates no new windows.
 func (s *System) assembleSnapshot() *Snapshot {
-	slot := s.newRingSlot()
+	s.dropPending = s.dropPending[:0]
+	slot := s.arenaSlot()
 	slot.copyFrom(&s.stage)
 
 	window := min(s.ringLen+1, len(s.ring))
 	slots := make([]*ringSlot, 0, window)
-	slots = append(slots, &slot)
+	slots = append(slots, slot)
 	if s.pubWinStale {
 		// A tombstoned slot was recycled since the last publish: the shared
 		// tail still shows the previous occupant as present, so rebuild the
 		// window from immutable copies of the live ring (whose presence was
 		// masked at eviction). snapAt(k-1) is the state k steps before the
-		// staged one, because the ring has not committed this step yet.
+		// staged one, because the ring has not committed this step yet. The
+		// entire previous window drops from publication.
 		for k := 1; k < window; k++ {
-			cp := s.newRingSlot()
+			cp := s.arenaSlot()
 			cp.copyFrom(s.snapAt(k - 1))
-			slots = append(slots, &cp)
+			slots = append(slots, cp)
+		}
+		if s.cfg.SnapshotKeep > 0 {
+			s.dropPending = append(s.dropPending, s.pubWin...)
 		}
 	} else if prev := s.pubWin; len(prev) > 0 {
-		slots = append(slots, prev[:min(len(prev), window-1)]...)
+		kept := min(len(prev), window-1)
+		slots = append(slots, prev[:kept]...)
+		if s.cfg.SnapshotKeep > 0 {
+			s.dropPending = append(s.dropPending, prev[kept:]...)
+		}
 	}
 
 	snap := &Snapshot{
@@ -129,6 +140,29 @@ func (s *System) assembleSnapshot() *Snapshot {
 	}
 	snap.trainTime, snap.trainRuns = s.TrainingTime()
 	return snap
+}
+
+// arenaSlot returns a window slot to deep-copy the next snapshot entry into:
+// the oldest retiree whose retention has expired — grown in place to the
+// current fleet size — or a fresh allocation when the arena is empty, still
+// retained, or disabled (SnapshotKeep == 0). Retirement stamps are monotone,
+// so checking the FIFO front suffices. The publish being assembled is
+// generation s.gen+1; a slot dropped at generation r is safe to overwrite
+// once s.gen+1 − r > SnapshotKeep, i.e. every reader entitled to a snapshot
+// still sharing it has expired.
+func (s *System) arenaSlot() *ringSlot {
+	if keep := s.cfg.SnapshotKeep; keep > 0 && len(s.retired) > 0 {
+		r := s.retired[0]
+		if s.gen+1-r.gen > uint64(keep) {
+			// Dequeue by shifting in place: the list stays ~SnapshotKeep
+			// entries long, so this never reallocates in steady state.
+			s.retired = s.retired[:copy(s.retired, s.retired[1:])]
+			growSlot(r.slot, len(s.ids), s.nTrackers)
+			return r.slot
+		}
+	}
+	slot := s.newRingSlot()
+	return &slot
 }
 
 // forecastSnapshot precomputes the per-tracker centroid forecasts up to the

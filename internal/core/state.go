@@ -7,6 +7,7 @@ import (
 
 	"orcf/internal/cluster"
 	"orcf/internal/forecast"
+	"orcf/internal/mat"
 	"orcf/internal/parallel"
 	"orcf/internal/transmit"
 )
@@ -104,7 +105,8 @@ type MeterState struct {
 // fleet size is deliberately absent — the State records the membership
 // roster itself, so a restore reconciles membership instead of demanding an
 // exactly-matching Nodes value. Runtime-only knobs (Workers,
-// SnapshotHorizon, AbsenceTimeout) and the Policy/Model factories are also
+// SnapshotHorizon, SnapshotKeep, AbsenceTimeout) and the Policy/Model
+// factories are also
 // excluded — the factories cannot be hashed, so restoring under a different
 // policy or model family is the caller's responsibility to avoid (the
 // policy state bytes and the refit-from-series reconstruction will
@@ -119,6 +121,13 @@ func (c Config) Fingerprint() uint64 {
 		StateVersion, c.Resources, c.K, c.M, c.MPrime, int(c.Similarity),
 		c.InitialCollection, c.RetrainEvery, c.FitWindow, c.JointClustering,
 		c.Seed, c.DisableClamp, c.DisableAlphaClamp, c.DisableMatching)
+	if c.IncrementalRefit {
+		// Warm-started steps skip the K-means RNG draws, so incremental runs
+		// are not bit-interchangeable with full-refit runs (nor with a
+		// different churn threshold). Appending only when enabled keeps every
+		// pre-existing fingerprint stable.
+		fmt.Fprintf(h, "|inc=1|churn=%g", c.IncrementalChurn)
+	}
 	return h.Sum64()
 }
 
@@ -277,21 +286,18 @@ func (s *System) RestoreState(st *State) error {
 	}
 
 	s.z = make([][]float64, n)
-	s.zback = make([]float64, n*d)
+	s.zf = mat.NewFrame(n, d)
 	for i := range st.ZSet {
 		if !st.ZSet[i] {
 			continue
 		}
-		s.z[i] = s.zback[i*d : (i+1)*d : (i+1)*d]
+		s.z[i] = s.zf.Row(i)
 		copy(s.z[i], st.Z[i])
 	}
 	if !s.cfg.JointClustering {
 		for tr := range s.pts {
-			s.ptsFlat[tr] = make([]float64, n)
-			s.pts[tr] = make([][]float64, n)
-			for i := range s.pts[tr] {
-				s.pts[tr][i] = s.ptsFlat[tr][i : i+1 : i+1]
-			}
+			s.ptsF[tr] = mat.NewFrame(n, 1)
+			s.pts[tr] = s.ptsF[tr].RowViews(nil)
 		}
 	}
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"orcf/internal/mat"
 )
 
 // ErrBadInput is returned for invalid K, empty data, or ragged dimensions.
@@ -51,52 +53,35 @@ func (c Config) withDefaults() Config {
 // Run clusters points into cfg.K clusters. When K ≥ len(points) every point
 // becomes (or shares) its own centroid and the inertia is zero. The rng is
 // used for k-means++ seeding and empty-cluster repair.
+//
+// Run packs the points into a flat struct-of-arrays frame and delegates to a
+// fresh Runner; callers on a hot path should hold a Runner directly to reuse
+// its scratch. The results are bit-identical to the historical row-pointer
+// implementation (pinned by TestRunnerMatchesReferenceExactly).
 func Run(points [][]float64, cfg Config, rng *rand.Rand) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(points, cfg); err != nil {
 		return nil, err
 	}
-	n := len(points)
-	k := cfg.K
-	if k >= n {
-		return trivialResult(points), nil
-	}
-
-	centroids := seedPlusPlus(points, k, rng)
-	assign := make([]int, n)
-	prev := make([][]float64, k)
-	var iter int
-	for iter = 1; iter <= cfg.MaxIterations; iter++ {
-		// Assignment step.
-		for i, p := range points {
-			assign[i] = nearest(p, centroids)
-		}
-		// Update step.
-		for j := range centroids {
-			prev[j] = centroids[j]
-		}
-		centroids = recompute(points, assign, k, len(points[0]))
-		repairEmpty(points, assign, centroids, rng)
-		// Convergence check.
-		moved := 0.0
-		for j := range centroids {
-			moved = math.Max(moved, sqDist(centroids[j], prev[j]))
-		}
-		if moved <= cfg.Tolerance {
-			break
-		}
-	}
-	// Final assignment against the converged centroids.
-	inertia := 0.0
+	n, d := len(points), len(points[0])
+	f := mat.NewFrame(n, d)
 	for i, p := range points {
-		assign[i] = nearest(p, centroids)
-		inertia += sqDist(p, centroids[assign[i]])
+		f.SetRow(i, p)
+	}
+	r := NewRunner()
+	assign := make([]int, n)
+	if err := r.RunFlat(f.Data(), n, d, cfg, rng, assign); err != nil {
+		return nil, err
+	}
+	centroids := make([][]float64, r.NumCentroids())
+	for j := range centroids {
+		centroids[j] = cloneVec(r.Centroid(j))
 	}
 	return &Result{
 		Assignments: assign,
 		Centroids:   centroids,
-		Inertia:     inertia,
-		Iterations:  iter,
+		Inertia:     r.Inertia(),
+		Iterations:  r.Iterations(),
 	}, nil
 }
 
@@ -117,122 +102,6 @@ func validate(points [][]float64, cfg Config) error {
 		}
 	}
 	return nil
-}
-
-// trivialResult handles K ≥ n: each point becomes its own cluster, so the
-// result has n centroids (one per point) and zero inertia.
-func trivialResult(points [][]float64) *Result {
-	n := len(points)
-	centroids := make([][]float64, n)
-	assign := make([]int, n)
-	for i, p := range points {
-		c := make([]float64, len(p))
-		copy(c, p)
-		centroids[i] = c
-		assign[i] = i
-	}
-	return &Result{Assignments: assign, Centroids: centroids}
-}
-
-// seedPlusPlus implements the k-means++ seeding of Arthur & Vassilvitskii:
-// the first centroid is uniform, each next centroid is sampled proportional
-// to the squared distance to the closest already-chosen centroid.
-func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
-	n := len(points)
-	centroids := make([][]float64, 0, k)
-	first := points[rng.IntN(n)]
-	centroids = append(centroids, cloneVec(first))
-
-	d2 := make([]float64, n)
-	for i, p := range points {
-		d2[i] = sqDist(p, centroids[0])
-	}
-	for len(centroids) < k {
-		total := 0.0
-		for _, v := range d2 {
-			total += v
-		}
-		var idx int
-		if total <= 0 {
-			// All points coincide with existing centroids; pick uniformly.
-			idx = rng.IntN(n)
-		} else {
-			r := rng.Float64() * total
-			acc := 0.0
-			idx = n - 1
-			for i, v := range d2 {
-				acc += v
-				if acc >= r {
-					idx = i
-					break
-				}
-			}
-		}
-		c := cloneVec(points[idx])
-		centroids = append(centroids, c)
-		for i, p := range points {
-			if d := sqDist(p, c); d < d2[i] {
-				d2[i] = d
-			}
-		}
-	}
-	return centroids
-}
-
-func recompute(points [][]float64, assign []int, k, d int) [][]float64 {
-	sums := make([][]float64, k)
-	counts := make([]int, k)
-	for j := range sums {
-		sums[j] = make([]float64, d)
-	}
-	for i, p := range points {
-		j := assign[i]
-		counts[j]++
-		for t, v := range p {
-			sums[j][t] += v
-		}
-	}
-	for j := range sums {
-		if counts[j] == 0 {
-			continue // repaired by repairEmpty
-		}
-		inv := 1 / float64(counts[j])
-		for t := range sums[j] {
-			sums[j][t] *= inv
-		}
-	}
-	return sums
-}
-
-// repairEmpty relocates centroids of empty clusters to the point that is
-// currently farthest from its assigned centroid, the standard strategy to
-// keep exactly K non-empty clusters.
-func repairEmpty(points [][]float64, assign []int, centroids [][]float64, rng *rand.Rand) {
-	counts := make([]int, len(centroids))
-	for _, a := range assign {
-		counts[a]++
-	}
-	for j := range centroids {
-		if counts[j] > 0 {
-			continue
-		}
-		far, farDist := -1, -1.0
-		for i, p := range points {
-			if counts[assign[i]] <= 1 {
-				continue // do not empty another cluster
-			}
-			if d := sqDist(p, centroids[assign[i]]); d > farDist {
-				far, farDist = i, d
-			}
-		}
-		if far < 0 {
-			far = rng.IntN(len(points))
-		}
-		counts[assign[far]]--
-		assign[far] = j
-		counts[j] = 1
-		centroids[j] = cloneVec(points[far])
-	}
 }
 
 func nearest(p []float64, centroids [][]float64) int {

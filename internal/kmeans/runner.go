@@ -1,0 +1,268 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Runner executes K-means over a flat struct-of-arrays point layout with
+// reusable scratch buffers: repeated runs (the cluster tracker refits every
+// step) allocate nothing after the first. The package-level Run wraps a
+// fresh Runner; long-lived callers keep one.
+//
+// The arithmetic is ordered exactly like the historical slice-of-rows
+// implementation — same RNG draw sequence, same summation and comparison
+// order — so RunFlat is bit-identical to Run on the same inputs and RNG
+// state (pinned by TestRunnerMatchesReferenceExactly). A Runner is not safe
+// for concurrent use.
+type Runner struct {
+	cents   []float64 // k×d row-major centroids of the last run
+	prev    []float64 // k×d previous-iteration centroids (convergence check)
+	d2      []float64 // per-point squared distance to nearest seed
+	counts  []int     // per-cluster member counts
+	k, d    int
+	inertia float64
+	iters   int
+}
+
+// NewRunner returns an empty Runner; buffers are sized on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// RunFlat clusters the n d-dimensional points stored row-major in pts
+// (length ≥ n·d) into cfg.K clusters, writing the final assignment into
+// assign (length n). When K ≥ n every point becomes its own centroid with
+// zero inertia, consuming no randomness (the trivial case of Run). The
+// resulting centroids, inertia, and iteration count stay readable on the
+// Runner until the next run.
+func (r *Runner) RunFlat(pts []float64, n, d int, cfg Config, rng *rand.Rand, assign []int) error {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 || n < 1 || d < 1 || len(pts) < n*d || len(assign) != n {
+		return fmt.Errorf("kmeans: flat run n=%d d=%d K=%d with %d values, %d assign slots: %w",
+			n, d, cfg.K, len(pts), len(assign), ErrBadInput)
+	}
+	k := cfg.K
+	if k >= n {
+		r.k, r.d = n, d
+		r.cents = append(r.cents[:0], pts[:n*d]...)
+		for i := range assign {
+			assign[i] = i
+		}
+		r.inertia, r.iters = 0, 0
+		return nil
+	}
+
+	r.k, r.d = k, d
+	r.sizeScratch(n, d, k)
+	r.seedPlusPlus(pts, n, d, k, rng)
+
+	var iter int
+	for iter = 1; iter <= cfg.MaxIterations; iter++ {
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			assign[i] = nearestFlat(pts[i*d:(i+1)*d], r.cents, k)
+		}
+		// Update step.
+		copy(r.prev[:k*d], r.cents[:k*d])
+		r.recompute(pts, n, d, k, assign)
+		r.repairEmpty(pts, n, d, k, assign, rng)
+		// Convergence check.
+		moved := 0.0
+		for j := 0; j < k; j++ {
+			moved = math.Max(moved, sqDist(r.cents[j*d:(j+1)*d], r.prev[j*d:(j+1)*d]))
+		}
+		if moved <= cfg.Tolerance {
+			break
+		}
+	}
+	// Final assignment against the converged centroids.
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		p := pts[i*d : (i+1)*d]
+		assign[i] = nearestFlat(p, r.cents, k)
+		inertia += sqDist(p, r.cents[assign[i]*d:(assign[i]+1)*d])
+	}
+	r.inertia, r.iters = inertia, iter
+	return nil
+}
+
+// NumCentroids returns how many centroids the last run produced (K, or n in
+// the trivial K ≥ n case).
+func (r *Runner) NumCentroids() int { return r.k }
+
+// Centroid returns a view of centroid j from the last run, valid until the
+// next run.
+func (r *Runner) Centroid(j int) []float64 {
+	return r.cents[j*r.d : (j+1)*r.d : (j+1)*r.d]
+}
+
+// Inertia returns the last run's sum of squared point-to-centroid distances.
+func (r *Runner) Inertia() float64 { return r.inertia }
+
+// Iterations returns the last run's Lloyd iteration count.
+func (r *Runner) Iterations() int { return r.iters }
+
+func (r *Runner) sizeScratch(n, d, k int) {
+	if cap(r.cents) < k*d {
+		r.cents = make([]float64, k*d)
+		r.prev = make([]float64, k*d)
+	}
+	r.cents = r.cents[:k*d]
+	r.prev = r.prev[:k*d]
+	if cap(r.d2) < n {
+		r.d2 = make([]float64, n)
+	}
+	r.d2 = r.d2[:n]
+	if cap(r.counts) < k {
+		r.counts = make([]int, k)
+	}
+	r.counts = r.counts[:k]
+}
+
+// seedPlusPlus is the flat-layout k-means++ seeding; draw-for-draw identical
+// to the reference implementation.
+func (r *Runner) seedPlusPlus(pts []float64, n, d, k int, rng *rand.Rand) {
+	first := rng.IntN(n)
+	copy(r.cents[0:d], pts[first*d:(first+1)*d])
+	for i := 0; i < n; i++ {
+		r.d2[i] = sqDist(pts[i*d:(i+1)*d], r.cents[0:d])
+	}
+	for have := 1; have < k; have++ {
+		total := 0.0
+		for _, v := range r.d2 {
+			total += v
+		}
+		var idx int
+		if total <= 0 {
+			// All points coincide with existing centroids; pick uniformly.
+			idx = rng.IntN(n)
+		} else {
+			rr := rng.Float64() * total
+			acc := 0.0
+			idx = n - 1
+			for i, v := range r.d2 {
+				acc += v
+				if acc >= rr {
+					idx = i
+					break
+				}
+			}
+		}
+		c := r.cents[have*d : (have+1)*d]
+		copy(c, pts[idx*d:(idx+1)*d])
+		for i := 0; i < n; i++ {
+			if dd := sqDist(pts[i*d:(i+1)*d], c); dd < r.d2[i] {
+				r.d2[i] = dd
+			}
+		}
+	}
+}
+
+func (r *Runner) recompute(pts []float64, n, d, k int, assign []int) {
+	cents := r.cents[:k*d]
+	for i := range cents {
+		cents[i] = 0
+	}
+	counts := r.counts[:k]
+	for j := range counts {
+		counts[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		j := assign[i]
+		counts[j]++
+		row := pts[i*d : (i+1)*d]
+		cj := cents[j*d : (j+1)*d]
+		for t, v := range row {
+			cj[t] += v
+		}
+	}
+	for j := 0; j < k; j++ {
+		if counts[j] == 0 {
+			continue // repaired by repairEmpty
+		}
+		inv := 1 / float64(counts[j])
+		cj := cents[j*d : (j+1)*d]
+		for t := range cj {
+			cj[t] *= inv
+		}
+	}
+}
+
+// repairEmpty relocates centroids of empty clusters to the point currently
+// farthest from its assigned centroid (see the reference implementation).
+func (r *Runner) repairEmpty(pts []float64, n, d, k int, assign []int, rng *rand.Rand) {
+	counts := r.counts[:k]
+	for j := range counts {
+		counts[j] = 0
+	}
+	for _, a := range assign[:n] {
+		counts[a]++
+	}
+	for j := 0; j < k; j++ {
+		if counts[j] > 0 {
+			continue
+		}
+		far, farDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			if counts[assign[i]] <= 1 {
+				continue // do not empty another cluster
+			}
+			a := assign[i]
+			if dd := sqDist(pts[i*d:(i+1)*d], r.cents[a*d:(a+1)*d]); dd > farDist {
+				far, farDist = i, dd
+			}
+		}
+		if far < 0 {
+			far = rng.IntN(n)
+		}
+		counts[assign[far]]--
+		assign[far] = j
+		counts[j] = 1
+		copy(r.cents[j*d:(j+1)*d], pts[far*d:(far+1)*d])
+	}
+}
+
+// nearestFlat returns the index of the centroid (k row-major rows in cents)
+// closest to p, comparing in index order like nearest.
+func nearestFlat(p, cents []float64, k int) int {
+	d := len(p)
+	best, bestD := 0, math.Inf(1)
+	for j := 0; j < k; j++ {
+		if dd := sqDist(p, cents[j*d:(j+1)*d]); dd < bestD {
+			best, bestD = j, dd
+		}
+	}
+	return best
+}
+
+// NearestFlat returns the index of the nearest of the k row-major centroids
+// in cents to point p — the flat-layout counterpart of Nearest.
+func NearestFlat(p, cents []float64, k int) int { return nearestFlat(p, cents, k) }
+
+// AssignFlat maps each of the n d-dimensional row-major points in pts to its
+// nearest of the k row-major centroids in cents, writing assign[i]. It
+// consumes no randomness; the incremental cluster tracker uses it as the
+// warm-start pass seeded from the previous step's centroids.
+func AssignFlat(pts []float64, n, d int, cents []float64, k int, assign []int) {
+	if d == 1 {
+		// Scalar fast path: the per-resource trackers cluster 1-dimensional
+		// points, where the generic path spends more time slicing than
+		// computing. Same subtraction, square, and strict-< comparison in
+		// the same index order as nearestFlat, so the winner is identical.
+		cents = cents[:k]
+		for i, x := range pts[:n] {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range cents {
+				diff := x - c
+				if dd := diff * diff; dd < bestD {
+					best, bestD = j, dd
+				}
+			}
+			assign[i] = best
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		assign[i] = nearestFlat(pts[i*d:(i+1)*d], cents, k)
+	}
+}

@@ -1,0 +1,204 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// genPoints builds a randomized workload. mode selects degenerate shapes:
+// 0 = generic gaussian-ish clusters, 1 = all points identical (seeding must
+// fall back to uniform picks), 2 = heavy duplication (empty-cluster repair
+// likely), 3 = one-dimensional scalars (the paper's default configuration).
+func genPoints(rng *rand.Rand, n, d, mode int) [][]float64 {
+	pts := make([][]float64, n)
+	switch mode {
+	case 1:
+		base := make([]float64, d)
+		for t := range base {
+			base[t] = rng.Float64()
+		}
+		for i := range pts {
+			pts[i] = cloneVec(base)
+		}
+	case 2:
+		distinct := 1 + rng.IntN(3)
+		bases := make([][]float64, distinct)
+		for b := range bases {
+			bases[b] = make([]float64, d)
+			for t := range bases[b] {
+				bases[b][t] = rng.Float64() * 10
+			}
+		}
+		for i := range pts {
+			pts[i] = cloneVec(bases[rng.IntN(distinct)])
+		}
+	default:
+		for i := range pts {
+			p := make([]float64, d)
+			for t := range p {
+				p[t] = rng.NormFloat64()*2 + float64(rng.IntN(4))*10
+			}
+			pts[i] = p
+		}
+	}
+	return pts
+}
+
+func sameResult(t *testing.T, tag string, got, want *Result) {
+	t.Helper()
+	if len(got.Assignments) != len(want.Assignments) {
+		t.Fatalf("%s: %d assignments, want %d", tag, len(got.Assignments), len(want.Assignments))
+	}
+	for i := range want.Assignments {
+		if got.Assignments[i] != want.Assignments[i] {
+			t.Fatalf("%s: assign[%d] = %d, want %d", tag, i, got.Assignments[i], want.Assignments[i])
+		}
+	}
+	if len(got.Centroids) != len(want.Centroids) {
+		t.Fatalf("%s: %d centroids, want %d", tag, len(got.Centroids), len(want.Centroids))
+	}
+	for j := range want.Centroids {
+		for tt := range want.Centroids[j] {
+			g, w := got.Centroids[j][tt], want.Centroids[j][tt]
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("%s: centroid[%d][%d] = %v, want %v (bitwise)", tag, j, tt, g, w)
+			}
+		}
+	}
+	if math.Float64bits(got.Inertia) != math.Float64bits(want.Inertia) {
+		t.Fatalf("%s: inertia %v, want %v (bitwise)", tag, got.Inertia, want.Inertia)
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("%s: iterations %d, want %d", tag, got.Iterations, want.Iterations)
+	}
+}
+
+// TestRunnerMatchesReferenceExactly is the differential pin for the SoA
+// rewrite: across randomized and degenerate workloads, Run (flat Runner
+// underneath) must reproduce the preserved slice-of-rows implementation
+// bit for bit — including the RNG draw sequence, checked by comparing
+// post-run draws from the two generators.
+func TestRunnerMatchesReferenceExactly(t *testing.T) {
+	shapes := rand.New(rand.NewPCG(8, 80))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + shapes.IntN(40)
+		d := 1 + shapes.IntN(4)
+		k := 1 + shapes.IntN(10)
+		mode := shapes.IntN(4)
+		if mode == 3 {
+			d = 1
+		}
+		cfg := Config{K: k, MaxIterations: shapes.IntN(8), Tolerance: float64(shapes.IntN(2)) * 1e-9}
+		seed := shapes.Uint64()
+		pts := genPoints(rand.New(rand.NewPCG(seed, 1)), n, d, mode)
+
+		rngRef := rand.New(rand.NewPCG(seed, 2))
+		rngNew := rand.New(rand.NewPCG(seed, 2))
+		want, errRef := refRun(pts, cfg, rngRef)
+		got, errNew := Run(pts, cfg, rngNew)
+		if (errRef == nil) != (errNew == nil) {
+			t.Fatalf("trial %d: err mismatch ref=%v new=%v", trial, errRef, errNew)
+		}
+		if errRef != nil {
+			continue
+		}
+		sameResult(t, "trial", got, want)
+		// Identical post-run draws prove both paths consumed the same
+		// number of RNG values in the same order.
+		for draw := 0; draw < 3; draw++ {
+			if a, b := rngRef.Uint64(), rngNew.Uint64(); a != b {
+				t.Fatalf("trial %d: RNG stream diverged at post-run draw %d", trial, draw)
+			}
+		}
+	}
+}
+
+// TestRunnerScratchReuse pins that one Runner reused across runs of varying
+// shapes keeps producing reference-identical results (stale scratch from a
+// larger earlier run must not leak into a smaller later one).
+func TestRunnerScratchReuse(t *testing.T) {
+	r := NewRunner()
+	shapes := rand.New(rand.NewPCG(9, 90))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + shapes.IntN(30)
+		d := 1 + shapes.IntN(3)
+		k := 1 + shapes.IntN(6)
+		seed := shapes.Uint64()
+		pts := genPoints(rand.New(rand.NewPCG(seed, 1)), n, d, shapes.IntN(3))
+		flat := make([]float64, 0, n*d)
+		for _, p := range pts {
+			flat = append(flat, p...)
+		}
+		assign := make([]int, n)
+		rngRef := rand.New(rand.NewPCG(seed, 3))
+		rngNew := rand.New(rand.NewPCG(seed, 3))
+		want, err := refRun(pts, Config{K: k}, rngRef)
+		if err != nil {
+			t.Fatalf("trial %d: ref err %v", trial, err)
+		}
+		if err := r.RunFlat(flat, n, d, Config{K: k}, rngNew, assign); err != nil {
+			t.Fatalf("trial %d: RunFlat err %v", trial, err)
+		}
+		got := &Result{
+			Assignments: assign,
+			Centroids:   make([][]float64, r.NumCentroids()),
+			Inertia:     r.Inertia(),
+			Iterations:  r.Iterations(),
+		}
+		for j := range got.Centroids {
+			got.Centroids[j] = r.Centroid(j)
+		}
+		sameResult(t, "reuse trial", got, want)
+	}
+}
+
+func TestRunFlatRejectsBadInput(t *testing.T) {
+	r := NewRunner()
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := []struct {
+		name      string
+		pts       []float64
+		n, d, k   int
+		assignLen int
+	}{
+		{"zero n", nil, 0, 1, 1, 0},
+		{"zero d", []float64{1}, 1, 0, 1, 1},
+		{"zero k", []float64{1}, 1, 1, 0, 1},
+		{"short pts", []float64{1, 2, 3}, 2, 2, 1, 2},
+		{"short assign", []float64{1, 2, 3, 4}, 2, 2, 1, 1},
+	}
+	for _, tc := range cases {
+		err := r.RunFlat(tc.pts, tc.n, tc.d, Config{K: tc.k}, rng, make([]int, tc.assignLen))
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestAssignFlatMatchesNearest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 44))
+	for trial := 0; trial < 50; trial++ {
+		n, d, k := 1+rng.IntN(20), 1+rng.IntN(3), 1+rng.IntN(5)
+		pts := genPoints(rng, n, d, trial%3)
+		cents := genPoints(rng, k, d, 0)
+		flatP := make([]float64, 0, n*d)
+		for _, p := range pts {
+			flatP = append(flatP, p...)
+		}
+		flatC := make([]float64, 0, k*d)
+		for _, c := range cents {
+			flatC = append(flatC, c...)
+		}
+		assign := make([]int, n)
+		AssignFlat(flatP, n, d, flatC, k, assign)
+		for i, p := range pts {
+			if want := Nearest(p, cents); assign[i] != want {
+				t.Fatalf("trial %d: assign[%d] = %d, want %d", trial, i, assign[i], want)
+			}
+			if got := NearestFlat(p, flatC, k); got != assign[i] {
+				t.Fatalf("trial %d: NearestFlat disagrees: %d vs %d", trial, got, assign[i])
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // ErrBadState reports state bytes that cannot restore a policy or meter.
@@ -110,10 +111,35 @@ func NewAdaptive(cfg AdaptiveConfig) (*Adaptive, error) {
 	return &Adaptive{budget: cfg.Budget, v0: cfg.V0, gamma: cfg.Gamma}, nil
 }
 
+// vtMemo caches one (t, γ) → (t+1)^γ evaluation. Every node in a fleet runs
+// the same γ and is asked about the same step t, so the first Decide of a
+// step pays the math.Pow and the other N−1 nodes reuse it. The memo is a
+// pure function cache: a hit returns exactly what recomputing would, so
+// decisions are bit-identical with or without it (and regardless of how
+// many differently-configured fleets thrash it).
+type vtMemo struct {
+	t     int
+	gamma float64
+	pow   float64
+}
+
+var lastVt atomic.Pointer[vtMemo]
+
+// stepPow returns (t+1)^γ, serving repeats of the previous (t, γ) from the
+// memo.
+func stepPow(t int, gamma float64) float64 {
+	if m := lastVt.Load(); m != nil && m.t == t && m.gamma == gamma {
+		return m.pow
+	}
+	p := math.Pow(float64(t)+1, gamma)
+	lastVt.Store(&vtMemo{t: t, gamma: gamma, pow: p})
+	return p
+}
+
 // Decide implements Policy using the drift-plus-penalty rule of eq. (7)-(9).
 func (a *Adaptive) Decide(t int, x, z []float64) bool {
 	penalty := staleness(x, z) // F_t(0); F_t(1) is 0 by definition
-	vt := a.v0 * math.Pow(float64(t)+1, a.gamma)
+	vt := a.v0 * stepPow(t, a.gamma)
 
 	// Cost(β=0) = V_t·F − Q·B ; Cost(β=1) = Q·(1−B).
 	// Transmitting wins iff Q(1−B) < V_t·F − Q·B ⇔ Q < V_t·F.

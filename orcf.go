@@ -33,6 +33,7 @@ package orcf
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"orcf/internal/cluster"
 	"orcf/internal/core"
@@ -374,6 +375,46 @@ func WithSnapshotHorizon(h int) Option {
 	}
 }
 
+// WithIncrementalRefit enables warm-started clustering refits: when fleet
+// membership is unchanged and reassigning the stored measurements to the
+// previous step's centroids moves at most churn·N members, the step reuses
+// that assignment instead of running a full K-means refit — the dominant
+// per-step cost at large N. Warm steps skip the K-means RNG draws, so runs
+// with this enabled are not bit-identical to runs without it (exported
+// states are fingerprinted accordingly); every warm step is itself pinned
+// bit-identical to the full refit decision procedure by the differential
+// test plane in internal/cluster.
+//
+// churn 0 selects the default acceptance threshold (0.25); negative forces a
+// full refit every step, which is bit-identical to leaving the option off.
+func WithIncrementalRefit(churn float64) Option {
+	return func(c *core.Config) error {
+		if math.IsNaN(churn) {
+			return fmt.Errorf("orcf: churn threshold NaN: %w", ErrBadOption)
+		}
+		c.IncrementalRefit = true
+		c.IncrementalChurn = churn
+		return nil
+	}
+}
+
+// WithSnapshotKeep bounds snapshot retention so the per-step published deep
+// copies can be recycled through an arena: a look-back slot that drops out
+// of the published window is reused once more than keep further generations
+// have been published. Readers must finish with a Snapshot of generation g
+// before generation g+keep is published. Zero (the default) never recycles —
+// every Snapshot stays valid forever — at the cost of one window-slot
+// allocation per step. Requires WithSnapshotHorizon.
+func WithSnapshotKeep(keep int) Option {
+	return func(c *core.Config) error {
+		if keep < 0 {
+			return fmt.Errorf("orcf: snapshot keep %d: %w", keep, ErrBadOption)
+		}
+		c.SnapshotKeep = keep
+		return nil
+	}
+}
+
 // System is the public handle to the collection-and-forecasting pipeline.
 type System struct {
 	inner *core.System
@@ -450,6 +491,10 @@ func (s *System) CentroidSeries(tracker, clusterIdx, dim int) []float64 {
 
 // Steps returns the number of processed time steps.
 func (s *System) Steps() int { return s.inner.Steps() }
+
+// RefitStats reports how many per-tracker clustering steps were warm-started
+// versus fully refit (warm is always 0 unless WithIncrementalRefit is set).
+func (s *System) RefitStats() (warm, full int) { return s.inner.RefitStats() }
 
 // Evaluate drives the system over a dataset and scores RMSE per horizon,
 // the h=0 staleness error, and (optionally) the intermediate clustering
