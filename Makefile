@@ -52,18 +52,18 @@ churn-smoke:
 	$(GO) run ./cmd/loadgen -nodes 64 -conns 4 -steps 40 -churn 1.5
 
 bench:
-	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain' -benchmem .
+	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain|EnsembleSelect' -benchmem .
 	$(GO) test -run xxx -bench ServeForecast -benchmem ./internal/serve
 	$(GO) test -run xxx -bench TransportIngest -benchmem ./internal/transport
 
-# Perf trajectory: run the five tracked benchmark families and write the
+# Perf trajectory: run the six tracked benchmark families and write the
 # committed machine-readable baseline. Bump BENCH_OUT when cutting a new
 # baseline file for a PR.
-BENCH_OUT ?= BENCH_0008.json
+BENCH_OUT ?= BENCH_0009.json
 bench-json:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-# One-iteration smoke of the same tool: keeps cmd/benchjson and the five
+# One-iteration smoke of the same tool: keeps cmd/benchjson and the six
 # benchmark families compiling and parseable without paying full bench time,
 # then prints the delta table against the committed baseline. The smoke run
 # is a single iteration, far too noisy to gate on, so the comparison is

@@ -149,13 +149,22 @@ func BenchmarkAblations(b *testing.B) {
 // timer), exercising the membership-change fallback of the incremental path.
 func benchPipelineStep(b *testing.B, nodes, steps, workers, churnEvery int, opts ...Option) {
 	b.Helper()
-	ds, err := GenerateTrace(GeneratorConfig{Name: "bench", Nodes: nodes, Steps: steps, Seed: 1})
+	benchPipelineStepD(b, nodes, 2, steps, workers, churnEvery, opts...)
+}
+
+// benchPipelineStepD is benchPipelineStep with the measurement dimensionality
+// d exposed, for the vectorized-assignment variants.
+func benchPipelineStepD(b *testing.B, nodes, resources, steps, workers, churnEvery int, opts ...Option) {
+	b.Helper()
+	ds, err := GenerateTrace(GeneratorConfig{
+		Name: "bench", Nodes: nodes, Steps: steps, Resources: resources, Seed: 1,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts = append([]Option{WithBudget(0.3), WithTrainingSchedule(1_000_000, 1_000_000),
 		WithSeed(1), WithWorkers(workers)}, opts...)
-	sys, err := New(nodes, 2, opts...)
+	sys, err := New(nodes, resources, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -211,6 +220,12 @@ func BenchmarkPipelineStep(b *testing.B) {
 	b.Run("N=10000-full", func(b *testing.B) { benchPipelineStep(b, 10000, 24, 0, 0) })
 	b.Run("N=10000-churn", func(b *testing.B) {
 		benchPipelineStep(b, 10000, 24, 0, 8, WithIncrementalRefit(0))
+	})
+	// d=4 doubles the flat-layout row width, exercising the blocked distance
+	// loop in kmeans.AssignFlat (d=1 takes a scalar fast path and d=2 rows
+	// are too narrow to show blocking effects at full strength).
+	b.Run("N=10000-d4", func(b *testing.B) {
+		benchPipelineStepD(b, 10000, 4, 24, 0, 0)
 	})
 }
 
@@ -299,3 +314,56 @@ func benchEnsembleRetrain(b *testing.B, workers int) {
 // is one complete 3×2-model ARIMA refit.
 func BenchmarkEnsembleRetrain(b *testing.B)       { benchEnsembleRetrain(b, 0) }
 func BenchmarkEnsembleRetrainSerial(b *testing.B) { benchEnsembleRetrain(b, 1) }
+
+// benchEnsembleSelect measures the steady-state per-step overhead the model
+// zoo adds on top of a single family: updating every candidate, scoring the
+// cached 1-step forecasts against the new centroids, running the
+// champion/challenger selector, and refreshing the forecast cache. Refits are
+// pushed out of the timed loop (RetrainEvery is huge), so ns/op is pure
+// selection-plane cost for a 4-family, 3×2-cell zoo.
+func benchEnsembleSelect(b *testing.B, workers int) {
+	b.Helper()
+	const warm = 192
+	zoo, err := forecast.Zoo("sample-and-hold", "ses", "holt", "ar")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ens, err := forecast.NewEnsemble(forecast.EnsembleConfig{
+		Clusters: 3, Dims: 2,
+		InitialCollection: warm,
+		RetrainEvery:      1 << 30,
+		Candidates:        zoo,
+		Workers:           workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	centroids := func(t int) [][]float64 {
+		out := make([][]float64, 3)
+		for j := range out {
+			phase := float64(j) * 2.1
+			out[j] = []float64{
+				0.4 + 0.2*math.Sin(float64(t)/12+phase),
+				0.5 + 0.1*math.Cos(float64(t)/9+phase),
+			}
+		}
+		return out
+	}
+	for t := 0; t < warm; t++ {
+		if err := ens.Observe(centroids(t)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ens.Observe(centroids(warm + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnsembleSelect tracks the online selection overhead of the model
+// zoo; the Serial variant pins the worker pool to one worker.
+func BenchmarkEnsembleSelect(b *testing.B)       { benchEnsembleSelect(b, 0) }
+func BenchmarkEnsembleSelectSerial(b *testing.B) { benchEnsembleSelect(b, 1) }

@@ -13,9 +13,10 @@
 //	go run ./cmd/benchjson -compare -threshold 25 old.json new.json
 //	                                                # fail on >25% ns/op regression
 //
-// The five families cover the pipeline hot paths: PipelineStep and
-// EnsembleRetrain (ingest/refit), ForecastQuery (eq. 12 reconstruction),
-// ServeForecast (query plane cache), and TransportIngest (wire protocols).
+// The six families cover the pipeline hot paths: PipelineStep,
+// EnsembleRetrain, and EnsembleSelect (ingest/refit/model-zoo scoring),
+// ForecastQuery (eq. 12 reconstruction), ServeForecast (query plane cache),
+// and TransportIngest (wire protocols).
 // Output is deterministic modulo the measurements themselves: results are
 // sorted by package and benchmark name, and no timestamp is recorded.
 package main
@@ -49,6 +50,7 @@ var families = []family{
 	{"PipelineStep", ".", "^BenchmarkPipelineStep$"},
 	{"ForecastQuery", ".", "^BenchmarkForecastQuery$"},
 	{"EnsembleRetrain", ".", "^BenchmarkEnsembleRetrain$"},
+	{"EnsembleSelect", ".", "^BenchmarkEnsembleSelect$"},
 	{"ServeForecast", "./internal/serve", "^BenchmarkServeForecast$"},
 	{"TransportIngest", "./internal/transport", "^BenchmarkTransportIngest$"},
 }

@@ -16,8 +16,17 @@
 //	GET /v1/forecast?h=H[&node=I]  per-node forecasts for horizons 1..H
 //	GET /v1/nodes/{id}             latest measurement, memberships, frequency
 //	GET /v1/clusters               centroids per tracker
+//	GET /v1/models                 model-zoo champions and rolling accuracy
 //	GET /v1/stats                  pipeline + cache + request statistics
 //	GET /metrics                   Prometheus text format
+//
+// By default every cluster is forecast by one pinned model family
+// (sample-and-hold). With -models a comma-separated model zoo is run
+// instead: every named family trains per (cluster, resource) cell, rolling
+// 1-step accuracy is scored online, and forecasts are served by the per-cell
+// champion, with challengers promoted under hysteresis (tune with
+// -select-window, -select-margin, -select-streak, -select-metric). See the
+// model-family table in docs/OPERATIONS.md for the registered names.
 //
 // Fleet membership is elastic: -nodes N pre-registers node IDs 0..N-1 and
 // the pipeline starts stepping once all of them have reported (with
@@ -52,10 +61,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"orcf/internal/core"
+	"orcf/internal/forecast"
 	"orcf/internal/obs"
 	"orcf/internal/persist"
 	"orcf/internal/serve"
@@ -109,6 +120,11 @@ func run() int {
 		idleTmo     = flag.Duration("idle-timeout", 5*time.Minute, "drop agent connections silent for this long (0 = never)")
 		absence     = flag.Int("absence-ticks", 0, "evict a fleet member after this many silent pipeline ticks (0 = never)")
 		debugAddr   = flag.String("debug-addr", "", "optional address for the debug server (pprof, expvar, /debug/obs, /metrics); empty = disabled")
+		models      = flag.String("models", "", "comma-separated model-zoo families with online champion selection (empty = single sample-and-hold family)")
+		selWindow   = flag.Int("select-window", 0, "rolling accuracy window in evaluations (0 = default 64)")
+		selMargin   = flag.Float64("select-margin", 0, "challenger must beat the champion by this error margin")
+		selStreak   = flag.Int("select-streak", 0, "consecutive winning evaluations required to dethrone a champion (0 = default 3)")
+		selMetric   = flag.String("select-metric", "", "selection metric: mae or rmse (empty = mae)")
 	)
 	flag.Parse()
 	// Correlation fields are passed in a fixed order (step, generation first)
@@ -149,6 +165,19 @@ func run() int {
 		Workers:           *workers,
 		SnapshotHorizon:   *horizon,
 		PhaseObserver:     serve.NewStepTimings(reg),
+	}
+	if *models != "" {
+		zoo, err := forecast.Zoo(strings.Split(*models, ",")...)
+		if err != nil {
+			log.Error("-models", "err", err)
+			return 2
+		}
+		cfg.Zoo = zoo
+		cfg.Selection = forecast.SelectionConfig{
+			Window: *selWindow, Margin: *selMargin,
+			Streak: *selStreak, Metric: *selMetric,
+		}
+		log.Info("model zoo enabled", "families", *models)
 	}
 	stepper, err := serve.NewStoreStepper(store, cfg)
 	if err != nil {

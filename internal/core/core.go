@@ -80,8 +80,17 @@ type Config struct {
 	// policy with B=0.3 and paper defaults.
 	Policy PolicyFactory
 	// Model builds each (cluster, resource) forecasting model. Nil means
-	// sample-and-hold.
+	// sample-and-hold. Mutually exclusive with Zoo.
 	Model forecast.Builder
+	// Zoo, when non-empty, runs a model zoo instead of a single family: every
+	// candidate trains on each (cluster, resource) centroid series and the
+	// per-(cluster, resource) champion — chosen online by rolling forecast
+	// accuracy with hysteresis (see Selection) — serves the forecasts.
+	// Resolve names via forecast.Zoo. Model must be nil when Zoo is set.
+	Zoo []forecast.Candidate
+	// Selection tunes the zoo's champion/challenger selector; ignored unless
+	// Zoo is set. Zero values select the forecast package defaults.
+	Selection forecast.SelectionConfig
 	// JointClustering clusters full d-dimensional vectors instead of
 	// per-resource scalars (the Table I ablation). Default false — the
 	// paper finds scalar clustering superior.
@@ -170,8 +179,11 @@ func (c Config) withDefaults() Config {
 			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: 0.3})
 		}
 	}
-	if c.Model == nil {
+	if c.Model == nil && len(c.Zoo) == 0 {
 		c.Model = func() forecast.Model { return forecast.NewSampleAndHold() }
+	}
+	if len(c.Zoo) > 0 {
+		c.Selection = c.Selection.WithDefaults()
 	}
 	return c
 }
@@ -384,6 +396,8 @@ func NewSystem(cfg Config) (*System, error) {
 			RetrainEvery:      cfg.RetrainEvery,
 			FitWindow:         cfg.FitWindow,
 			Builder:           cfg.Model,
+			Candidates:        cfg.Zoo,
+			Selection:         cfg.Selection,
 			Workers:           ensembleWorkers,
 		})
 		if err != nil {
@@ -882,6 +896,17 @@ func (s *System) Model(tracker, clusterIdx, dim int) forecast.Model {
 		return nil
 	}
 	return s.ensembles[tracker].Model(clusterIdx, dim)
+}
+
+// ModelSelection returns a deep-copied view of a tracker ensemble's zoo
+// selection state — per-(cluster, dim) champions, rolling accuracies, and
+// switch counts — or nil for an out-of-range tracker or a single-family
+// (Config.Model) system.
+func (s *System) ModelSelection(tracker int) *forecast.SelectionInfo {
+	if tracker < 0 || tracker >= len(s.ensembles) {
+		return nil
+	}
+	return s.ensembles[tracker].Selection()
 }
 
 // CentroidSeries returns the centroid history for (tracker, cluster, dim).

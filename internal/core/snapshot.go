@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"orcf/internal/forecast"
 	"orcf/internal/parallel"
 )
 
@@ -41,6 +42,11 @@ type Snapshot struct {
 	meanFreq  float64
 	trainTime time.Duration
 	trainRuns int
+
+	// selection holds each tracker's zoo champion/challenger state at
+	// publication (deep-copied, immutable); nil entries for single-family
+	// systems.
+	selection []*forecast.SelectionInfo
 
 	roster    *Roster
 	evictions uint64
@@ -139,6 +145,12 @@ func (s *System) assembleSnapshot() *Snapshot {
 		snap.meanFreq = sum / float64(live)
 	}
 	snap.trainTime, snap.trainRuns = s.TrainingTime()
+	if len(s.cfg.Zoo) > 0 {
+		snap.selection = make([]*forecast.SelectionInfo, s.nTrackers)
+		for tr := range snap.selection {
+			snap.selection[tr] = s.ensembles[tr].Selection()
+		}
+	}
 	return snap
 }
 
@@ -293,6 +305,29 @@ func (sn *Snapshot) Centroids(tracker int) [][]float64 {
 // at publication.
 func (sn *Snapshot) TrainingTime() (time.Duration, int) {
 	return sn.trainTime, sn.trainRuns
+}
+
+// ModelSelection returns a tracker's zoo champion/challenger state at
+// publication — per-(cluster, dim) champions, rolling accuracies, streaks,
+// and switch counts — or nil for an out-of-range tracker or a single-family
+// system. The returned value is immutable and shared by all callers.
+func (sn *Snapshot) ModelSelection(tracker int) *forecast.SelectionInfo {
+	if tracker < 0 || tracker >= len(sn.selection) {
+		return nil
+	}
+	return sn.selection[tracker]
+}
+
+// ModelSwitchesTotal sums the lifetime champion promotions across all
+// trackers at publication (0 for single-family systems).
+func (sn *Snapshot) ModelSwitchesTotal() int {
+	total := 0
+	for _, sel := range sn.selection {
+		if sel != nil {
+			total += sel.SwitchTotal
+		}
+	}
+	return total
 }
 
 // Forecast produces per-node forecasts for horizons 1..h from the snapshot

@@ -128,6 +128,20 @@ func (c Config) Fingerprint() uint64 {
 		// pre-existing fingerprint stable.
 		fmt.Fprintf(h, "|inc=1|churn=%g", c.IncrementalChurn)
 	}
+	if len(c.Zoo) > 0 {
+		// A zoo's selection state is part of the persisted format, so the
+		// candidate roster and selection tuning must match on restore. The
+		// conditional append keeps single-family fingerprints stable.
+		fmt.Fprintf(h, "|zoo=")
+		for i, cand := range c.Zoo {
+			if i > 0 {
+				fmt.Fprintf(h, ",")
+			}
+			fmt.Fprintf(h, "%s", cand.Name)
+		}
+		fmt.Fprintf(h, "|selw=%d|selm=%g|sels=%d|selmet=%s",
+			c.Selection.Window, c.Selection.Margin, c.Selection.Streak, c.Selection.Metric)
+	}
 	return h.Sum64()
 }
 
@@ -505,6 +519,12 @@ func (s *System) republish() error {
 		snap.meanFreq = sum / float64(live)
 	}
 	snap.trainTime, snap.trainRuns = s.TrainingTime()
+	if len(s.cfg.Zoo) > 0 {
+		snap.selection = make([]*forecast.SelectionInfo, s.nTrackers)
+		for tr := range snap.selection {
+			snap.selection[tr] = s.ensembles[tr].Selection()
+		}
+	}
 	if snap.ready {
 		snap.centF = make([][][][]float64, s.nTrackers)
 		err := parallel.ForEach(s.cfg.Workers, s.nTrackers, func(tr int) error {

@@ -1,0 +1,129 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// accCell is one rolling error window: the last `window` signed one-step
+// forecast errors of a single (cluster, dim, candidate) triple. The ring
+// grows to the window size and then overwrites the oldest entry; next is the
+// overwrite cursor, which once full also marks the oldest element.
+type accCell struct {
+	ring  []float64
+	next  int
+	evals int64 // lifetime number of recorded errors
+}
+
+func (c *accCell) record(e float64, window int) {
+	if len(c.ring) < window {
+		c.ring = append(c.ring, e)
+	} else {
+		c.ring[c.next] = e
+		c.next = (c.next + 1) % window
+	}
+	c.evals++
+}
+
+// fold visits the windowed errors oldest-first. The chronological order is
+// part of the contract: MAE/RMSE sums accumulate in exactly the order the
+// errors were recorded, so a brute-force recompute over the full history
+// tail reproduces them bit-identically (and export/restore preserves them).
+func (c *accCell) fold(f func(e float64)) {
+	n := len(c.ring)
+	for t := 0; t < n; t++ {
+		f(c.ring[(c.next+t)%n])
+	}
+}
+
+// chronological returns a copy of the windowed errors, oldest first.
+func (c *accCell) chronological() []float64 {
+	out := make([]float64, 0, len(c.ring))
+	c.fold(func(e float64) { out = append(out, e) })
+	return out
+}
+
+// Accuracy tracks rolling one-step-ahead forecast errors for every
+// (cluster, dim, candidate) triple of a model zoo: each step the previous
+// step's forecasts are scored against the newly observed centroid, and
+// MAE/RMSE over the last `window` errors rank the candidates for
+// champion/challenger selection.
+type Accuracy struct {
+	window, clusters, dims, cands int
+	cells                         []accCell // [(j·dims+d)·cands + c]
+}
+
+// NewAccuracy returns an empty tracker for clusters×dims×cands windows of
+// the given length.
+func NewAccuracy(clusters, dims, cands, window int) (*Accuracy, error) {
+	if clusters < 1 || dims < 1 || cands < 1 || window < 1 {
+		return nil, fmt.Errorf("forecast: accuracy shape %d×%d×%d window %d: %w",
+			clusters, dims, cands, window, ErrBadInput)
+	}
+	return &Accuracy{
+		window: window, clusters: clusters, dims: dims, cands: cands,
+		cells: make([]accCell, clusters*dims*cands),
+	}, nil
+}
+
+func (a *Accuracy) cell(j, d, c int) *accCell {
+	return &a.cells[(j*a.dims+d)*a.cands+c]
+}
+
+// Record adds one signed forecast error (forecast − observed) for candidate
+// c of (cluster j, dim d).
+func (a *Accuracy) Record(j, d, c int, e float64) { a.cell(j, d, c).record(e, a.window) }
+
+// MAE returns the mean absolute error over the rolling window and the number
+// of errors it covers (0, 0 before the first Record).
+func (a *Accuracy) MAE(j, d, c int) (float64, int) {
+	cell := a.cell(j, d, c)
+	n := len(cell.ring)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	cell.fold(func(e float64) { sum += math.Abs(e) })
+	return sum / float64(n), n
+}
+
+// RMSE returns the root-mean-square error over the rolling window and the
+// number of errors it covers (0, 0 before the first Record).
+func (a *Accuracy) RMSE(j, d, c int) (float64, int) {
+	cell := a.cell(j, d, c)
+	n := len(cell.ring)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	cell.fold(func(e float64) { sum += e * e })
+	return math.Sqrt(sum / float64(n)), n
+}
+
+// Evals returns the lifetime number of recorded errors for the triple.
+func (a *Accuracy) Evals(j, d, c int) int64 { return a.cell(j, d, c).evals }
+
+// Window returns a copy of the triple's windowed errors, oldest first.
+func (a *Accuracy) Window(j, d, c int) []float64 { return a.cell(j, d, c).chronological() }
+
+// restoreCell refills one window from its exported chronological errors. The
+// refilled ring rotates differently than the exporting one may have, but
+// chronological iteration — the only read path — is rotation-invariant, so
+// all future MAE/RMSE values and window contents evolve bit-identically.
+func (a *Accuracy) restoreCell(j, d, c int, errs []float64, evals int64) error {
+	if len(errs) > a.window {
+		return fmt.Errorf("forecast: %d windowed errors exceed window %d: %w",
+			len(errs), a.window, ErrBadInput)
+	}
+	if evals < int64(len(errs)) {
+		return fmt.Errorf("forecast: %d lifetime evals < %d windowed errors: %w",
+			evals, len(errs), ErrBadInput)
+	}
+	cell := a.cell(j, d, c)
+	cell.ring = append([]float64(nil), errs...)
+	// After a chronological refill the oldest element sits at index 0, which
+	// is exactly where the overwrite cursor of a full ring must point.
+	cell.next = 0
+	cell.evals = evals
+	return nil
+}

@@ -22,14 +22,27 @@ type EnsembleConfig struct {
 	RetrainEvery int
 	// FitWindow caps the history length used per fit (most recent portion);
 	// zero means all history. The paper permits "all (or a subset of) the
-	// historical cluster centroids".
+	// historical cluster centroids". When set, the ensemble also trims the
+	// retained series after each refit to the portion future refits and
+	// restores can still need, bounding memory in long-running deployments.
 	FitWindow int
-	// Builder constructs each model. Required.
+	// Builder constructs each model — the single-family path. Required
+	// unless Candidates is set (exactly one of the two must be provided).
 	Builder Builder
+	// Candidates enables zoo mode: one model instance per candidate per
+	// (cluster, dim), all trained and updated on the same series, with the
+	// champion per (cluster, dim) selected online by rolling accuracy (see
+	// Selection). A single-candidate zoo behaves bit-identically to the
+	// equivalent Builder configuration, plus the accuracy bookkeeping.
+	Candidates []Candidate
+	// Selection tunes the champion/challenger selector; ignored unless
+	// Candidates is set. Zero values select the defaults (window 64,
+	// margin 0, streak 3, metric "mae").
+	Selection SelectionConfig
 	// Workers bounds the concurrency of per-model fitting and forecasting
-	// across the K×Dims independent models. Zero means GOMAXPROCS; 1 forces
-	// the serial path. Results are identical for any value because every
-	// model owns its state outright.
+	// across the candidates×K×Dims independent models. Zero means GOMAXPROCS;
+	// 1 forces the serial path. Results are identical for any value because
+	// every model owns its state outright.
 	Workers int
 }
 
@@ -43,19 +56,34 @@ func (c EnsembleConfig) withDefaults() EnsembleConfig {
 	if c.RetrainEvery == 0 {
 		c.RetrainEvery = 288
 	}
+	if len(c.Candidates) > 0 {
+		c.Selection = c.Selection.WithDefaults()
+	}
 	return c
 }
 
-// Ensemble manages K×Dims forecasting models over the evolving centroid
-// series: it buffers the initial collection phase, trains models at the end
-// of it, feeds every new centroid to the transient state, and retrains
-// periodically — exactly the schedule in §VI-A3.
+// Ensemble manages the forecasting models over the evolving centroid series:
+// it buffers the initial collection phase, trains models at the end of it,
+// feeds every new centroid to the transient state, and retrains periodically
+// — exactly the schedule in §VI-A3. In zoo mode (Candidates) it runs every
+// candidate family in lockstep, scores each candidate's previous 1-step
+// forecast against the newly observed centroid, and serves Forecast from the
+// per-(cluster, dim) champion chosen by the hysteresis selector.
 type Ensemble struct {
 	cfg    EnsembleConfig
-	models [][]Model     // [cluster][dim]
-	series [][][]float64 // [cluster][dim][t]
+	names  []string      // candidate names; exactly one in single-family mode
+	models [][][]Model   // [candidate][cluster][dim]
+	series [][][]float64 // [cluster][dim][t − start]
+	start  int           // logical step index of series[j][d][0] (trimming)
 	t      int
 	ready  bool
+
+	// Zoo-mode selection state (nil/false in single-family mode).
+	zoo    bool
+	acc    *Accuracy
+	sel    *selector
+	pred   []float64 // cached 1-step forecasts [(c·Clusters+j)·Dims+d]
+	predOK bool
 
 	trainTime  time.Duration
 	trainRuns  int
@@ -68,25 +96,69 @@ func NewEnsemble(cfg EnsembleConfig) (*Ensemble, error) {
 	if cfg.Clusters < 1 {
 		return nil, fmt.Errorf("forecast: %d clusters: %w", cfg.Clusters, ErrBadInput)
 	}
-	if cfg.Builder == nil {
+	e := &Ensemble{cfg: cfg, zoo: len(cfg.Candidates) > 0}
+	switch {
+	case e.zoo:
+		if cfg.Builder != nil {
+			return nil, fmt.Errorf("forecast: both Builder and Candidates set: %w", ErrBadInput)
+		}
+		if err := cfg.Selection.Validate(); err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool, len(cfg.Candidates))
+		for _, cand := range cfg.Candidates {
+			if cand.Name == "" || cand.Builder == nil {
+				return nil, fmt.Errorf("forecast: candidate %q with nil builder or empty name: %w",
+					cand.Name, ErrBadInput)
+			}
+			if seen[cand.Name] {
+				return nil, fmt.Errorf("forecast: duplicate candidate %q: %w", cand.Name, ErrBadInput)
+			}
+			seen[cand.Name] = true
+			e.names = append(e.names, cand.Name)
+		}
+		cells := cfg.Clusters * cfg.Dims
+		acc, err := NewAccuracy(cfg.Clusters, cfg.Dims, len(cfg.Candidates), cfg.Selection.Window)
+		if err != nil {
+			return nil, err
+		}
+		e.acc = acc
+		e.sel = newSelector(cells, len(cfg.Candidates), cfg.Selection.Streak, cfg.Selection.Margin)
+	case cfg.Builder == nil:
 		return nil, fmt.Errorf("forecast: nil model builder: %w", ErrBadInput)
 	}
-	e := &Ensemble{cfg: cfg}
-	e.models = make([][]Model, cfg.Clusters)
-	e.series = make([][][]float64, cfg.Clusters)
-	for j := range e.models {
-		e.models[j] = make([]Model, cfg.Dims)
-		e.series[j] = make([][]float64, cfg.Dims)
-		for d := range e.models[j] {
-			e.models[j][d] = cfg.Builder()
+
+	builders := cfg.Candidates
+	if !e.zoo {
+		builders = []Candidate{{Builder: cfg.Builder}}
+	}
+	e.models = make([][][]Model, len(builders))
+	for c, cand := range builders {
+		e.models[c] = make([][]Model, cfg.Clusters)
+		for j := range e.models[c] {
+			e.models[c][j] = make([]Model, cfg.Dims)
+			for d := range e.models[c][j] {
+				e.models[c][j][d] = cand.Builder()
+			}
 		}
+	}
+	if !e.zoo {
+		e.names = []string{e.models[0][0][0].Name()}
+	}
+	e.series = make([][][]float64, cfg.Clusters)
+	for j := range e.series {
+		e.series[j] = make([][]float64, cfg.Dims)
 	}
 	return e, nil
 }
 
 // Observe ingests this step's centroids (Clusters × Dims). It triggers the
 // initial training at the end of the collection phase and retraining every
-// RetrainEvery steps thereafter.
+// RetrainEvery steps thereafter. In zoo mode it first scores every
+// candidate's cached 1-step forecast against the new centroids and runs one
+// champion/challenger evaluation per (cluster, dim), then recomputes the
+// 1-step forecasts for the next scoring round; Forecast is pure for every
+// model family, so the scoring never perturbs the models themselves.
 func (e *Ensemble) Observe(centroids [][]float64) error {
 	if len(centroids) != e.cfg.Clusters {
 		return fmt.Errorf("forecast: %d centroids, want %d: %w",
@@ -97,40 +169,105 @@ func (e *Ensemble) Observe(centroids [][]float64) error {
 			return fmt.Errorf("forecast: centroid %d has dim %d, want %d: %w",
 				j, len(c), e.cfg.Dims, ErrBadInput)
 		}
+	}
+	if e.zoo && e.predOK {
+		e.score(centroids)
+	}
+	for j, c := range centroids {
 		for d, v := range c {
 			e.series[j][d] = append(e.series[j][d], v)
 			if e.ready {
-				e.models[j][d].Update(v)
+				for _, models := range e.models {
+					models[j][d].Update(v)
+				}
 			}
 		}
 	}
 	e.t++
 	switch {
 	case !e.ready && e.t >= e.cfg.InitialCollection:
-		return e.refit()
-	case e.ready && (e.t-e.lastrefitsStep()) >= e.cfg.RetrainEvery:
-		return e.refit()
+		if err := e.refit(); err != nil {
+			return err
+		}
+	case e.ready && (e.t-e.lastrefits) >= e.cfg.RetrainEvery:
+		if err := e.refit(); err != nil {
+			return err
+		}
+	}
+	if e.zoo && e.ready {
+		return e.refreshPred()
 	}
 	return nil
 }
 
-func (e *Ensemble) lastrefitsStep() int { return e.lastrefits }
+// score records each candidate's signed 1-step forecast error against the
+// newly observed centroids and runs one selector evaluation per
+// (cluster, dim) cell.
+func (e *Ensemble) score(centroids [][]float64) {
+	dims := e.cfg.Dims
+	cells := e.cfg.Clusters * dims
+	rmse := e.cfg.Selection.Metric == "rmse"
+	for j, c := range centroids {
+		for d, v := range c {
+			for cand := range e.models {
+				e.acc.Record(j, d, cand, e.pred[cand*cells+j*dims+d]-v)
+			}
+			e.sel.evaluate(j*dims+d, func(cand int) (float64, bool) {
+				var s float64
+				var n int
+				if rmse {
+					s, n = e.acc.RMSE(j, d, cand)
+				} else {
+					s, n = e.acc.MAE(j, d, cand)
+				}
+				return s, n > 0
+			})
+		}
+	}
+}
 
-// refit trains every model on its accumulated series, tracking wall time.
-// The K×Dims fits are independent (each model owns its state and reads its
-// own series), so they run on the worker pool; ARIMA grid search and LSTM
-// epochs dominate retraining wall time and scale with cores.
+// refreshPred caches every candidate's 1-step forecast for the next scoring
+// round. Forecast is pure, so this neither mutates models nor consumes RNG.
+func (e *Ensemble) refreshPred() error {
+	dims := e.cfg.Dims
+	cells := e.cfg.Clusters * dims
+	if e.pred == nil {
+		e.pred = make([]float64, len(e.models)*cells)
+	}
+	err := parallel.ForEach(e.cfg.Workers, len(e.models)*cells, func(i int) error {
+		c, r := i/cells, i%cells
+		j, d := r/dims, r%dims
+		f, err := e.models[c][j][d].Forecast(1)
+		if err != nil {
+			return fmt.Errorf("forecast: scoring %s cluster %d dim %d: %w", e.names[c], j, d, err)
+		}
+		e.pred[i] = f[0]
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.predOK = true
+	return nil
+}
+
+// refit trains every model on the accumulated series, tracking wall time.
+// The candidates×K×Dims fits are independent (each model owns its state and
+// reads its own series), so they run on the worker pool; ARIMA grid search
+// and LSTM epochs dominate retraining wall time and scale with cores.
 func (e *Ensemble) refit() error {
 	start := time.Now()
 	dims := e.cfg.Dims
-	err := parallel.ForEach(e.cfg.Workers, e.cfg.Clusters*dims, func(i int) error {
-		j, d := i/dims, i%dims
+	cells := e.cfg.Clusters * dims
+	err := parallel.ForEach(e.cfg.Workers, len(e.models)*cells, func(i int) error {
+		c, r := i/cells, i%cells
+		j, d := r/dims, r%dims
 		s := e.series[j][d]
 		if e.cfg.FitWindow > 0 && len(s) > e.cfg.FitWindow {
 			s = s[len(s)-e.cfg.FitWindow:]
 		}
-		if err := e.models[j][d].Fit(s); err != nil {
-			return fmt.Errorf("forecast: fitting cluster %d dim %d: %w", j, d, err)
+		if err := e.models[c][j][d].Fit(s); err != nil {
+			return fmt.Errorf("forecast: fitting %s cluster %d dim %d: %w", e.names[c], j, d, err)
 		}
 		return nil
 	})
@@ -141,7 +278,34 @@ func (e *Ensemble) refit() error {
 	e.trainRuns++
 	e.lastrefits = e.t
 	e.ready = true
+	e.trim()
 	return nil
+}
+
+// trim drops the series prefix no future fit can read: after a refit at step
+// t, live refits and restore-refits only ever see the FitWindow-suffix ending
+// at or after lastrefits, so everything before lastrefits − FitWindow is
+// dead weight. The copy is in place (no allocation) and the freed capacity is
+// reused by subsequent appends, bounding steady-state memory at roughly
+// FitWindow + RetrainEvery values per (cluster, dim) instead of growing
+// forever. No-op without a FitWindow, where restores refit on full history.
+func (e *Ensemble) trim() {
+	if e.cfg.FitWindow <= 0 {
+		return
+	}
+	keepFrom := e.lastrefits - e.cfg.FitWindow
+	if keepFrom <= e.start {
+		return
+	}
+	cut := keepFrom - e.start
+	for j := range e.series {
+		for d := range e.series[j] {
+			s := e.series[j][d]
+			n := copy(s, s[cut:])
+			e.series[j][d] = s[:n]
+		}
+	}
+	e.start = keepFrom
 }
 
 // Ready reports whether the initial collection phase has completed and
@@ -151,9 +315,17 @@ func (e *Ensemble) Ready() bool { return e.ready }
 // Steps returns the number of observed time steps.
 func (e *Ensemble) Steps() int { return e.t }
 
+// championIdx returns the candidate index serving (cluster j, dim d).
+func (e *Ensemble) championIdx(j, d int) int {
+	if !e.zoo {
+		return 0
+	}
+	return e.sel.champ[j*e.cfg.Dims+d]
+}
+
 // Forecast returns h-step-ahead centroid forecasts, indexed
-// [cluster][dim][step]. It fails with ErrNotFitted during the initial
-// collection phase.
+// [cluster][dim][step], produced by each (cluster, dim) cell's champion
+// model. It fails with ErrNotFitted during the initial collection phase.
 func (e *Ensemble) Forecast(h int) ([][][]float64, error) {
 	if !e.ready {
 		return nil, ErrNotFitted
@@ -165,7 +337,7 @@ func (e *Ensemble) Forecast(h int) ([][][]float64, error) {
 	}
 	err := parallel.ForEach(e.cfg.Workers, e.cfg.Clusters*dims, func(i int) error {
 		j, d := i/dims, i%dims
-		f, err := e.models[j][d].Forecast(h)
+		f, err := e.models[e.championIdx(j, d)][j][d].Forecast(h)
 		if err != nil {
 			return fmt.Errorf("forecast: cluster %d dim %d: %w", j, d, err)
 		}
@@ -178,8 +350,9 @@ func (e *Ensemble) Forecast(h int) ([][][]float64, error) {
 	return out, nil
 }
 
-// Series returns a copy of the accumulated centroid series for one
-// (cluster, dim) pair.
+// Series returns a copy of the retained centroid series for one
+// (cluster, dim) pair — the full history without a FitWindow, and the
+// still-needed suffix (see SeriesStart) once trimming has engaged.
 func (e *Ensemble) Series(j, d int) []float64 {
 	if j < 0 || j >= e.cfg.Clusters || d < 0 || d >= e.cfg.Dims {
 		return nil
@@ -187,20 +360,114 @@ func (e *Ensemble) Series(j, d int) []float64 {
 	return append([]float64(nil), e.series[j][d]...)
 }
 
+// SeriesStart returns the logical step index of the first retained series
+// value (0 until FitWindow-based trimming discards a prefix).
+func (e *Ensemble) SeriesStart() int { return e.start }
+
 // TrainingTime returns the cumulative wall-clock time of the (re)training
-// rounds and their count. Rounds fit their K×Dims models on the worker
-// pool, so the duration shrinks with Workers/cores — it measures what the
-// system actually stalls on maintenance, not summed per-model CPU time
-// (for a single model's fitting cost, see e.g. the ARIMA/LSTM FitDuration
-// accessors).
+// rounds and their count. Rounds fit their models on the worker pool, so the
+// duration shrinks with Workers/cores — it measures what the system actually
+// stalls on maintenance, not summed per-model CPU time (for a single model's
+// fitting cost, see e.g. the ARIMA/LSTM FitDuration accessors).
 func (e *Ensemble) TrainingTime() (time.Duration, int) { return e.trainTime, e.trainRuns }
 
-// Model returns the model for a (cluster, dim) pair, or nil out of range.
-// It is exposed for inspection in experiments (e.g. reading the selected
-// ARIMA order).
+// Model returns the champion model for a (cluster, dim) pair, or nil out of
+// range. It is exposed for inspection in experiments (e.g. reading the
+// selected ARIMA order).
 func (e *Ensemble) Model(j, d int) Model {
 	if j < 0 || j >= e.cfg.Clusters || d < 0 || d >= e.cfg.Dims {
 		return nil
 	}
-	return e.models[j][d]
+	return e.models[e.championIdx(j, d)][j][d]
+}
+
+// CandidateAccuracy is one candidate's rolling accuracy inside a
+// (cluster, dim) selection cell.
+type CandidateAccuracy struct {
+	// Name is the candidate's registered family name.
+	Name string
+	// MAE and RMSE are the rolling errors over the selection window (0 until
+	// the first evaluation; see Evals).
+	MAE, RMSE float64
+	// Evals counts the candidate's lifetime evaluations in this cell.
+	Evals int64
+	// Streak is the candidate's current consecutive-win count against the
+	// cell's champion.
+	Streak int
+}
+
+// CellSelection is the champion/challenger state of one (cluster, dim) cell.
+type CellSelection struct {
+	// Champion is the serving candidate's family name.
+	Champion string
+	// ChampionIdx is the serving candidate's index into Candidates.
+	ChampionIdx int
+	// Switches counts champion promotions in this cell so far.
+	Switches int
+	// Candidates holds the per-candidate rolling accuracy, in zoo order.
+	Candidates []CandidateAccuracy
+}
+
+// SelectionInfo is an immutable deep-copied view of an ensemble's zoo
+// selection state, safe to publish in snapshots and serve concurrently.
+type SelectionInfo struct {
+	// Families lists the candidate family names in zoo order.
+	Families []string
+	// Window, Margin, Streak, and Metric echo the resolved SelectionConfig.
+	Window int
+	Margin float64
+	Streak int
+	Metric string
+	// SwitchTotal counts champion promotions across all cells.
+	SwitchTotal int
+	// Evaluations counts lifetime scored forecasts summed over cells and
+	// candidates.
+	Evaluations int64
+	// Cells holds the per-(cluster, dim) selection state.
+	Cells [][]CellSelection
+}
+
+// Selection returns a deep-copied view of the zoo selection state, or nil in
+// single-family mode. The result shares no memory with the ensemble.
+func (e *Ensemble) Selection() *SelectionInfo {
+	if !e.zoo {
+		return nil
+	}
+	dims := e.cfg.Dims
+	info := &SelectionInfo{
+		Families:    append([]string(nil), e.names...),
+		Window:      e.cfg.Selection.Window,
+		Margin:      e.cfg.Selection.Margin,
+		Streak:      e.cfg.Selection.Streak,
+		Metric:      e.cfg.Selection.Metric,
+		SwitchTotal: e.sel.total,
+		Cells:       make([][]CellSelection, e.cfg.Clusters),
+	}
+	for j := range info.Cells {
+		info.Cells[j] = make([]CellSelection, dims)
+		for d := range info.Cells[j] {
+			cell := j*dims + d
+			cs := CellSelection{
+				ChampionIdx: e.sel.champ[cell],
+				Champion:    e.names[e.sel.champ[cell]],
+				Switches:    e.sel.switches[cell],
+				Candidates:  make([]CandidateAccuracy, len(e.names)),
+			}
+			for c := range e.names {
+				mae, _ := e.acc.MAE(j, d, c)
+				rmse, _ := e.acc.RMSE(j, d, c)
+				evals := e.acc.Evals(j, d, c)
+				cs.Candidates[c] = CandidateAccuracy{
+					Name:   e.names[c],
+					MAE:    mae,
+					RMSE:   rmse,
+					Evals:  evals,
+					Streak: e.sel.streak[cell*len(e.names)+c],
+				}
+				info.Evaluations += evals
+			}
+			info.Cells[j][d] = cs
+		}
+	}
+	return info
 }

@@ -1,0 +1,132 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// SelectionConfig tunes the online champion/challenger selection of a model
+// zoo (EnsembleConfig.Candidates). Each step, every candidate's previous
+// 1-step forecast is scored against the newly observed centroid; a challenger
+// that beats the champion's rolling error by more than Margin for Streak
+// consecutive evaluations is promoted. The streak requirement is the
+// hysteresis that keeps selection from flapping between near-tied models.
+type SelectionConfig struct {
+	// Window is the rolling error window length per (cluster, dim,
+	// candidate). Zero selects 64.
+	Window int
+	// Margin is ε: a challenger "wins" an evaluation only when
+	// championError − challengerError > Margin (a tie at exactly the margin
+	// is not a win and resets the streak). Must be ≥ 0 and finite.
+	Margin float64
+	// Streak is W, the number of consecutive winning evaluations required
+	// for promotion. Zero selects 3.
+	Streak int
+	// Metric ranks candidates: "mae" (the default) or "rmse".
+	Metric string
+}
+
+// WithDefaults resolves zero values to the selection defaults.
+func (c SelectionConfig) WithDefaults() SelectionConfig {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.Streak == 0 {
+		c.Streak = 3
+	}
+	if c.Metric == "" {
+		c.Metric = "mae"
+	}
+	return c
+}
+
+// Validate checks a fully resolved configuration (apply WithDefaults first).
+func (c SelectionConfig) Validate() error {
+	if c.Window < 1 {
+		return fmt.Errorf("forecast: selection window %d < 1: %w", c.Window, ErrBadInput)
+	}
+	if c.Margin < 0 || math.IsNaN(c.Margin) || math.IsInf(c.Margin, 0) {
+		return fmt.Errorf("forecast: selection margin %v invalid: %w", c.Margin, ErrBadInput)
+	}
+	if c.Streak < 1 {
+		return fmt.Errorf("forecast: selection streak %d < 1: %w", c.Streak, ErrBadInput)
+	}
+	if c.Metric != "mae" && c.Metric != "rmse" {
+		return fmt.Errorf("forecast: selection metric %q (want mae or rmse): %w", c.Metric, ErrBadInput)
+	}
+	return nil
+}
+
+// selector holds the champion/challenger state of every (cluster, dim) cell:
+// the current champion index, each challenger's consecutive-win streak, and
+// the per-cell switch count. It is pure bookkeeping — scores come from the
+// Accuracy tracker via the evaluate callback — so restoring its three arrays
+// restores selection behavior bit-identically.
+type selector struct {
+	cands   int
+	streakW int
+	margin  float64
+
+	champ    []int // [cell] champion candidate index
+	streak   []int // [cell·cands + c] consecutive wins vs the champion
+	switches []int // [cell] promotions so far
+	total    int   // lifetime promotions across all cells
+}
+
+func newSelector(cells, cands, streakW int, margin float64) *selector {
+	return &selector{
+		cands:    cands,
+		streakW:  streakW,
+		margin:   margin,
+		champ:    make([]int, cells),
+		streak:   make([]int, cells*cands),
+		switches: make([]int, cells),
+	}
+}
+
+// evaluate runs one selection round for a cell. score returns a candidate's
+// rolling error and whether it has any evaluations yet; candidates without a
+// score (and every candidate when the champion has none) have their streaks
+// reset, never extended. On promotion every streak in the cell resets — the
+// new champion starts from a clean slate — and the lowest-indexed eligible
+// challenger wins a simultaneous tie deterministically.
+func (s *selector) evaluate(cell int, score func(c int) (float64, bool)) (switched bool) {
+	base := cell * s.cands
+	champ := s.champ[cell]
+	champErr, ok := score(champ)
+	if !ok {
+		for c := 0; c < s.cands; c++ {
+			s.streak[base+c] = 0
+		}
+		return false
+	}
+	for c := 0; c < s.cands; c++ {
+		if c == champ {
+			s.streak[base+c] = 0
+			continue
+		}
+		chalErr, ok := score(c)
+		if ok && champErr-chalErr > s.margin {
+			s.streak[base+c]++
+		} else {
+			s.streak[base+c] = 0
+		}
+	}
+	promoted := -1
+	for c := 0; c < s.cands; c++ {
+		if c != champ && s.streak[base+c] >= s.streakW {
+			promoted = c
+			break
+		}
+	}
+	if promoted < 0 {
+		return false
+	}
+	s.champ[cell] = promoted
+	for c := 0; c < s.cands; c++ {
+		s.streak[base+c] = 0
+	}
+	s.switches[cell]++
+	s.total++
+	return true
+}

@@ -59,9 +59,7 @@ func (r *Runner) RunFlat(pts []float64, n, d int, cfg Config, rng *rand.Rand, as
 	var iter int
 	for iter = 1; iter <= cfg.MaxIterations; iter++ {
 		// Assignment step.
-		for i := 0; i < n; i++ {
-			assign[i] = nearestFlat(pts[i*d:(i+1)*d], r.cents, k)
-		}
+		assignBlocked(pts, n, d, r.cents, k, assign)
 		// Update step.
 		copy(r.prev[:k*d], r.cents[:k*d])
 		r.recompute(pts, n, d, k, assign)
@@ -75,12 +73,12 @@ func (r *Runner) RunFlat(pts []float64, n, d int, cfg Config, rng *rand.Rand, as
 			break
 		}
 	}
-	// Final assignment against the converged centroids.
+	// Final assignment against the converged centroids. The inertia sum runs
+	// over points in ascending order, exactly like the historical fused loop.
+	assignBlocked(pts, n, d, r.cents, k, assign)
 	inertia := 0.0
 	for i := 0; i < n; i++ {
-		p := pts[i*d : (i+1)*d]
-		assign[i] = nearestFlat(p, r.cents, k)
-		inertia += sqDist(p, r.cents[assign[i]*d:(assign[i]+1)*d])
+		inertia += sqDist(pts[i*d:(i+1)*d], r.cents[assign[i]*d:(assign[i]+1)*d])
 	}
 	r.inertia, r.iters = inertia, iter
 	return nil
@@ -262,7 +260,41 @@ func AssignFlat(pts []float64, n, d int, cents []float64, k int, assign []int) {
 		}
 		return
 	}
-	for i := 0; i < n; i++ {
-		assign[i] = nearestFlat(pts[i*d:(i+1)*d], cents, k)
+	assignBlocked(pts, n, d, cents, k, assign)
+}
+
+// assignBlock is the point-block size of the d > 1 assignment loop: 64 points
+// of best-distance/best-index state fit in two cache lines' worth of stack
+// scratch while each centroid row gets reused across the whole block.
+const assignBlock = 64
+
+// assignBlocked is the d > 1 nearest-centroid loop, blocked over points so
+// that each centroid row is streamed once per 64-point block instead of once
+// per point. Per (point, centroid) pair it performs the identical sqDist
+// arithmetic and strict-< ascending-centroid comparison as nearestFlat — only
+// the loop nest is reordered, never the floating-point evaluation within a
+// pair — so every winning index is bit-identical to the naive loop (pinned by
+// TestAssignFlatMatchesNearestFlat and the runner differential).
+func assignBlocked(pts []float64, n, d int, cents []float64, k int, assign []int) {
+	var bd [assignBlock]float64
+	var bi [assignBlock]int
+	for i0 := 0; i0 < n; i0 += assignBlock {
+		m := min(assignBlock, n-i0)
+		for t := 0; t < m; t++ {
+			bd[t] = math.Inf(1)
+			bi[t] = 0
+		}
+		block := pts[i0*d:]
+		for j := 0; j < k; j++ {
+			c := cents[j*d : (j+1)*d]
+			for t := 0; t < m; t++ {
+				if dd := sqDist(block[t*d:(t+1)*d], c); dd < bd[t] {
+					bd[t], bi[t] = dd, j
+				}
+			}
+		}
+		for t := 0; t < m; t++ {
+			assign[i0+t] = bi[t]
+		}
 	}
 }

@@ -83,6 +83,11 @@ func TestRunnerMatchesReferenceExactly(t *testing.T) {
 	shapes := rand.New(rand.NewPCG(8, 80))
 	for trial := 0; trial < 400; trial++ {
 		n := 1 + shapes.IntN(40)
+		if trial%8 == 0 {
+			// Cross the blocked assignment loop's 64-point boundary: partial
+			// final blocks, exact multiples, and multi-block runs.
+			n = assignBlock - 1 + shapes.IntN(3*assignBlock)
+		}
 		d := 1 + shapes.IntN(4)
 		k := 1 + shapes.IntN(10)
 		mode := shapes.IntN(4)
@@ -172,6 +177,40 @@ func TestRunFlatRejectsBadInput(t *testing.T) {
 		err := r.RunFlat(tc.pts, tc.n, tc.d, Config{K: tc.k}, rng, make([]int, tc.assignLen))
 		if err == nil {
 			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestAssignFlatMatchesNearestFlat pins the blocked d > 1 assignment loop
+// against the naive per-point scan at sizes straddling the block boundary:
+// the reordered loop nest must pick bit-identical winners, including exact
+// sqDist ties (mode-2 duplicated points), for every block-remainder shape.
+func TestAssignFlatMatchesNearestFlat(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 120))
+	for _, n := range []int{1, assignBlock - 1, assignBlock, assignBlock + 1, 3 * assignBlock, 200} {
+		for _, d := range []int{2, 3, 4} {
+			for mode := 0; mode < 3; mode++ {
+				k := 1 + rng.IntN(7)
+				pts := genPoints(rng, n, d, mode)
+				cents := genPoints(rng, k, d, 0)
+				flatP := make([]float64, 0, n*d)
+				for _, p := range pts {
+					flatP = append(flatP, p...)
+				}
+				flatC := make([]float64, 0, k*d)
+				for _, c := range cents {
+					flatC = append(flatC, c...)
+				}
+				assign := make([]int, n)
+				AssignFlat(flatP, n, d, flatC, k, assign)
+				for i := 0; i < n; i++ {
+					want := nearestFlat(flatP[i*d:(i+1)*d], flatC, k)
+					if assign[i] != want {
+						t.Fatalf("n=%d d=%d mode=%d: assign[%d] = %d, want %d",
+							n, d, mode, i, assign[i], want)
+					}
+				}
+			}
 		}
 	}
 }

@@ -433,3 +433,140 @@ func TestBlobRoundTripAndCorruption(t *testing.T) {
 		t.Fatalf("corrupted payload: %v, want ErrCorrupt", err)
 	}
 }
+
+// --- model-zoo selection durability ---
+
+// zooConfig mirrors testConfig but runs a two-candidate model zoo with a
+// tight selection window and a FitWindow, so crash/restore exercises the
+// selection state (accuracy rings, streak counters, champions) and the
+// trimmed-series format together.
+func zooConfig(t *testing.T) core.Config {
+	t.Helper()
+	cands, err := forecast.Zoo("historical-mean", "sample-and-hold")
+	if err != nil {
+		t.Fatalf("zoo: %v", err)
+	}
+	return core.Config{
+		Nodes:             8,
+		Resources:         2,
+		K:                 2,
+		MPrime:            3,
+		InitialCollection: 10,
+		RetrainEvery:      8,
+		FitWindow:         12,
+		Seed:              5,
+		SnapshotHorizon:   4,
+		Zoo:               cands,
+		Selection:         forecast.SelectionConfig{Window: 6, Streak: 3, Margin: 1e-9},
+	}
+}
+
+// zooInput is a stationary-then-trending waveform: historical-mean wins the
+// flat phase, sample-and-hold wins once the ramp starts, so champion
+// switches (and the streaks leading up to them) happen mid-run.
+func zooInput(nodes, resources, t int) [][]float64 {
+	x := make([][]float64, nodes)
+	for i := range x {
+		x[i] = make([]float64, resources)
+		for d := range x[i] {
+			base := 0.3 + 0.05*float64(i%3) + 0.02*float64(d)
+			if t > 25 {
+				base += 0.004 * float64(t-25)
+			}
+			x[i][d] = math.Min(1, base)
+		}
+	}
+	return x
+}
+
+// TestRecoverZooMidSelection is the selection-durability property: crash the
+// manager at steps straddling the regime change (mid-streak, mid-switch),
+// recover from checkpoint+WAL, and the zoo must resume bit-identically —
+// same champions, accuracy windows, streaks, switch counts, and forecasts as
+// an uninterrupted run.
+func TestRecoverZooMidSelection(t *testing.T) {
+	t.Parallel()
+	const final = 55
+	cfg := zooConfig(t)
+
+	// Uninterrupted reference run.
+	ref, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("ref system: %v", err)
+	}
+	for step := 1; step <= final; step++ {
+		if _, err := ref.Step(zooInput(cfg.Nodes, cfg.Resources, step)); err != nil {
+			t.Fatalf("ref step %d: %v", step, err)
+		}
+	}
+	refForecast, err := ref.Forecast(3)
+	if err != nil {
+		t.Fatalf("ref forecast: %v", err)
+	}
+	wantSel := make([]*forecast.SelectionInfo, cfg.Resources)
+	switches := 0
+	for tr := range wantSel {
+		wantSel[tr] = ref.ModelSelection(tr)
+		switches += wantSel[tr].SwitchTotal
+	}
+	if switches == 0 {
+		t.Fatal("reference run never switched champions; regime change too weak")
+	}
+
+	for _, crash := range []int{11, 27, 31, 38} {
+		dir := t.TempDir()
+		mk := func() *Manager {
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				t.Fatalf("crash %d: system: %v", crash, err)
+			}
+			m, err := New(sys, cfg, Options{Dir: dir, CheckpointEvery: 9})
+			if err != nil {
+				t.Fatalf("crash %d: manager: %v", crash, err)
+			}
+			return m
+		}
+		m := mk()
+		if _, err := m.Recover(nil); err != nil {
+			t.Fatalf("crash %d: initial recover: %v", crash, err)
+		}
+		for step := 1; step <= crash; step++ {
+			if _, err := m.Step(zooInput(cfg.Nodes, cfg.Resources, step)); err != nil {
+				t.Fatalf("crash %d: step %d: %v", crash, step, err)
+			}
+			m.wg.Wait()
+		}
+		m.wg.Wait() // simulated kill -9: no Close, no final checkpoint
+
+		re := mk()
+		info, err := re.Recover(nil)
+		if err != nil {
+			t.Fatalf("crash %d: recover: %v", crash, err)
+		}
+		if info.Steps != crash {
+			t.Fatalf("crash %d: recovered to %d (info %+v)", crash, info.Steps, info)
+		}
+		for step := crash + 1; step <= final; step++ {
+			if _, err := re.Step(zooInput(cfg.Nodes, cfg.Resources, step)); err != nil {
+				t.Fatalf("crash %d: resumed step %d: %v", crash, step, err)
+			}
+			re.wg.Wait()
+		}
+		got, err := re.System().Forecast(3)
+		if err != nil {
+			t.Fatalf("crash %d: forecast: %v", crash, err)
+		}
+		if !reflect.DeepEqual(got, refForecast) {
+			t.Fatalf("crash %d: recovered forecast diverges from uninterrupted run", crash)
+		}
+		for tr := range wantSel {
+			if !reflect.DeepEqual(re.System().ModelSelection(tr), wantSel[tr]) {
+				t.Fatalf("crash %d: tracker %d selection state diverges:\n%+v\nvs\n%+v",
+					crash, tr, re.System().ModelSelection(tr), wantSel[tr])
+			}
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("crash %d: close: %v", crash, err)
+		}
+	}
+}

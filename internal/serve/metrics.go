@@ -60,6 +60,29 @@ func (s *Server) registerMetrics() {
 		stat(func(st *StatsResponse) float64 { return float64(st.Requests.Total) }))
 	s.reg.CounterFunc("orcf_http_requests_rejected_total", "Requests rejected at the concurrency limit.",
 		stat(func(st *StatsResponse) float64 { return float64(st.Requests.Rejected) }))
+	// Model-zoo series are always registered (0 for single-family pipelines)
+	// so dashboards see the series regardless of deployment mode.
+	s.reg.GaugeFunc("orcf_forecast_candidates", "Model-zoo candidate families (0 when a single family is pinned).",
+		stat(func(st *StatsResponse) float64 {
+			if st.Models == nil {
+				return 0
+			}
+			return float64(len(st.Models.Families))
+		}))
+	s.reg.CounterFunc("orcf_forecast_champion_switches_total", "Champion promotions across all trackers and cells.",
+		stat(func(st *StatsResponse) float64 {
+			if st.Models == nil {
+				return 0
+			}
+			return float64(st.Models.ChampionSwitchesTotal)
+		}))
+	s.reg.CounterFunc("orcf_forecast_evaluations_total", "Scored 1-step candidate forecasts across all trackers and cells.",
+		stat(func(st *StatsResponse) float64 {
+			if st.Models == nil {
+				return 0
+			}
+			return float64(st.Models.EvaluationsTotal)
+		}))
 
 	if s.cfg.PersistStats != nil {
 		pstat := func(f func(*PersistStats) float64) func() float64 {

@@ -32,6 +32,11 @@ var pinnedSeries = []struct{ name, kind string }{
 	{"orcf_http_requests_total", "counter"},
 	{"orcf_http_requests_rejected_total", "counter"},
 
+	// Model-zoo selection (always registered; zero for single-family runs).
+	{"orcf_forecast_candidates", "gauge"},
+	{"orcf_forecast_champion_switches_total", "counter"},
+	{"orcf_forecast_evaluations_total", "counter"},
+
 	// Persistence series (pre-registry contract).
 	{"orcf_checkpoints_total", "counter"},
 	{"orcf_checkpoint_errors_total", "counter"},
@@ -55,6 +60,7 @@ var pinnedSeries = []struct{ name, kind string }{
 	{"orcf_http_forecast_seconds", "histogram"},
 	{"orcf_http_node_seconds", "histogram"},
 	{"orcf_http_clusters_seconds", "histogram"},
+	{"orcf_http_models_seconds", "histogram"},
 	{"orcf_http_stats_seconds", "histogram"},
 	{"orcf_http_metrics_seconds", "histogram"},
 

@@ -11,6 +11,7 @@
 //	GET /v1/forecast?h=H[&node=I]  per-node forecasts for horizons 1..H
 //	GET /v1/nodes/{id}             latest measurement, memberships, frequency
 //	GET /v1/clusters               centroids per tracker
+//	GET /v1/models                 model-zoo champions and rolling accuracy
 //	GET /v1/stats                  pipeline + cache + request statistics
 //	GET /metrics                   Prometheus text format
 //
@@ -150,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/forecast", timed(s.endpointHistogram("orcf_http_forecast_seconds", "/v1/forecast"), s.handleForecast))
 	s.mux.HandleFunc("GET /v1/nodes/{id}", timed(s.endpointHistogram("orcf_http_node_seconds", "/v1/nodes/{id}"), s.handleNode))
 	s.mux.HandleFunc("GET /v1/clusters", timed(s.endpointHistogram("orcf_http_clusters_seconds", "/v1/clusters"), s.handleClusters))
+	s.mux.HandleFunc("GET /v1/models", timed(s.endpointHistogram("orcf_http_models_seconds", "/v1/models"), s.handleModels))
 	s.mux.HandleFunc("GET /v1/stats", timed(s.endpointHistogram("orcf_http_stats_seconds", "/v1/stats"), s.handleStats))
 	s.mux.HandleFunc("GET /metrics", timed(s.endpointHistogram("orcf_http_metrics_seconds", "/metrics"), s.handleMetrics))
 	return s, nil
@@ -222,6 +224,62 @@ type ClustersResponse struct {
 	Trackers   []TrackerClusters `json:"trackers"`
 }
 
+// CandidateStatus is one zoo candidate's rolling accuracy inside a selection
+// cell (see forecast.CandidateAccuracy).
+type CandidateStatus struct {
+	Name   string  `json:"name"`
+	MAE    float64 `json:"mae"`
+	RMSE   float64 `json:"rmse"`
+	Evals  int64   `json:"evals"`
+	Streak int     `json:"streak"`
+}
+
+// CellModels is the champion/challenger state of one (cluster, dim) cell.
+type CellModels struct {
+	Cluster    int               `json:"cluster"`
+	Dim        int               `json:"dim"`
+	Champion   string            `json:"champion"`
+	Switches   int               `json:"switches"`
+	Candidates []CandidateStatus `json:"candidates"`
+}
+
+// TrackerModels is one tracker's selection state.
+type TrackerModels struct {
+	Tracker       int          `json:"tracker"`
+	SwitchesTotal int          `json:"switches_total"`
+	Cells         []CellModels `json:"cells"`
+}
+
+// ModelsResponse is the /v1/models payload. Mode is "zoo" when the pipeline
+// runs a model zoo with online champion/challenger selection, else "single"
+// (a single configured family; Families, selection tuning, and Trackers are
+// then empty — the snapshot does not record the family's name).
+type ModelsResponse struct {
+	Generation    uint64          `json:"generation"`
+	Step          int             `json:"step"`
+	Mode          string          `json:"mode"`
+	Families      []string        `json:"families,omitempty"`
+	Window        int             `json:"window,omitempty"`
+	Streak        int             `json:"streak,omitempty"`
+	Margin        float64         `json:"margin,omitempty"`
+	Metric        string          `json:"metric,omitempty"`
+	SwitchesTotal int             `json:"switches_total"`
+	Trackers      []TrackerModels `json:"trackers,omitempty"`
+}
+
+// ModelStats is the /v1/stats model-zoo block (nil for single-family
+// deployments).
+type ModelStats struct {
+	// Families lists the candidate family names in zoo order.
+	Families []string `json:"families"`
+	// ChampionSwitchesTotal counts champion promotions across all trackers
+	// and (cluster, dim) cells.
+	ChampionSwitchesTotal int `json:"champion_switches_total"`
+	// EvaluationsTotal counts scored 1-step forecasts across all trackers,
+	// cells, and candidates.
+	EvaluationsTotal int64 `json:"evaluations_total"`
+}
+
 // RequestStats reports cumulative request accounting.
 type RequestStats struct {
 	Total    int64 `json:"total"`
@@ -245,6 +303,7 @@ type StatsResponse struct {
 	Cache           CacheStats    `json:"cache"`
 	Requests        RequestStats  `json:"requests"`
 	Persist         *PersistStats `json:"persist,omitempty"`
+	Models          *ModelStats   `json:"models,omitempty"`
 }
 
 // Stats assembles the current statistics (what /v1/stats serves).
@@ -271,6 +330,16 @@ func (s *Server) Stats() StatsResponse {
 		d, runs := snap.TrainingTime()
 		st.TrainingRuns = runs
 		st.TrainingSeconds = Finite64(d.Seconds())
+		if sel := snap.ModelSelection(0); sel != nil {
+			ms := &ModelStats{Families: sel.Families}
+			for tr := 0; tr < snap.Trackers(); tr++ {
+				if si := snap.ModelSelection(tr); si != nil {
+					ms.ChampionSwitchesTotal += si.SwitchTotal
+					ms.EvaluationsTotal += si.Evaluations
+				}
+			}
+			st.Models = ms
+		}
 	}
 	return st
 }
@@ -442,6 +511,55 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		Step:       snap.Steps(),
 		Trackers:   trackers,
 	})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	resp := ModelsResponse{
+		Generation: snap.Generation(),
+		Step:       snap.Steps(),
+		Mode:       "single",
+	}
+	if sel := snap.ModelSelection(0); sel != nil {
+		resp.Mode = "zoo"
+		resp.Families = sel.Families
+		resp.Window = sel.Window
+		resp.Streak = sel.Streak
+		resp.Margin = Finite64(sel.Margin)
+		resp.Metric = sel.Metric
+		resp.Trackers = make([]TrackerModels, snap.Trackers())
+		for tr := range resp.Trackers {
+			si := snap.ModelSelection(tr)
+			tm := TrackerModels{Tracker: tr, SwitchesTotal: si.SwitchTotal}
+			for j, row := range si.Cells {
+				for d, cell := range row {
+					cm := CellModels{
+						Cluster:    j,
+						Dim:        d,
+						Champion:   cell.Champion,
+						Switches:   cell.Switches,
+						Candidates: make([]CandidateStatus, len(cell.Candidates)),
+					}
+					for c, ca := range cell.Candidates {
+						cm.Candidates[c] = CandidateStatus{
+							Name:   ca.Name,
+							MAE:    Finite64(ca.MAE),
+							RMSE:   Finite64(ca.RMSE),
+							Evals:  ca.Evals,
+							Streak: ca.Streak,
+						}
+					}
+					tm.Cells = append(tm.Cells, cm)
+				}
+			}
+			resp.Trackers[tr] = tm
+			resp.SwitchesTotal += si.SwitchTotal
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

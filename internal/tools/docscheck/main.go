@@ -1,7 +1,7 @@
 // Command docscheck is the CI docs gate: it fails when documentation has
 // drifted from the code.
 //
-// It enforces three invariants:
+// It enforces six invariants:
 //
 //  1. Markdown hygiene — every relative link in README.md and docs/*.md
 //     resolves to an existing file or directory in the repository.
@@ -28,6 +28,11 @@
 //     never drift in either direction. Series names must therefore be
 //     spelled as full literals at registration sites (no runtime
 //     concatenation) — serve.stepPhaseSeries is the pattern.
+//  6. Model-family reference — every forecasting family registered via
+//     mustRegister in internal/forecast/registry.go has a row in the
+//     "Model families" table of docs/OPERATIONS.md, and every table row
+//     names a registered family (two-way, like the flag gate), so the
+//     operator-facing roster for -models / WithModelZoo can never drift.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 // (make ci and .github/workflows/ci.yml do). Exit status 1 lists every
@@ -62,6 +67,7 @@ func main() {
 	problems = append(problems, checkFlags()...)
 	problems = append(problems, checkLintDocs()...)
 	problems = append(problems, checkMetrics()...)
+	problems = append(problems, checkModelRegistry()...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -577,6 +583,108 @@ func documentedMetrics() (map[string]bool, []string) {
 		}
 	}
 	return out, nil
+}
+
+// forecastRegistryFile is the model-zoo registry whose mustRegister calls
+// define the forecasting family names (the -models / WithModelZoo roster).
+const forecastRegistryFile = "internal/forecast/registry.go"
+
+// familiesHeading opens the OPERATIONS.md section holding the family table.
+const familiesHeading = "## Model families"
+
+// familyRowRe matches a table row whose first column is an inline-code
+// family name: | `sample-and-hold` | ... |
+var familyRowRe = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9-]*)`\\s*\\|")
+
+// checkModelRegistry enforces the two-way model-family invariant between
+// internal/forecast/registry.go and docs/OPERATIONS.md, mirroring the
+// analyzer gate: every mustRegister'd family needs a table row in the
+// "Model families" section, and every row must name a registered family.
+// Family names must therefore be spelled as string literals at the
+// mustRegister call sites — a name built at runtime would be invisible here.
+func checkModelRegistry() []string {
+	registered, problems := registeredFamilies()
+	if len(registered) == 0 {
+		problems = append(problems, fmt.Sprintf(
+			"docscheck: no mustRegister string literals found in %s", forecastRegistryFile))
+	}
+	documented, sectionFound, err := documentedFamilies()
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	if !sectionFound {
+		problems = append(problems, fmt.Sprintf(
+			"%s: missing %q section (model-family table)", operationsDoc, familiesHeading))
+	}
+	var missing []string
+	for name := range registered {
+		if !documented[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: model family `%s` (registered in %s) has no row in the %q table",
+				operationsDoc, name, forecastRegistryFile, familiesHeading))
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: documents model family `%s`, which %s does not register",
+				operationsDoc, name, forecastRegistryFile))
+		}
+	}
+	sort.Strings(missing)
+	return append(problems, missing...)
+}
+
+// registeredFamilies parses the forecast registry and collects the first-arg
+// string literal of every mustRegister call.
+func registeredFamilies() (map[string]bool, []string) {
+	names := make(map[string]bool)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, forecastRegistryFile, nil, 0)
+	if err != nil {
+		return names, []string{fmt.Sprintf("docscheck: parsing %s: %v", forecastRegistryFile, err)}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "mustRegister" || len(call.Args) == 0 {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			names[strings.Trim(lit.Value, `"`)] = true
+		}
+		return true
+	})
+	return names, nil
+}
+
+// documentedFamilies scans OPERATIONS.md's "Model families" section for
+// family table rows.
+func documentedFamilies() (map[string]bool, bool, error) {
+	data, err := os.ReadFile(operationsDoc)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make(map[string]bool)
+	inSection, found := false, false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, familiesHeading)
+			if inSection {
+				found = true
+			}
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := familyRowRe.FindStringSubmatch(line); m != nil {
+			out[m[1]] = true
+		}
+	}
+	return out, found, nil
 }
 
 // receiverName unwraps a method receiver type expression to its type name.

@@ -69,6 +69,14 @@ type (
 	ARIMAGrid = forecast.Grid
 	// Model is a univariate forecasting model.
 	Model = forecast.Model
+	// ModelCandidate is one named entry of a model zoo (see WithModelZoo).
+	ModelCandidate = forecast.Candidate
+	// SelectionConfig tunes online champion/challenger selection
+	// (see WithSelection).
+	SelectionConfig = forecast.SelectionConfig
+	// SelectionInfo is a point-in-time view of one tracker's selection state
+	// (see System.ModelSelection).
+	SelectionInfo = forecast.SelectionInfo
 	// EvalConfig controls an evaluation run over a dataset.
 	EvalConfig = sim.Config
 	// EvalResult is the outcome of an evaluation run.
@@ -237,6 +245,50 @@ func WithHoltWinters(period int) Option {
 		}
 		return nil
 	}
+}
+
+// WithModelZoo runs a model zoo instead of a single pinned family: one model
+// per registered family name is fitted per (cluster, resource) cell, every
+// candidate's 1-step forecasts are scored online against the next observed
+// centroid, and forecasts are served by the per-cell champion, which a
+// challenger dethrones only after beating it by a margin for a sustained
+// streak of evaluations (hysteresis; tune with WithSelection). Names must be
+// registered families (see ModelFamilies). Mutually exclusive with the
+// single-model options (WithSES, WithARIMA, WithModelBuilder, ...).
+func WithModelZoo(names ...string) Option {
+	return func(c *core.Config) error {
+		zoo, err := forecast.Zoo(names...)
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrBadOption, err)
+		}
+		c.Zoo = zoo
+		return nil
+	}
+}
+
+// WithSelection tunes the champion/challenger selector used by WithModelZoo
+// (zero fields select the defaults: window 64, margin 0, streak 3, metric
+// "mae"). Ignored unless WithModelZoo is also set.
+func WithSelection(cfg SelectionConfig) Option {
+	return func(c *core.Config) error {
+		if err := cfg.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrBadOption, err)
+		}
+		c.Selection = cfg
+		return nil
+	}
+}
+
+// ModelFamilies returns the sorted names of every registered forecasting
+// family usable with WithModelZoo.
+func ModelFamilies() []string { return forecast.Families() }
+
+// ModelSelection returns a deep copy of one tracker's champion/challenger
+// state, or nil when the system runs a single pinned family or the tracker
+// index is out of range. Call it between Steps (for lock-free concurrent
+// reads use Snapshot.ModelSelection).
+func (s *System) ModelSelection(tracker int) *SelectionInfo {
+	return s.inner.ModelSelection(tracker)
 }
 
 // WithModelBuilder installs a custom forecasting model factory.

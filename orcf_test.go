@@ -34,6 +34,10 @@ func TestOptionValidation(t *testing.T) {
 		{"nil builder", WithModelBuilder(nil)},
 		{"bad schedule", WithTrainingSchedule(0, 5)},
 		{"bad fit window", WithFitWindow(-1)},
+		{"unknown zoo family", WithModelZoo("ses", "no-such-model")},
+		{"empty zoo", WithModelZoo()},
+		{"bad selection metric", WithSelection(SelectionConfig{Metric: "mape"})},
+		{"negative selection margin", WithSelection(SelectionConfig{Margin: -1})},
 	}
 	for _, tt := range tests {
 		tt := tt
@@ -157,6 +161,57 @@ func TestForecastViaPublicAPI(t *testing.T) {
 	}
 	if sys.Frequency(0) != 1 {
 		t.Fatal("node frequency wrong")
+	}
+}
+
+func TestModelZooPublicAPI(t *testing.T) {
+	t.Parallel()
+	fams := ModelFamilies()
+	if len(fams) < 10 {
+		t.Fatalf("only %d registered families: %v", len(fams), fams)
+	}
+	sys, err := New(6, 1,
+		WithAlwaysTransmit(),
+		WithClusters(2),
+		WithModelZoo("historical-mean", "sample-and-hold"),
+		WithSelection(SelectionConfig{Window: 6, Streak: 2}),
+		WithTrainingSchedule(8, 100),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat then ramping signal: sample-and-hold should dethrone the
+	// historical mean once the ramp sustains.
+	for i := 0; i < 70; i++ {
+		x := make([][]float64, 6)
+		for n := range x {
+			v := 0.2 + 0.05*float64(n%2)
+			if i > 20 {
+				v += 0.005 * float64(i-20)
+			}
+			x[n] = []float64{math.Min(1, v)}
+		}
+		if _, err := sys.Step(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Forecast(5); err != nil {
+		t.Fatal(err)
+	}
+	info := sys.ModelSelection(0)
+	if info == nil {
+		t.Fatal("zoo system reports no selection state")
+	}
+	if info.SwitchTotal == 0 {
+		t.Fatal("regime change never switched a champion")
+	}
+	for _, row := range info.Cells {
+		for _, cell := range row {
+			if cell.Switches > 0 && cell.Champion != "sample-and-hold" {
+				t.Fatalf("champion %q after sustained ramp", cell.Champion)
+			}
+		}
 	}
 }
 
