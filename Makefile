@@ -11,9 +11,9 @@ GO ?= go
 # just without the race detector's ~10x slowdown.
 RACE_PKGS = ./...
 
-.PHONY: ci fmt vet lint build test race docs churn-smoke bench bench-json bench-smoke fuzz-smoke
+.PHONY: ci fmt vet lint build test race docs churn-smoke alert-smoke bench bench-json bench-smoke fuzz-smoke
 
-ci: fmt vet lint build test race docs churn-smoke bench-smoke fuzz-smoke
+ci: fmt vet lint build test race docs churn-smoke alert-smoke bench-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -51,6 +51,15 @@ docs:
 churn-smoke:
 	$(GO) run ./cmd/loadgen -nodes 64 -conns 4 -steps 40 -churn 1.5
 
+# Alert smoke: the three chaos scenarios replayed against the full serving
+# and alerting pipeline — burst must complete a fire → webhook → resolve
+# lifecycle, flap and rack must finish with zero false fires (exit 1
+# otherwise). See the Alerting section of docs/OPERATIONS.md.
+alert-smoke:
+	$(GO) run ./cmd/loadgen -chaos burst -nodes 16
+	$(GO) run ./cmd/loadgen -chaos flap -nodes 16
+	$(GO) run ./cmd/loadgen -chaos rack -nodes 16
+
 bench:
 	$(GO) test -run xxx -bench 'PipelineStep|ForecastQuery|EnsembleRetrain|EnsembleSelect' -benchmem .
 	$(GO) test -run xxx -bench ServeForecast -benchmem ./internal/serve
@@ -83,3 +92,4 @@ fuzz-smoke:
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzBatchDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/persist -run '^$$' -fuzz '^FuzzReadWAL$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/persist -run '^$$' -fuzz '^FuzzReadBlob$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/alert -run '^$$' -fuzz '^FuzzParseRules$$' -fuzztime $(FUZZTIME)

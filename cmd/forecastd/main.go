@@ -17,6 +17,8 @@
 //	GET /v1/nodes/{id}             latest measurement, memberships, frequency
 //	GET /v1/clusters               centroids per tracker
 //	GET /v1/models                 model-zoo champions and rolling accuracy
+//	GET /v1/alerts                 firing alert instances + engine accounting
+//	GET /v1/recommendations        forecast-driven per-cluster scaling deltas
 //	GET /v1/stats                  pipeline + cache + request statistics
 //	GET /metrics                   Prometheus text format
 //
@@ -46,6 +48,14 @@
 // and per-node frequency accounting intact. See docs/OPERATIONS.md for the
 // recovery runbook.
 //
+// With -rules a JSON alerting rules file is loaded and every published
+// snapshot is evaluated against it: threshold and trend rules over centroid
+// and per-node forecasts drive firing→resolved state machines with
+// hysteresis, /v1/alerts and /v1/recommendations go live, transition events
+// are logged (and POSTed to -webhook when set, with bounded queue and
+// retry), and the orcf_alert_* metrics are exported. See the "Alerting"
+// section of docs/OPERATIONS.md for the rules format and runbook.
+//
 // With -debug-addr an opt-in debug server additionally exposes
 // net/http/pprof profiles, expvar, a /debug/obs JSON metrics dump, and a
 // /metrics mirror — see the "Profiling a hot pipeline" runbook in
@@ -65,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"orcf/internal/alert"
 	"orcf/internal/core"
 	"orcf/internal/forecast"
 	"orcf/internal/obs"
@@ -125,6 +136,8 @@ func run() int {
 		selMargin   = flag.Float64("select-margin", 0, "challenger must beat the champion by this error margin")
 		selStreak   = flag.Int("select-streak", 0, "consecutive winning evaluations required to dethrone a champion (0 = default 3)")
 		selMetric   = flag.String("select-metric", "", "selection metric: mae or rmse (empty = mae)")
+		rulesPath   = flag.String("rules", "", "JSON alerting rules file; enables /v1/alerts and /v1/recommendations (empty = alerting disabled)")
+		webhook     = flag.String("webhook", "", "URL POSTed every alert transition event (requires -rules)")
 	)
 	flag.Parse()
 	// Correlation fields are passed in a fixed order (step, generation first)
@@ -185,6 +198,46 @@ func run() int {
 		return 1
 	}
 
+	// Alerting: parse the rules file, attach sinks (structured log always,
+	// webhook when configured), and evaluate every published snapshot from
+	// the tick loop below.
+	var engine *alert.Engine
+	var hook *alert.WebhookSink
+	if *webhook != "" && *rulesPath == "" {
+		log.Error("-webhook requires -rules")
+		return 2
+	}
+	if *rulesPath != "" {
+		data, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			log.Error("-rules", "err", err)
+			return 2
+		}
+		rs, err := alert.ParseRules(data)
+		if err != nil {
+			log.Error("-rules", "err", err)
+			return 2
+		}
+		sinks := []alert.Sink{alert.NewLogSink(log)}
+		if *webhook != "" {
+			hook, err = alert.NewWebhookSink(*webhook, alert.WebhookOptions{})
+			if err != nil {
+				log.Error("-webhook", "err", err)
+				return 2
+			}
+			defer hook.Close()
+			sinks = append(sinks, hook)
+		}
+		engine, err = alert.New(alert.Config{
+			Rules: rs, Sinks: sinks, Workers: *workers, MaxHorizon: *horizon,
+		})
+		if err != nil {
+			log.Error("alert engine construction", "err", err)
+			return 2
+		}
+		log.Info("alerting enabled", "rules", len(rs.Rules), "webhook", *webhook != "")
+	}
+
 	// Durable state: recover checkpoint + WAL tail before the first tick,
 	// then log every step through the stepper.
 	var mgr *persist.Manager
@@ -223,6 +276,9 @@ func run() int {
 	}
 	if mgr != nil {
 		serveCfg.PersistStats = func() serve.PersistStats { return persistStats(mgr) }
+	}
+	if engine != nil {
+		serveCfg.Alerts = engine
 	}
 	query, err := serve.New(serveCfg)
 	if err != nil {
@@ -318,6 +374,11 @@ func run() int {
 			gen := uint64(0)
 			if snap := sys.Snapshot(); snap != nil {
 				gen = snap.Generation()
+				if engine != nil {
+					if _, err := engine.Evaluate(snap); err != nil {
+						log.Error("alert evaluation", "step", res.T, "generation", gen, "err", err)
+					}
+				}
 			}
 			for _, id := range res.Evicted {
 				log.Info("evicted node",

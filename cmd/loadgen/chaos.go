@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"orcf/internal/alert"
+	"orcf/internal/core"
+	"orcf/internal/serve"
+	"orcf/internal/transport"
+)
+
+// chaosRig is the in-process deployment the -chaos scenarios replay against:
+// a central store fed directly (the measurements themselves are not under
+// test here — the transport mode covers that), the StoreStepper pipeline,
+// an alert engine with a webhook sink pointed at a local HTTP receiver, and
+// the step counter the scenario advances.
+type chaosRig struct {
+	store    *transport.Store
+	stepper  *serve.StoreStepper
+	engine   *alert.Engine
+	hook     *alert.WebhookSink
+	webhook  *httptest.Server
+	received atomic.Int64
+	step     int
+	nodes    int
+}
+
+func newChaosRig(nodes int, cfg core.Config, rules *alert.RuleSet) (*chaosRig, error) {
+	rig := &chaosRig{store: transport.NewStore(), nodes: nodes}
+	rig.webhook = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var ev alert.Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rig.received.Add(1)
+	}))
+	var err error
+	if rig.hook, err = alert.NewWebhookSink(rig.webhook.URL, alert.WebhookOptions{RetryDelay: 5 * time.Millisecond}); err != nil {
+		return nil, err
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "loadgen")
+	if rig.engine, err = alert.New(alert.Config{
+		Rules: rules,
+		Sinks: []alert.Sink{alert.NewLogSink(log), rig.hook},
+	}); err != nil {
+		return nil, err
+	}
+	cfg.Nodes = nodes
+	if rig.stepper, err = serve.NewStoreStepper(rig.store, cfg); err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+func (rig *chaosRig) close() {
+	_ = rig.hook.Close()
+	rig.webhook.Close()
+}
+
+// tick feeds every node its scenario value (skip(id) silences a node),
+// advances the pipeline one step, and evaluates the rules — the exact shape
+// of forecastd's tick loop.
+func (rig *chaosRig) tick(v float64, skip func(id int) bool) error {
+	rig.step++
+	for id := 0; id < rig.nodes; id++ {
+		if skip != nil && skip(id) {
+			continue
+		}
+		rig.store.Apply(transport.Measurement{Node: id, Step: rig.step, Values: []float64{v}})
+	}
+	if _, ok, err := rig.stepper.Tick(); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("step %d: bootstrap gate still closed", rig.step)
+	}
+	_, err := rig.engine.Evaluate(rig.stepper.System().Snapshot())
+	return err
+}
+
+func (rig *chaosRig) ticks(n int, v float64, skip func(id int) bool) error {
+	for i := 0; i < n; i++ {
+		if err := rig.tick(v, skip); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChaos replays one chaos scenario against the full serving pipeline and
+// verifies the alert plane's behavior the way the chaos e2e tests do:
+//
+//   - burst: a fleet-wide utilization burst must fire the cluster threshold
+//     rule (honoring its fire streak), deliver every transition to the
+//     webhook, and resolve once the load subsides.
+//   - flap: a node flapping in and out past the absence timeout — plus a
+//     pre-registered member whose agent has not come up yet — must produce
+//     warming NaN forecast rows that are skipped, never fired on.
+//   - rack: a correlated outage of a quarter of the fleet must evict and
+//     re-admit the block without a single false fire.
+func runChaos(scenario string, nodes int) int {
+	if nodes < 8 {
+		nodes = 8
+	}
+	if nodes > 256 {
+		nodes = 256 // full pipeline steps per tick; keep the smoke fast
+	}
+	cfg := core.Config{
+		Resources: 1, K: 2, InitialCollection: 8, RetrainEvery: 1000,
+		MPrime: 3, Seed: 1, SnapshotHorizon: 8, AbsenceTimeout: 5,
+	}
+	var err error
+	switch scenario {
+	case "burst":
+		err = chaosBurst(nodes, cfg)
+	case "flap":
+		err = chaosFlap(nodes, cfg)
+	case "rack":
+		err = chaosRack(nodes, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -chaos scenario %q (want burst, flap, or rack)\n", scenario)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: chaos %s FAILED: %v\n", scenario, err)
+		return 1
+	}
+	fmt.Printf("loadgen: chaos %s OK\n", scenario)
+	return 0
+}
+
+func chaosBurst(nodes int, cfg core.Config) error {
+	rig, err := newChaosRig(nodes, cfg, &alert.RuleSet{StepsPerHour: 1, Rules: []alert.Rule{{
+		Name: "util-high", Kind: alert.KindThreshold, Scope: alert.ScopeCluster,
+		Cluster: -1, Above: true, Threshold: 0.8,
+		FireStreak: 2, ClearStreak: 2, ClearMargin: 0.05, Horizon: 1,
+	}}})
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+
+	if err := rig.ticks(12, 0.3, nil); err != nil {
+		return err
+	}
+	if st := rig.engine.Stats(); st.Fires != 0 {
+		return fmt.Errorf("fired during the calm phase: %+v", st)
+	}
+	for i := 0; i < 8 && rig.engine.Stats().Fires == 0; i++ {
+		if err := rig.tick(0.9, nil); err != nil {
+			return err
+		}
+	}
+	fires := rig.engine.Stats().Fires
+	if fires == 0 {
+		return fmt.Errorf("burst never fired the cluster rule")
+	}
+	for i := 0; i < 10 && rig.engine.Stats().Firing > 0; i++ {
+		if err := rig.tick(0.3, nil); err != nil {
+			return err
+		}
+	}
+	st := rig.engine.Stats()
+	if st.Firing != 0 || st.Resolves != fires {
+		return fmt.Errorf("lifecycle incomplete: %+v (want %d resolves)", st, fires)
+	}
+	total := fires + st.Resolves
+	deadline := time.Now().Add(10 * time.Second)
+	for rig.received.Load() < total {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("webhook received %d of %d transitions", rig.received.Load(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if hs := rig.hook.SinkStats(); hs.Delivered != total || hs.Dropped != 0 {
+		return fmt.Errorf("webhook sink stats %+v, want %d delivered", hs, total)
+	}
+	fmt.Printf("loadgen: chaos burst — %d fires, %d resolves, %d webhook deliveries\n",
+		fires, st.Resolves, total)
+	return nil
+}
+
+// hairTrigger is the sharpest false-fire probe: a single breaching
+// evaluation of a warming row would fire immediately.
+func hairTrigger() *alert.RuleSet {
+	return &alert.RuleSet{StepsPerHour: 1, Rules: []alert.Rule{{
+		Name: "node-hot", Kind: alert.KindThreshold, Scope: alert.ScopeNode,
+		Above: true, Threshold: 0.6, FireStreak: 1, ClearStreak: 1, Horizon: 2,
+	}}}
+}
+
+func chaosFlap(nodes int, cfg core.Config) error {
+	rig, err := newChaosRig(nodes, cfg, hairTrigger())
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+
+	if err := rig.ticks(12, 0.3, nil); err != nil {
+		return err
+	}
+	// Pre-registered capacity whose agent never comes up: its forecast rows
+	// stay NaN until the absence timeout reclaims the slot.
+	if err := rig.stepper.System().AddNodes(nodes); err != nil {
+		return err
+	}
+	if err := rig.ticks(3, 0.3, nil); err != nil {
+		return err
+	}
+	if rig.engine.Stats().NaNSkips == 0 {
+		return fmt.Errorf("warming pre-registered node produced no NaN skips")
+	}
+	// The flapping node: silent past the absence timeout, back for a few
+	// steps, three times over.
+	before := rig.stepper.System().Snapshot().Evictions()
+	flapping := nodes - 1
+	for cycle := 0; cycle < 3; cycle++ {
+		if err := rig.ticks(6, 0.3, func(id int) bool { return id == flapping }); err != nil {
+			return err
+		}
+		if err := rig.ticks(3, 0.3, nil); err != nil {
+			return err
+		}
+	}
+	evictions := rig.stepper.System().Snapshot().Evictions() - before
+	if evictions == 0 {
+		return fmt.Errorf("flap scenario never evicted the flapping node")
+	}
+	st := rig.engine.Stats()
+	if st.Fires != 0 {
+		return fmt.Errorf("false fire under flapping: %+v", st)
+	}
+	fmt.Printf("loadgen: chaos flap — %d evictions, %d NaN skips, zero fires\n",
+		evictions, st.NaNSkips)
+	return nil
+}
+
+func chaosRack(nodes int, cfg core.Config) error {
+	rig, err := newChaosRig(nodes, cfg, hairTrigger())
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+
+	if err := rig.ticks(12, 0.3, nil); err != nil {
+		return err
+	}
+	// A quarter of the fleet — one rack — vanishes together, then returns.
+	rack := nodes - nodes/4
+	before := rig.stepper.System().Snapshot().Evictions()
+	if err := rig.ticks(6, 0.3, func(id int) bool { return id >= rack }); err != nil {
+		return err
+	}
+	if err := rig.ticks(8, 0.3, nil); err != nil {
+		return err
+	}
+	evictions := rig.stepper.System().Snapshot().Evictions() - before
+	if evictions < uint64(nodes-rack) {
+		return fmt.Errorf("rack outage evicted %d of %d block members", evictions, nodes-rack)
+	}
+	st := rig.engine.Stats()
+	if st.Fires != 0 {
+		return fmt.Errorf("false fire under the rack outage: %+v", st)
+	}
+	fmt.Printf("loadgen: chaos rack — block of %d evicted and re-admitted, %d NaN skips, zero fires\n",
+		nodes-rack, st.NaNSkips)
+	return nil
+}

@@ -21,10 +21,19 @@
 // verification) covers every node that ever lived, including ones long
 // departed by the end of the run.
 //
+// With -chaos the tool changes role entirely: instead of soaking the
+// transport it replays a named chaos scenario (burst, flap, or rack) against
+// the full serving pipeline — central store, StoreStepper, alert engine,
+// webhook sink — and verifies the alert plane end to end: the burst scenario
+// must complete a fire → webhook delivery → resolve lifecycle, and the churn
+// scenarios must finish with zero false fires from warming or absent
+// members. See the "Alerting" section of docs/OPERATIONS.md.
+//
 // Usage:
 //
 //	loadgen -nodes 10000 -conns 64 -steps 30 -budget 0.3 -batch 64
 //	loadgen -nodes 10000 -conns 64 -steps 60 -churn 50
+//	loadgen -chaos burst -nodes 16
 package main
 
 import (
@@ -65,8 +74,12 @@ func run() int {
 		idle      = flag.Duration("idle-timeout", time.Minute, "collector idle read deadline")
 		churn     = flag.Float64("churn", 0, "expected Poisson joins (and leaves) per step — rolls fleet membership mid-run (0 = static fleet)")
 		churnSeed = flag.Uint64("churn-seed", 1, "seed of the deterministic churn schedule")
+		chaos     = flag.String("chaos", "", "replay a chaos scenario against the full alerting pipeline instead of the transport soak: burst, flap, or rack")
 	)
 	flag.Parse()
+	if *chaos != "" {
+		return runChaos(*chaos, *nodes)
+	}
 	if *nodes < 1 || *conns < 1 || *conns > *nodes || *steps < 1 || *churn < 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: need nodes ≥ conns ≥ 1, steps ≥ 1, churn ≥ 0")
 		return 2

@@ -1,0 +1,46 @@
+package alert
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRules pins two properties of the rules-file parser: it never
+// panics on hostile input, and any document it accepts survives a
+// Marshal → ParseRules round trip identically (so a rules file rewritten by
+// tooling keeps alerting on exactly the same conditions).
+func FuzzParseRules(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"rules": []}`))
+	f.Add([]byte(`{"steps_per_hour": 12, "rules": [{"name": "hot", "kind": "threshold", "scope": "cluster", "above": true, "threshold": 0.8}]}`))
+	f.Add([]byte(`{"rules": [{"name": "ramp", "kind": "trend", "scope": "node", "horizon": 6, "threshold": -0.25, "clear_margin": 0.1}]}`))
+	f.Add([]byte(`{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster", "cluster": -1, "fire_streak": 1, "clear_streak": 9}]}`))
+	f.Add([]byte(`{"rules": [{"name": "dup", "kind": "threshold", "scope": "cluster"}, {"name": "dup", "kind": "threshold", "scope": "node"}]}`))
+	f.Add([]byte(`{"rules": [{"name": "x", "kind": "threshold", "scope": "cluster", "threshold": 1e308}]}`))
+	f.Add([]byte(`{"rules": []} trailing`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`"just a string"`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := ParseRules(data)
+		if err != nil {
+			return
+		}
+		// Accepted documents are valid by construction...
+		if verr := rs.Validate(); verr != nil {
+			t.Fatalf("ParseRules accepted an invalid set: %v\ninput: %q", verr, data)
+		}
+		// ...and canonical: marshal and reparse must reproduce the set.
+		out, err := rs.Marshal()
+		if err != nil {
+			t.Fatalf("marshal of accepted set failed: %v\ninput: %q", err, data)
+		}
+		rs2, err := ParseRules(out)
+		if err != nil {
+			t.Fatalf("reparse of own marshal failed: %v\nmarshal: %s", err, out)
+		}
+		if !reflect.DeepEqual(rs, rs2) {
+			t.Fatalf("round trip drifted\nfirst:  %+v\nsecond: %+v", rs, rs2)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package alert
+
+import (
+	"errors"
+	"testing"
+
+	"orcf/internal/core"
+)
+
+func TestRecommendLifecycle(t *testing.T) {
+	t.Parallel()
+	sys := newTestSystem(t, 6, nil)
+
+	// Before initial training there is nothing to recommend from.
+	stepValue(t, sys, 0.5)
+	if _, err := Recommend(sys.Snapshot(), RecommendConfig{}); !errors.Is(err, core.ErrNotReady) {
+		t.Fatalf("pre-training err = %v, want ErrNotReady", err)
+	}
+
+	run := func(v float64) []Recommendation {
+		for i := 0; i < 10; i++ {
+			stepValue(t, sys, v)
+		}
+		recs, err := Recommend(sys.Snapshot(), RecommendConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != sys.Clusters() {
+			t.Fatalf("%d recommendations for %d clusters", len(recs), sys.Clusters())
+		}
+		return recs
+	}
+
+	// Forecast inside the [0.3, 0.7] band: every populated cluster holds.
+	for _, rec := range run(0.5) {
+		if rec.Action != ActionHold || rec.Delta != 0 {
+			t.Fatalf("mid-band cluster got %+v, want hold", rec)
+		}
+	}
+
+	// Forecast above the band: populated clusters scale up, conserving
+	// demand (nodes × forecast ≈ (nodes + delta) × band midpoint).
+	sawUp := false
+	for _, rec := range run(0.9) {
+		if rec.Nodes == 0 {
+			continue
+		}
+		if rec.Action != ActionScaleUp || rec.Delta < 1 {
+			t.Fatalf("hot cluster got %+v, want scale-up", rec)
+		}
+		after := float64(rec.Nodes) * rec.Forecast / float64(rec.Nodes+rec.Delta)
+		if after > 0.7 {
+			t.Fatalf("delta %d leaves projected utilization %v above the band", rec.Delta, after)
+		}
+		sawUp = true
+	}
+	if !sawUp {
+		t.Fatal("no populated cluster scaled up at 0.9 utilization")
+	}
+
+	// Forecast below the band: multi-node clusters scale down, never to zero.
+	sawDown := false
+	for _, rec := range run(0.05) {
+		if rec.Nodes <= 1 {
+			continue
+		}
+		if rec.Action != ActionScaleDown || rec.Delta >= 0 {
+			t.Fatalf("cold cluster got %+v, want scale-down", rec)
+		}
+		if rec.Nodes+rec.Delta < 1 {
+			t.Fatalf("delta %d scales cluster of %d below one node", rec.Delta, rec.Nodes)
+		}
+		sawDown = true
+	}
+	if !sawDown {
+		t.Fatal("no multi-node cluster scaled down at 0.05 utilization")
+	}
+}
+
+func TestRecommendRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	sys := newTestSystem(t, 3, nil)
+	for i := 0; i < 8; i++ {
+		stepValue(t, sys, 0.5)
+	}
+	snap := sys.Snapshot()
+	cases := []RecommendConfig{
+		{Horizon: -1},
+		{Horizon: 99},                     // beyond the snapshot horizon
+		{Tracker: 7},                      // beyond the tracker count
+		{Dim: 3},                          // beyond the tracker dims
+		{TargetLow: 0.7, TargetHigh: 0.3}, // inverted band
+	}
+	for i, cfg := range cases {
+		if _, err := Recommend(snap, cfg); !errors.Is(err, ErrBadRule) {
+			t.Errorf("case %d (%+v): err = %v, want ErrBadRule", i, cfg, err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package alert
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseRulesDefaultsAndValidation(t *testing.T) {
+	t.Parallel()
+	rs, err := ParseRules([]byte(`{
+		"rules": [
+			{"name": "hot", "kind": "threshold", "scope": "cluster", "above": true, "threshold": 0.8},
+			{"name": "ramp", "kind": "trend", "scope": "node", "horizon": 6, "above": true,
+			 "threshold": 0.5, "fire_streak": 1, "clear_streak": 2, "clear_margin": 0.1}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.StepsPerHour != 1 {
+		t.Fatalf("StepsPerHour defaulted to %d, want 1", rs.StepsPerHour)
+	}
+	hot := rs.Rules[0]
+	if hot.Horizon != 1 || hot.FireStreak != DefaultFireStreak || hot.ClearStreak != DefaultClearStreak {
+		t.Fatalf("defaults not applied: %+v", hot)
+	}
+	if hot.Cluster != -1 {
+		t.Fatalf("Cluster parse default = %d, want -1 (all clusters)", hot.Cluster)
+	}
+	if rs.Rules[1].FireStreak != 1 || rs.Rules[1].ClearStreak != 2 {
+		t.Fatalf("explicit streaks overridden: %+v", rs.Rules[1])
+	}
+	if rs.MaxHorizon() != 6 {
+		t.Fatalf("MaxHorizon = %d, want 6", rs.MaxHorizon())
+	}
+}
+
+func TestParseRulesRejects(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"unknown field":     `{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster", "treshold": 1}]}`,
+		"unknown kind":      `{"rules": [{"name": "a", "kind": "quantile", "scope": "cluster"}]}`,
+		"unknown scope":     `{"rules": [{"name": "a", "kind": "threshold", "scope": "rack"}]}`,
+		"missing name":      `{"rules": [{"kind": "threshold", "scope": "cluster"}]}`,
+		"duplicate names":   `{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster"}, {"name": "a", "kind": "threshold", "scope": "node"}]}`,
+		"trend horizon 1":   `{"rules": [{"name": "a", "kind": "trend", "scope": "cluster", "horizon": 1}]}`,
+		"zero fire streak":  `{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster", "fire_streak": -1}]}`,
+		"negative margin":   `{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster", "clear_margin": -0.5}]}`,
+		"negative tracker":  `{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster", "tracker": -2}]}`,
+		"cluster below -1":  `{"rules": [{"name": "a", "kind": "threshold", "scope": "cluster", "cluster": -3}]}`,
+		"trailing document": `{"rules": []} {"rules": []}`,
+		"not json":          `rules: []`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseRules([]byte(doc)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, doc)
+		}
+	}
+}
+
+func TestParseRulesMarshalRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := `{"steps_per_hour": 12, "rules": [
+		{"name": "hot", "kind": "threshold", "scope": "cluster", "cluster": 2,
+		 "above": true, "threshold": 0.8, "clear_margin": 0.05},
+		{"name": "sag", "kind": "trend", "scope": "node", "horizon": 4, "threshold": -0.2}
+	]}`
+	rs, err := ParseRules([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := ParseRules(out)
+	if err != nil {
+		t.Fatalf("reparsing own marshal: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(rs, rs2) {
+		t.Fatalf("round trip drifted:\n%+v\n%+v", rs, rs2)
+	}
+}
+
+func TestRuleBreachClearDirections(t *testing.T) {
+	t.Parallel()
+	// Margins are quarters so threshold∓margin is exact in binary floating
+	// point and the boundary assertions are not at the mercy of rounding.
+	above := &Rule{Above: true, Threshold: 0.75, ClearMargin: 0.25}
+	below := &Rule{Above: false, Threshold: 0.25, ClearMargin: 0.25}
+	if !above.Breached(0.75) || above.Breached(0.74) || above.Cleared(0.5) || !above.Cleared(0.49) {
+		t.Fatal("above-direction tie/margin semantics broken")
+	}
+	if !below.Breached(0.25) || below.Breached(0.26) || below.Cleared(0.5) || !below.Cleared(0.51) {
+		t.Fatal("below-direction tie/margin semantics broken")
+	}
+	if above.Breached(math.NaN()) || above.Cleared(math.NaN()) {
+		t.Fatal("NaN must neither breach nor clear")
+	}
+}
+
+func TestNewEngineRejectsOversizedHorizon(t *testing.T) {
+	t.Parallel()
+	rs := &RuleSet{StepsPerHour: 1, Rules: []Rule{{
+		Name: "deep", Kind: KindThreshold, Scope: ScopeCluster,
+		Horizon: 10, FireStreak: 1, ClearStreak: 1, Cluster: -1,
+	}}}
+	if _, err := New(Config{Rules: rs, MaxHorizon: 4}); !errors.Is(err, ErrBadRule) {
+		t.Fatalf("err = %v, want ErrBadRule", err)
+	}
+	if _, err := New(Config{Rules: rs, MaxHorizon: 10}); err != nil {
+		t.Fatalf("horizon at the cap rejected: %v", err)
+	}
+}

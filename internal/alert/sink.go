@@ -1,0 +1,262 @@
+package alert
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink receives alert transition events. Deliver must not block the
+// evaluation path: sinks that do real I/O (the webhook sink) enqueue and
+// deliver asynchronously, dropping (and counting) events when their bounded
+// queue is full.
+type Sink interface {
+	// Deliver hands the sink one transition event.
+	Deliver(Event)
+}
+
+// SinkStats is a sink's cumulative delivery accounting.
+type SinkStats struct {
+	// Delivered counts events durably handed off (logged, or acknowledged
+	// by the webhook endpoint with a 2xx).
+	Delivered int64 `json:"delivered"`
+	// Retries counts failed delivery attempts that were retried.
+	Retries int64 `json:"retries"`
+	// Dropped counts events abandoned: queue overflow, or retry budget
+	// exhausted.
+	Dropped int64 `json:"dropped"`
+}
+
+// StatsReporter is implemented by sinks that account for their deliveries;
+// Engine.Stats aggregates across all reporting sinks.
+type StatsReporter interface {
+	// SinkStats returns the sink's cumulative delivery accounting.
+	SinkStats() SinkStats
+}
+
+// LogSink writes every event as one structured slog line — the minimal
+// always-on sink.
+type LogSink struct {
+	log       *slog.Logger
+	delivered atomic.Int64
+}
+
+// NewLogSink builds a log sink on the given logger (nil uses slog.Default).
+func NewLogSink(log *slog.Logger) *LogSink {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &LogSink{log: log}
+}
+
+// Deliver implements Sink.
+func (s *LogSink) Deliver(ev Event) {
+	s.delivered.Add(1)
+	s.log.Info("alert",
+		"rule", ev.Rule, "state", ev.State, "kind", string(ev.Kind), "scope", string(ev.Scope),
+		"tracker", ev.Tracker, "cluster", ev.Cluster, "node", ev.Node,
+		"value", ev.Value, "threshold", ev.Threshold, "horizon", ev.Horizon,
+		"step", ev.Step, "generation", ev.Generation, "reason", ev.Reason)
+}
+
+// SinkStats implements StatsReporter.
+func (s *LogSink) SinkStats() SinkStats {
+	return SinkStats{Delivered: s.delivered.Load()}
+}
+
+// WebhookOptions tunes a webhook sink. Zero values select the defaults.
+type WebhookOptions struct {
+	// Queue bounds the undelivered-event buffer (default 256). Deliver
+	// drops (and counts) events when it is full rather than blocking the
+	// evaluation path.
+	Queue int
+	// MaxRetries is how many times a failed POST is retried before the
+	// event is dropped (default 3).
+	MaxRetries int
+	// RetryDelay is the pause between attempts (default 250ms); each retry
+	// doubles it.
+	RetryDelay time.Duration
+	// Timeout bounds one POST attempt (default 5s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (default: a client with Timeout).
+	Client *http.Client
+}
+
+// withDefaults fills unset options.
+func (o WebhookOptions) withDefaults() WebhookOptions {
+	if o.Queue <= 0 {
+		o.Queue = 256
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 250 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: o.Timeout}
+	}
+	return o
+}
+
+// WebhookSink POSTs each event as a JSON document to one URL from a
+// background goroutine, with bounded queue and bounded retry: delivery can
+// lag or drop under a slow endpoint, but it can never block or wedge the
+// evaluation path. Close flushes the queue and stops the worker.
+type WebhookSink struct {
+	url   string
+	opts  WebhookOptions
+	queue chan Event
+	done  chan struct{}
+
+	// mu makes Deliver's closed-check-then-send atomic against Close
+	// closing the queue channel (a send on a closed channel panics).
+	mu     sync.RWMutex
+	closed bool
+
+	delivered atomic.Int64
+	retries   atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewWebhookSink builds and starts a webhook sink delivering to url.
+func NewWebhookSink(url string, opts WebhookOptions) (*WebhookSink, error) {
+	if url == "" {
+		return nil, fmt.Errorf("alert: empty webhook URL: %w", ErrBadRule)
+	}
+	opts = opts.withDefaults()
+	s := &WebhookSink{
+		url:   url,
+		opts:  opts,
+		queue: make(chan Event, opts.Queue),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Deliver implements Sink: it enqueues without blocking, dropping the event
+// when the queue is full or the sink is closed.
+func (s *WebhookSink) Deliver(ev Event) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.queue <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// run drains the queue until Close.
+func (s *WebhookSink) run() {
+	defer close(s.done)
+	for ev := range s.queue {
+		s.post(ev)
+	}
+}
+
+// post attempts one delivery with bounded retry and doubling backoff.
+func (s *WebhookSink) post(ev Event) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		s.dropped.Add(1)
+		return
+	}
+	delay := s.opts.RetryDelay
+	for attempt := 0; ; attempt++ {
+		if s.attempt(body) {
+			s.delivered.Add(1)
+			return
+		}
+		if attempt >= s.opts.MaxRetries {
+			s.dropped.Add(1)
+			return
+		}
+		s.retries.Add(1)
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+// attempt performs one POST, reporting success on any 2xx status.
+func (s *WebhookSink) attempt(body []byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Close stops accepting events, flushes what is already queued (each with
+// its bounded retries), and waits for the worker to exit. Safe to call
+// multiple times and concurrently with Deliver.
+func (s *WebhookSink) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return nil
+}
+
+// SinkStats implements StatsReporter.
+func (s *WebhookSink) SinkStats() SinkStats {
+	return SinkStats{
+		Delivered: s.delivered.Load(),
+		Retries:   s.retries.Load(),
+		Dropped:   s.dropped.Load(),
+	}
+}
+
+// CollectorSink buffers every delivered event in memory — a test and
+// debugging sink (the chaos plane asserts full fire→resolve lifecycles
+// against it).
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Deliver implements Sink.
+func (s *CollectorSink) Deliver(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything delivered so far, in order.
+func (s *CollectorSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// SinkStats implements StatsReporter.
+func (s *CollectorSink) SinkStats() SinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SinkStats{Delivered: int64(len(s.events))}
+}

@@ -1,0 +1,168 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testEvent(rule string) Event {
+	return Event{
+		Rule: rule, Kind: KindThreshold, Scope: ScopeCluster, State: StateFiring,
+		Cluster: 1, Node: -1, Value: 0.9, Threshold: 0.8, Horizon: 1,
+		Generation: 7, Step: 42,
+	}
+}
+
+func waitSink(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestWebhookSinkDeliversJSON(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var got []Event
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var ev Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}))
+	defer hs.Close()
+
+	sink, err := NewWebhookSink(hs.URL, WebhookOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Deliver(testEvent("a"))
+	sink.Deliver(testEvent("b"))
+	if err := sink.Close(); err != nil { // Close flushes the queue
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0].Rule != "a" || got[1].Rule != "b" {
+		t.Fatalf("webhook received %+v, want events a then b", got)
+	}
+	st := sink.SinkStats()
+	if st.Delivered != 2 || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want 2 delivered", st)
+	}
+	// Deliveries after Close are counted as drops, never a panic.
+	sink.Deliver(testEvent("late"))
+	if st := sink.SinkStats(); st.Dropped != 1 {
+		t.Fatalf("post-close delivery not dropped: %+v", st)
+	}
+}
+
+func TestWebhookSinkRetriesThenSucceeds(t *testing.T) {
+	t.Parallel()
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusBadGateway)
+		}
+	}))
+	defer hs.Close()
+	sink, err := NewWebhookSink(hs.URL, WebhookOptions{MaxRetries: 3, RetryDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Deliver(testEvent("flaky"))
+	waitSink(t, func() bool { return sink.SinkStats().Delivered == 1 }, "delivery never succeeded")
+	st := sink.SinkStats()
+	if st.Retries != 2 || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want 2 retries and no drops", st)
+	}
+	_ = sink.Close()
+}
+
+func TestWebhookSinkExhaustsRetryBudget(t *testing.T) {
+	t.Parallel()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+	sink, err := NewWebhookSink(hs.URL, WebhookOptions{MaxRetries: 2, RetryDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Deliver(testEvent("doomed"))
+	waitSink(t, func() bool { return sink.SinkStats().Dropped == 1 }, "event never dropped")
+	st := sink.SinkStats()
+	if st.Delivered != 0 || st.Retries != 2 {
+		t.Fatalf("stats %+v, want 0 delivered after 2 retries", st)
+	}
+	_ = sink.Close()
+}
+
+func TestWebhookSinkBoundedQueueDropsNotBlocks(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedge the worker so the queue backs up
+	}))
+	defer hs.Close()
+	sink, err := NewWebhookSink(hs.URL, WebhookOptions{Queue: 2, RetryDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			sink.Deliver(testEvent("burst")) // must never block the caller
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver blocked on a wedged webhook")
+	}
+	if st := sink.SinkStats(); st.Dropped == 0 {
+		t.Fatalf("stats %+v, want drops once the bounded queue filled", st)
+	}
+	close(release)
+	_ = sink.Close()
+}
+
+func TestWebhookSinkCloseConcurrentWithDeliver(t *testing.T) {
+	t.Parallel()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer hs.Close()
+	sink, err := NewWebhookSink(hs.URL, WebhookOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sink.Deliver(testEvent("racer")) // must not panic on the closed queue
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = sink.Close()
+		_ = sink.Close() // idempotent
+	}()
+	wg.Wait()
+}

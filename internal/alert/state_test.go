@@ -1,0 +1,157 @@
+package alert
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// oracleMachine is a deliberately brute-force re-implementation of the
+// hysteresis automaton: it keeps the whole observation history and derives
+// every streak by rescanning it, instead of maintaining counters. Any
+// divergence from StateMachine is a bug in one of them.
+type oracleMachine struct {
+	rule   *Rule
+	firing bool
+	// hist holds every non-NaN observation; boundary is the index just past
+	// the observation that caused the last transition (streaks never extend
+	// across a transition — the transitioning observation is consumed).
+	hist     []float64
+	boundary int
+}
+
+func (o *oracleMachine) observe(v float64) Transition {
+	if math.IsNaN(v) {
+		return TransitionNone
+	}
+	o.hist = append(o.hist, v)
+	i := len(o.hist) - 1
+	if !o.firing {
+		run := 0
+		for j := i; j >= o.boundary && o.rule.Breached(o.hist[j]); j-- {
+			run++
+		}
+		if run >= o.rule.FireStreak {
+			o.firing = true
+			o.boundary = i + 1
+			return TransitionFire
+		}
+		return TransitionNone
+	}
+	run := 0
+	for j := i; j >= o.boundary && o.rule.Cleared(o.hist[j]); j-- {
+		run++
+	}
+	if run >= o.rule.ClearStreak {
+		o.firing = false
+		o.boundary = i + 1
+		return TransitionResolve
+	}
+	return TransitionNone
+}
+
+// TestStateMachineMatchesOracle pins the streaming automaton against the
+// brute-force oracle over randomized rule configurations and observation
+// sequences deliberately concentrated at the threshold, inside the margin
+// band, and at NaN — the inputs where off-by-one or tie bugs would hide.
+func TestStateMachineMatchesOracle(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 400; trial++ {
+		margin := []float64{0, 0, 0.1, 0.25}[rng.IntN(4)]
+		r := &Rule{
+			Name: "prop", Kind: KindThreshold, Scope: ScopeCluster,
+			Above:       rng.IntN(2) == 0,
+			Threshold:   []float64{-1, 0, 0.5, 1}[rng.IntN(4)],
+			FireStreak:  1 + rng.IntN(4),
+			ClearStreak: 1 + rng.IntN(4),
+			ClearMargin: margin,
+			Horizon:     1,
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		m := NewStateMachine(r)
+		o := &oracleMachine{rule: r}
+
+		// Offsets straddle the threshold, the margin boundary (exactly at
+		// T±margin — must neither breach nor clear for above-rules), and both
+		// safe sides; NaN rows model warming forecast entries.
+		band := margin
+		if band == 0 {
+			band = 0.1
+		}
+		offsets := []float64{-2 * band, -band, -band / 2, 0, band / 2, band, 2 * band}
+		for step := 0; step < 250; step++ {
+			v := math.NaN()
+			if rng.IntN(5) != 0 {
+				v = r.Threshold + offsets[rng.IntN(len(offsets))]
+			}
+			got, want := m.Observe(v), o.observe(v)
+			if got != want {
+				t.Fatalf("trial %d step %d: rule %+v, value %v: machine says %v, oracle says %v",
+					trial, step, r, v, got, want)
+			}
+			if m.Firing() != o.firing {
+				t.Fatalf("trial %d step %d: firing disagreement (machine %v, oracle %v)",
+					trial, step, m.Firing(), o.firing)
+			}
+		}
+	}
+}
+
+// TestStateMachinePinnedSemantics pins the documented edge semantics with
+// explicit sequences: ties at the threshold breach, the margin band freezes
+// clearing, NaN moves nothing, and transitions consume their observation.
+func TestStateMachinePinnedSemantics(t *testing.T) {
+	t.Parallel()
+	rule := &Rule{
+		Name: "pin", Kind: KindThreshold, Scope: ScopeCluster, Above: true,
+		Threshold: 0.8, FireStreak: 2, ClearStreak: 2, ClearMargin: 0.1, Horizon: 1,
+	}
+	type obs struct {
+		v    float64
+		want Transition
+	}
+	cases := []struct {
+		name string
+		seq  []obs
+	}{
+		{"tie at threshold fires", []obs{
+			{0.8, TransitionNone}, {0.8, TransitionFire},
+		}},
+		{"non-breach resets fire streak", []obs{
+			{0.9, TransitionNone}, {0.5, TransitionNone},
+			{0.9, TransitionNone}, {0.9, TransitionFire},
+		}},
+		{"NaN is transparent to streaks", []obs{
+			{0.9, TransitionNone}, {math.NaN(), TransitionNone}, {0.9, TransitionFire},
+		}},
+		{"margin band blocks resolution", []obs{
+			{0.9, TransitionNone}, {0.9, TransitionFire},
+			// 0.75 is inside (0.7, 0.8): not a breach, but not cleared either.
+			{0.75, TransitionNone}, {0.75, TransitionNone}, {0.75, TransitionNone},
+			{0.6, TransitionNone}, {0.6, TransitionResolve},
+		}},
+		{"margin band resets the clear streak", []obs{
+			{0.9, TransitionNone}, {0.9, TransitionFire},
+			{0.6, TransitionNone}, {0.75, TransitionNone}, // clear run broken
+			{0.6, TransitionNone}, {0.6, TransitionResolve},
+		}},
+		{"fire observation does not count toward clearing", []obs{
+			{0.9, TransitionNone}, {0.9, TransitionFire},
+			{0.6, TransitionNone}, {0.6, TransitionResolve},
+			{0.8, TransitionNone}, {0.8, TransitionFire}, // re-fires on ties
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewStateMachine(rule)
+			for i, ob := range tc.seq {
+				if got := m.Observe(ob.v); got != ob.want {
+					t.Fatalf("observation %d (%v): got %v, want %v", i, ob.v, got, ob.want)
+				}
+			}
+		})
+	}
+}

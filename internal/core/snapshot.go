@@ -301,6 +301,41 @@ func (sn *Snapshot) Centroids(tracker int) [][]float64 {
 	return out
 }
 
+// CentroidForecasts returns a deep copy of a tracker's centroid forecasts at
+// the snapshot's step, indexed [cluster][dim][horizon-1] for horizons
+// 1..MaxHorizon. It returns nil when the tracker is out of range or the
+// system has not completed initial training (check Ready). The alert plane
+// reads cluster-scope rules through this accessor.
+func (sn *Snapshot) CentroidForecasts(tracker int) [][][]float64 {
+	if !sn.ready || tracker < 0 || tracker >= len(sn.centF) {
+		return nil
+	}
+	src := sn.centF[tracker]
+	out := make([][][]float64, len(src))
+	for j, dims := range src {
+		out[j] = make([][]float64, len(dims))
+		for d, series := range dims {
+			out[j][d] = append([]float64(nil), series...)
+		}
+	}
+	return out
+}
+
+// ClusterSizes returns how many present slots each of a tracker's K clusters
+// holds at the snapshot's step, or nil when the tracker is out of range.
+func (sn *Snapshot) ClusterSizes(tracker int) []int {
+	if tracker < 0 || tracker >= sn.nTracker {
+		return nil
+	}
+	sizes := make([]int, sn.k)
+	for node := 0; node < sn.nodes; node++ {
+		if j := sn.Assignment(tracker, node); j >= 0 && j < sn.k {
+			sizes[j]++
+		}
+	}
+	return sizes
+}
+
 // TrainingTime returns the cumulative (re)training wall time and round count
 // at publication.
 func (sn *Snapshot) TrainingTime() (time.Duration, int) {

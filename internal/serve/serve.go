@@ -12,6 +12,8 @@
 //	GET /v1/nodes/{id}             latest measurement, memberships, frequency
 //	GET /v1/clusters               centroids per tracker
 //	GET /v1/models                 model-zoo champions and rolling accuracy
+//	GET /v1/alerts                 firing alert instances + engine accounting
+//	GET /v1/recommendations        forecast-driven per-cluster scaling deltas
 //	GET /v1/stats                  pipeline + cache + request statistics
 //	GET /metrics                   Prometheus text format
 //
@@ -28,6 +30,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"orcf/internal/alert"
 	"orcf/internal/core"
 	"orcf/internal/obs"
 )
@@ -70,6 +73,16 @@ type Config struct {
 	// transport, persist, and step-phase series alongside the server's own;
 	// a registry can host at most one Server (series names are unique).
 	Registry *obs.Registry
+	// Alerts, when non-nil, attaches an alert engine: /v1/alerts and
+	// /v1/recommendations serve from it, /v1/stats reports its accounting,
+	// and the orcf_alert_* series are registered. Nil leaves both endpoints
+	// answering 404. The engine must be evaluated by the caller (cmd/
+	// forecastd's tick loop does); the server only reads.
+	Alerts *alert.Engine
+	// Recommend tunes /v1/recommendations (zero value: horizon 1, tracker 0,
+	// target band [0.3, 0.7]). The ?h query parameter overrides the horizon
+	// per request. Ignored when Alerts is nil.
+	Recommend alert.RecommendConfig
 }
 
 // PersistStats is the durability accounting the server reports when a
@@ -148,10 +161,15 @@ func New(cfg Config) (*Server, error) {
 		reg:   reg,
 	}
 	s.registerMetrics()
+	if cfg.Alerts != nil {
+		s.registerAlertMetrics()
+	}
 	s.mux.HandleFunc("GET /v1/forecast", timed(s.endpointHistogram("orcf_http_forecast_seconds", "/v1/forecast"), s.handleForecast))
 	s.mux.HandleFunc("GET /v1/nodes/{id}", timed(s.endpointHistogram("orcf_http_node_seconds", "/v1/nodes/{id}"), s.handleNode))
 	s.mux.HandleFunc("GET /v1/clusters", timed(s.endpointHistogram("orcf_http_clusters_seconds", "/v1/clusters"), s.handleClusters))
 	s.mux.HandleFunc("GET /v1/models", timed(s.endpointHistogram("orcf_http_models_seconds", "/v1/models"), s.handleModels))
+	s.mux.HandleFunc("GET /v1/alerts", timed(s.endpointHistogram("orcf_http_alerts_seconds", "/v1/alerts"), s.handleAlerts))
+	s.mux.HandleFunc("GET /v1/recommendations", timed(s.endpointHistogram("orcf_http_recommendations_seconds", "/v1/recommendations"), s.handleRecommendations))
 	s.mux.HandleFunc("GET /v1/stats", timed(s.endpointHistogram("orcf_http_stats_seconds", "/v1/stats"), s.handleStats))
 	s.mux.HandleFunc("GET /metrics", timed(s.endpointHistogram("orcf_http_metrics_seconds", "/metrics"), s.handleMetrics))
 	return s, nil
@@ -304,6 +322,7 @@ type StatsResponse struct {
 	Requests        RequestStats  `json:"requests"`
 	Persist         *PersistStats `json:"persist,omitempty"`
 	Models          *ModelStats   `json:"models,omitempty"`
+	Alerts          *alert.Stats  `json:"alerts,omitempty"`
 }
 
 // Stats assembles the current statistics (what /v1/stats serves).
@@ -315,6 +334,10 @@ func (s *Server) Stats() StatsResponse {
 	if s.cfg.PersistStats != nil {
 		p := s.cfg.PersistStats()
 		st.Persist = &p
+	}
+	if s.cfg.Alerts != nil {
+		a := s.cfg.Alerts.Stats()
+		st.Alerts = &a
 	}
 	if snap := s.cfg.Source.Snapshot(); snap != nil {
 		st.Generation = snap.Generation()

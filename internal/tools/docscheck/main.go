@@ -1,7 +1,7 @@
 // Command docscheck is the CI docs gate: it fails when documentation has
 // drifted from the code.
 //
-// It enforces six invariants:
+// It enforces seven invariants:
 //
 //  1. Markdown hygiene — every relative link in README.md and docs/*.md
 //     resolves to an existing file or directory in the repository.
@@ -33,6 +33,13 @@
 //     "Model families" table of docs/OPERATIONS.md, and every table row
 //     names a registered family (two-way, like the flag gate), so the
 //     operator-facing roster for -models / WithModelZoo can never drift.
+//  7. Alert reference — every alert rule kind declared in
+//     internal/alert/rules.go (the Kind* string constants) has a row in the
+//     rule-kind table of the "Alerting" section of docs/OPERATIONS.md, and
+//     every table row names a declared kind (two-way, like the flag gate);
+//     the section must also carry the flapping-alert runbook. Together with
+//     gate 5 (which covers the orcf_alert_* series) the alerting reference
+//     can never drift from the engine.
 //
 // Run from the repository root: go run ./internal/tools/docscheck
 // (make ci and .github/workflows/ci.yml do). Exit status 1 lists every
@@ -54,7 +61,8 @@ import (
 // gatedDirs are the directories whose exported identifiers must be
 // documented. "." is the public orcf package.
 var gatedDirs = []string{".", "internal/core", "internal/serve", "internal/persist",
-	"internal/transmit", "internal/cluster", "internal/tools/orcflint", "internal/obs"}
+	"internal/transmit", "internal/cluster", "internal/tools/orcflint", "internal/obs",
+	"internal/alert"}
 
 // markdownFiles lists the documents whose links are checked, plus every
 // *.md under docs/.
@@ -68,6 +76,7 @@ func main() {
 	problems = append(problems, checkLintDocs()...)
 	problems = append(problems, checkMetrics()...)
 	problems = append(problems, checkModelRegistry()...)
+	problems = append(problems, checkAlertDocs()...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -685,6 +694,114 @@ func documentedFamilies() (map[string]bool, bool, error) {
 		}
 	}
 	return out, found, nil
+}
+
+// alertRulesFile declares the rule-kind constants the alerting gate reads.
+const alertRulesFile = "internal/alert/rules.go"
+
+// alertingHeading opens the OPERATIONS.md section holding the rule-kind
+// table and the flapping runbook.
+const alertingHeading = "## Alerting"
+
+// checkAlertDocs enforces the two-way rule-kind invariant between
+// internal/alert/rules.go and the "Alerting" section of docs/OPERATIONS.md,
+// and requires that section to carry the flapping-alert runbook.
+func checkAlertDocs() []string {
+	declared, problems := declaredRuleKinds()
+	if len(declared) == 0 {
+		problems = append(problems, fmt.Sprintf(
+			"docscheck: no Kind* string constants found in %s", alertRulesFile))
+	}
+	documented, sectionFound, runbookFound, err := documentedRuleKinds()
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	if !sectionFound {
+		problems = append(problems, fmt.Sprintf(
+			"%s: missing %q section (rule-kind table)", operationsDoc, alertingHeading))
+	} else if !runbookFound {
+		problems = append(problems, fmt.Sprintf(
+			"%s: %q section has no flapping-alert runbook subsection", operationsDoc, alertingHeading))
+	}
+	var missing []string
+	for name := range declared {
+		if !documented[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: rule kind `%s` (declared in %s) has no row in the %q table",
+				operationsDoc, name, alertRulesFile, alertingHeading))
+		}
+	}
+	for name := range documented {
+		if !declared[name] {
+			missing = append(missing, fmt.Sprintf(
+				"%s: documents rule kind `%s`, which %s does not declare",
+				operationsDoc, name, alertRulesFile))
+		}
+	}
+	sort.Strings(missing)
+	return append(problems, missing...)
+}
+
+// declaredRuleKinds parses the alert rules file and collects the string
+// value of every top-level Kind* constant.
+func declaredRuleKinds() (map[string]bool, []string) {
+	names := make(map[string]bool)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, alertRulesFile, nil, 0)
+	if err != nil {
+		return names, []string{fmt.Sprintf("docscheck: parsing %s: %v", alertRulesFile, err)}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				if !strings.HasPrefix(id.Name, "Kind") || i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					names[strings.Trim(lit.Value, `"`)] = true
+				}
+			}
+		}
+	}
+	return names, nil
+}
+
+// documentedRuleKinds scans OPERATIONS.md's "Alerting" section for rule-kind
+// table rows and a flapping-runbook subsection heading.
+func documentedRuleKinds() (kinds map[string]bool, sectionFound, runbookFound bool, err error) {
+	data, err := os.ReadFile(operationsDoc)
+	if err != nil {
+		return nil, false, false, err
+	}
+	kinds = make(map[string]bool)
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, alertingHeading)
+			if inSection {
+				sectionFound = true
+			}
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if strings.HasPrefix(line, "### ") && strings.Contains(strings.ToLower(line), "flapping") {
+			runbookFound = true
+		}
+		if m := familyRowRe.FindStringSubmatch(line); m != nil {
+			kinds[m[1]] = true
+		}
+	}
+	return kinds, sectionFound, runbookFound, nil
 }
 
 // receiverName unwraps a method receiver type expression to its type name.

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 
+	"orcf/internal/alert"
 	"orcf/internal/cluster"
 	"orcf/internal/core"
 	"orcf/internal/forecast"
@@ -81,18 +82,46 @@ type (
 	EvalConfig = sim.Config
 	// EvalResult is the outcome of an evaluation run.
 	EvalResult = sim.Result
+	// AlertRule is one alerting rule evaluated against published snapshots
+	// (see WithAlertRules).
+	AlertRule = alert.Rule
+	// AlertRuleSet is a validated collection of alert rules plus set-wide
+	// settings; build one in Go or parse a file with ParseAlertRules.
+	AlertRuleSet = alert.RuleSet
+	// AlertEvent is one alert transition (fire or resolve) delivered to sinks.
+	AlertEvent = alert.Event
+	// AlertSink receives alert transition events (see WithAlertSink).
+	AlertSink = alert.Sink
+	// ActiveAlert is one currently firing alert instance (see System.Alerts).
+	ActiveAlert = alert.Active
+	// AlertStats is the alert engine's cumulative accounting.
+	AlertStats = alert.Stats
+	// Recommendation is one per-cluster autoscaling proposal
+	// (see System.Recommend).
+	Recommendation = alert.Recommendation
+	// RecommendConfig parameterizes System.Recommend (zero value: horizon 1,
+	// target utilization band [0.3, 0.7]).
+	RecommendConfig = alert.RecommendConfig
 )
 
 // ErrBadOption reports an invalid option combination.
 var ErrBadOption = errors.New("orcf: invalid option")
 
+// config aggregates everything New assembles: the core pipeline
+// configuration plus the optional alert plane riding on its snapshots.
+type config struct {
+	core.Config
+	rules *alert.RuleSet
+	sinks []alert.Sink
+}
+
 // Option configures New.
-type Option func(*core.Config) error
+type Option func(*config) error
 
 // WithClusters sets K, the number of clusters and forecasting models
 // (paper default 3).
 func WithClusters(k int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if k < 1 {
 			return fmt.Errorf("orcf: K=%d: %w", k, ErrBadOption)
 		}
@@ -104,7 +133,7 @@ func WithClusters(k int) Option {
 // WithBudget installs the paper's adaptive transmission policy with
 // long-run frequency budget b ∈ [0,1] on every node (paper default 0.3).
 func WithBudget(b float64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Policy = func(int) (transmit.Policy, error) {
 			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: b})
 		}
@@ -115,7 +144,7 @@ func WithBudget(b float64) Option {
 // WithAdaptivePolicy installs the adaptive policy with explicit Lyapunov
 // control parameters V0 and γ (paper defaults 1e-12 and 0.65).
 func WithAdaptivePolicy(budget, v0, gamma float64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Policy = func(int) (transmit.Policy, error) {
 			return transmit.NewAdaptive(transmit.AdaptiveConfig{Budget: budget, V0: v0, Gamma: gamma})
 		}
@@ -125,7 +154,7 @@ func WithAdaptivePolicy(budget, v0, gamma float64) Option {
 
 // WithUniformSampling installs the uniform-sampling baseline at frequency b.
 func WithUniformSampling(b float64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Policy = func(int) (transmit.Policy, error) {
 			return transmit.NewUniform(b)
 		}
@@ -135,7 +164,7 @@ func WithUniformSampling(b float64) Option {
 
 // WithAlwaysTransmit disables collection filtering (B = 1).
 func WithAlwaysTransmit() Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Policy = func(int) (transmit.Policy, error) { return transmit.Always{}, nil }
 		return nil
 	}
@@ -143,7 +172,7 @@ func WithAlwaysTransmit() Option {
 
 // WithPolicyFactory installs a custom per-node transmission policy.
 func WithPolicyFactory(f core.PolicyFactory) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if f == nil {
 			return fmt.Errorf("orcf: nil policy factory: %w", ErrBadOption)
 		}
@@ -154,7 +183,7 @@ func WithPolicyFactory(f core.PolicyFactory) Option {
 
 // WithSampleAndHold uses the sample-and-hold forecaster (default).
 func WithSampleAndHold() Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Model = func() forecast.Model { return forecast.NewSampleAndHold() }
 		return nil
 	}
@@ -162,7 +191,7 @@ func WithSampleAndHold() Option {
 
 // WithARIMA uses AICc-selected ARIMA models over the given grid.
 func WithARIMA(grid ARIMAGrid) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Model = func() forecast.Model { return forecast.NewAutoARIMA(grid) }
 		return nil
 	}
@@ -170,7 +199,7 @@ func WithARIMA(grid ARIMAGrid) Option {
 
 // WithAR uses a fixed-order AR(p) forecaster.
 func WithAR(p int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if p < 1 {
 			return fmt.Errorf("orcf: AR order %d: %w", p, ErrBadOption)
 		}
@@ -187,7 +216,7 @@ func WithAR(p int) Option {
 
 // WithLSTM uses the two-layer LSTM forecaster.
 func WithLSTM(cfg LSTMConfig) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Model = func() forecast.Model { return forecast.NewLSTM(cfg) }
 		return nil
 	}
@@ -196,7 +225,7 @@ func WithLSTM(cfg LSTMConfig) Option {
 // WithSES uses simple exponential smoothing with the given alpha
 // (0 selects the default 0.3) — the cheapest level-adaptive forecaster.
 func WithSES(alpha float64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if _, err := forecast.NewSES(alpha); err != nil {
 			return fmt.Errorf("orcf: %w", err)
 		}
@@ -214,7 +243,7 @@ func WithSES(alpha float64) Option {
 // WithHolt uses damped Holt linear-trend smoothing (zeros select the
 // defaults α=0.3, β=0.1, φ=0.98).
 func WithHolt(alpha, beta, phi float64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if _, err := forecast.NewHolt(alpha, beta, phi); err != nil {
 			return fmt.Errorf("orcf: %w", err)
 		}
@@ -232,7 +261,7 @@ func WithHolt(alpha, beta, phi float64) Option {
 // WithHoltWinters uses additive Holt-Winters smoothing with the given
 // seasonal period (e.g. 288 for daily cycles at 5-minute sampling).
 func WithHoltWinters(period int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if _, err := forecast.NewHoltWinters(period, 0, 0, 0); err != nil {
 			return fmt.Errorf("orcf: %w", err)
 		}
@@ -256,7 +285,7 @@ func WithHoltWinters(period int) Option {
 // registered families (see ModelFamilies). Mutually exclusive with the
 // single-model options (WithSES, WithARIMA, WithModelBuilder, ...).
 func WithModelZoo(names ...string) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		zoo, err := forecast.Zoo(names...)
 		if err != nil {
 			return fmt.Errorf("%w: %w", ErrBadOption, err)
@@ -270,7 +299,7 @@ func WithModelZoo(names ...string) Option {
 // (zero fields select the defaults: window 64, margin 0, streak 3, metric
 // "mae"). Ignored unless WithModelZoo is also set.
 func WithSelection(cfg SelectionConfig) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if err := cfg.WithDefaults().Validate(); err != nil {
 			return fmt.Errorf("%w: %w", ErrBadOption, err)
 		}
@@ -293,7 +322,7 @@ func (s *System) ModelSelection(tracker int) *SelectionInfo {
 
 // WithModelBuilder installs a custom forecasting model factory.
 func WithModelBuilder(b forecast.Builder) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if b == nil {
 			return fmt.Errorf("orcf: nil model builder: %w", ErrBadOption)
 		}
@@ -305,7 +334,7 @@ func WithModelBuilder(b forecast.Builder) Option {
 // WithSimilarityLookback sets M, the cluster-matching look-back of eq. (10)
 // (paper default 1).
 func WithSimilarityLookback(m int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if m < 1 {
 			return fmt.Errorf("orcf: M=%d: %w", m, ErrBadOption)
 		}
@@ -317,7 +346,7 @@ func WithSimilarityLookback(m int) Option {
 // WithMembershipLookback sets M′, the look-back for membership forecasting
 // and offsets (paper default 5). Zero selects "current step only".
 func WithMembershipLookback(mPrime int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if mPrime < 0 {
 			return fmt.Errorf("orcf: M'=%d: %w", mPrime, ErrBadOption)
 		}
@@ -333,7 +362,7 @@ func WithMembershipLookback(mPrime int) Option {
 // WithJaccardSimilarity switches cluster matching to the Jaccard index
 // (the Fig. 11 comparison); the default is the paper's proposed measure.
 func WithJaccardSimilarity() Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Similarity = cluster.SimilarityJaccard
 		return nil
 	}
@@ -342,7 +371,7 @@ func WithJaccardSimilarity() Option {
 // WithJointClustering clusters full d-dimensional measurement vectors
 // instead of per-resource scalars (the Table I ablation).
 func WithJointClustering() Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.JointClustering = true
 		return nil
 	}
@@ -351,7 +380,7 @@ func WithJointClustering() Option {
 // WithTrainingSchedule sets the initial collection length and retraining
 // period (paper defaults 1000 and 288).
 func WithTrainingSchedule(initialCollection, retrainEvery int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if initialCollection < 1 || retrainEvery < 1 {
 			return fmt.Errorf("orcf: schedule %d/%d: %w", initialCollection, retrainEvery, ErrBadOption)
 		}
@@ -363,7 +392,7 @@ func WithTrainingSchedule(initialCollection, retrainEvery int) Option {
 
 // WithFitWindow caps the history used per model fit (0 = all history).
 func WithFitWindow(n int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if n < 0 {
 			return fmt.Errorf("orcf: fit window %d: %w", n, ErrBadOption)
 		}
@@ -378,7 +407,7 @@ func WithFitWindow(n int) Option {
 // disables auto-eviction; membership then changes only through
 // AddNodes/RemoveNodes. See System.AddNodes for the elastic-fleet model.
 func WithAbsenceTimeout(steps int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if steps < 0 {
 			return fmt.Errorf("orcf: absence timeout %d: %w", steps, ErrBadOption)
 		}
@@ -389,7 +418,7 @@ func WithAbsenceTimeout(steps int) Option {
 
 // WithSeed fixes the random seed for clustering, making runs reproducible.
 func WithSeed(seed uint64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		c.Seed = seed
 		return nil
 	}
@@ -401,7 +430,7 @@ func WithSeed(seed uint64) Option {
 // and every other output are bit-identical for any worker count — the knob
 // only trades wall-clock time for cores.
 func WithWorkers(n int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if n < 0 {
 			return fmt.Errorf("orcf: workers %d: %w", n, ErrBadOption)
 		}
@@ -418,7 +447,7 @@ func WithWorkers(n int) Option {
 // query plane and cmd/forecastd. Zero (the default) disables publishing and
 // keeps the ingest path allocation-free.
 func WithSnapshotHorizon(h int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if h < 0 {
 			return fmt.Errorf("orcf: snapshot horizon %d: %w", h, ErrBadOption)
 		}
@@ -440,7 +469,7 @@ func WithSnapshotHorizon(h int) Option {
 // churn 0 selects the default acceptance threshold (0.25); negative forces a
 // full refit every step, which is bit-identical to leaving the option off.
 func WithIncrementalRefit(churn float64) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if math.IsNaN(churn) {
 			return fmt.Errorf("orcf: churn threshold NaN: %w", ErrBadOption)
 		}
@@ -458,7 +487,7 @@ func WithIncrementalRefit(churn float64) Option {
 // every Snapshot stays valid forever — at the cost of one window-slot
 // allocation per step. Requires WithSnapshotHorizon.
 func WithSnapshotKeep(keep int) Option {
-	return func(c *core.Config) error {
+	return func(c *config) error {
 		if keep < 0 {
 			return fmt.Errorf("orcf: snapshot keep %d: %w", keep, ErrBadOption)
 		}
@@ -467,9 +496,45 @@ func WithSnapshotKeep(keep int) Option {
 	}
 }
 
+// WithAlertRules attaches the alerting plane: after every successful Step
+// the rules are evaluated against the published snapshot (threshold and
+// trend rules over per-cluster centroid and per-node forecasts), driving
+// firing→resolved state machines with hysteresis and delivering transition
+// events to any sinks added with WithAlertSink. Requires WithSnapshotHorizon
+// at least as large as the largest rule horizon. The rule set is validated
+// by New and must not be mutated afterwards.
+func WithAlertRules(rs *AlertRuleSet) Option {
+	return func(c *config) error {
+		if rs == nil {
+			return fmt.Errorf("orcf: nil alert rule set: %w", ErrBadOption)
+		}
+		c.rules = rs
+		return nil
+	}
+}
+
+// WithAlertSink adds one transition-event sink to the alerting plane (for
+// example alert.NewLogSink or a webhook sink); events are delivered in rule
+// order at each evaluated step. Requires WithAlertRules.
+func WithAlertSink(s AlertSink) Option {
+	return func(c *config) error {
+		if s == nil {
+			return fmt.Errorf("orcf: nil alert sink: %w", ErrBadOption)
+		}
+		c.sinks = append(c.sinks, s)
+		return nil
+	}
+}
+
+// ParseAlertRules parses, defaults, and validates a JSON alert rules
+// document (the same format cmd/forecastd's -rules flag loads; see
+// docs/OPERATIONS.md).
+func ParseAlertRules(data []byte) (*AlertRuleSet, error) { return alert.ParseRules(data) }
+
 // System is the public handle to the collection-and-forecasting pipeline.
 type System struct {
-	inner *core.System
+	inner  *core.System
+	alerts *alert.Engine
 }
 
 // New builds a pipeline for the given number of nodes and resource types,
@@ -477,25 +542,86 @@ type System struct {
 // adaptive policy at B=0.3, K=3, M=1, M′=5, scalar per-resource clustering,
 // sample-and-hold forecasting, warm-up 1000 steps, retraining every 288.
 func New(nodes, resources int, opts ...Option) (*System, error) {
-	cfg := core.Config{Nodes: nodes, Resources: resources}
+	cfg := config{Config: core.Config{Nodes: nodes, Resources: resources}}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
 	}
-	inner, err := core.NewSystem(cfg)
+	var engine *alert.Engine
+	switch {
+	case cfg.rules != nil:
+		if cfg.SnapshotHorizon == 0 {
+			return nil, fmt.Errorf("orcf: WithAlertRules requires WithSnapshotHorizon: %w", ErrBadOption)
+		}
+		var err error
+		engine, err = alert.New(alert.Config{
+			Rules:      cfg.rules,
+			Sinks:      cfg.sinks,
+			Workers:    cfg.Workers,
+			MaxHorizon: cfg.SnapshotHorizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+	case len(cfg.sinks) > 0:
+		return nil, fmt.Errorf("orcf: WithAlertSink requires WithAlertRules: %w", ErrBadOption)
+	}
+	inner, err := core.NewSystem(cfg.Config)
 	if err != nil {
 		return nil, err
 	}
-	return &System{inner: inner}, nil
+	return &System{inner: inner, alerts: engine}, nil
 }
 
 // Step ingests the fleet's measurements for one time step: x has one row
 // per slot (see Roster), where x[i] is the slot's d-dimensional measurement
 // and a nil row means "no report this step" (mandatory for departed slots;
 // for live members it counts toward the absence timeout). Returns what
-// happened, including any members evicted this step.
-func (s *System) Step(x [][]float64) (*StepResult, error) { return s.inner.Step(x) }
+// happened, including any members evicted this step. With WithAlertRules the
+// published snapshot is then evaluated against the rules and transition
+// events go to the sinks; an evaluation failure is returned alongside the
+// (already applied) step result.
+func (s *System) Step(x [][]float64) (*StepResult, error) {
+	res, err := s.inner.Step(x)
+	if err != nil || s.alerts == nil {
+		return res, err
+	}
+	if _, aerr := s.alerts.Evaluate(s.inner.Snapshot()); aerr != nil {
+		return res, aerr
+	}
+	return res, nil
+}
+
+// Alerts returns the currently firing alert instances sorted by rule then
+// target, or nil when alerting is not configured (see WithAlertRules). Safe
+// to call concurrently with Step.
+func (s *System) Alerts() []ActiveAlert {
+	if s.alerts == nil {
+		return nil
+	}
+	return s.alerts.Active()
+}
+
+// AlertStats returns the alert engine's cumulative accounting; ok is false
+// when alerting is not configured.
+func (s *System) AlertStats() (stats AlertStats, ok bool) {
+	if s.alerts == nil {
+		return AlertStats{}, false
+	}
+	return s.alerts.Stats(), true
+}
+
+// Recommend proposes per-cluster scale-up/scale-down node deltas from the
+// latest snapshot's centroid forecasts (see RecommendConfig). It requires
+// WithSnapshotHorizon and a completed initial training.
+func (s *System) Recommend(cfg RecommendConfig) ([]Recommendation, error) {
+	snap := s.inner.Snapshot()
+	if snap == nil {
+		return nil, core.ErrNotReady
+	}
+	return alert.Recommend(snap, cfg)
+}
 
 // AddNodes joins new fleet members under the given stable IDs: each gets a
 // fresh policy and an empty, NaN-masked history, participates in clustering
